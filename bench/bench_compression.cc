@@ -1,0 +1,219 @@
+// Experiments E4-E6 — query-preserving compression (§III "Querying
+// compressed graphs"): compression ratios ("graphs can be reduced by 57%"),
+// query-time reduction on compressed graphs ("reduces query evaluation time
+// by 70%"), and incremental maintenance of Gc vs recompression ("outperforms
+// the method that recomputes compressed graphs, even when large batch
+// updates are incurred").
+
+#include "bench/bench_common.h"
+#include "src/expfinder.h"
+
+using namespace expfinder;
+using namespace expfinder::bench;
+
+namespace {
+
+const CompressionSchema kSchema{true, {"experience"}};
+
+struct Dataset {
+  std::string name;
+  Graph graph;
+};
+
+std::vector<Dataset> MakeDatasets(size_t n) {
+  std::vector<Dataset> out;
+  out.push_back({"collab", MakeCollab(n, 1)});
+  out.push_back({"twitter", MakeTwitter(n, 2)});
+  out.push_back({"er", MakeEr(n, 3)});
+  return out;
+}
+
+void RatioTable(const std::vector<Dataset>& datasets) {
+  Header("E4 compression ratio",
+         "in average, the graphs can be reduced by 57%");
+  Table t({"dataset", "n", "m", "classes", "gc edges", "node reduction",
+           "edge reduction", "build (ms)"});
+  double total_node_red = 0;
+  for (const Dataset& d : datasets) {
+    Timer timer;
+    auto cg = CompressedGraph::Build(d.graph, kSchema);
+    double ms = timer.ElapsedMillis();
+    EF_CHECK(cg.ok()) << cg.status();
+    double node_red = 100.0 * (1.0 - cg->NodeRatio());
+    total_node_red += node_red;
+    t.AddRow({d.name, Table::Int(static_cast<int64_t>(d.graph.NumNodes())),
+              Table::Int(static_cast<int64_t>(d.graph.NumEdges())),
+              Table::Int(cg->NumClasses()),
+              Table::Int(static_cast<int64_t>(cg->gc().NumEdges())),
+              Table::Num(node_red, 1) + "%",
+              Table::Num(100.0 * (1.0 - cg->EdgeRatio()), 1) + "%",
+              Table::Num(ms, 1)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  // The paper's 57% average is over real social graphs; the uniform-random
+  // ER control has no structural redundancy by construction, so the
+  // comparable average is over the social datasets.
+  double social_avg = 0;
+  int social_rows = 0;
+  for (const Dataset& d : datasets) {
+    if (d.name == "er") continue;
+    auto cg = CompressedGraph::Build(d.graph, kSchema);
+    EF_CHECK(cg.ok());
+    social_avg += 100.0 * (1.0 - cg->NodeRatio());
+    ++social_rows;
+  }
+  std::printf("average node reduction, social graphs: %.1f%% (paper: ~57%%); "
+              "all datasets incl. ER control: %.1f%%\n",
+              social_avg / social_rows, total_node_red / datasets.size());
+  std::printf("note: ratios depend on label/attribute granularity of the schema;\n"
+              "      a label-only schema (coarser) compresses harder:\n");
+  Table t2({"dataset", "schema", "node reduction"});
+  for (const Dataset& d : datasets) {
+    auto coarse = CompressedGraph::Build(d.graph, {true, {}});
+    EF_CHECK(coarse.ok());
+    t2.AddRow({d.name, "label only",
+               Table::Num(100.0 * (1.0 - coarse->NodeRatio()), 1) + "%"});
+  }
+  std::printf("%s\n", t2.ToString().c_str());
+}
+
+void QuerySpeedTable(const std::vector<Dataset>& datasets) {
+  Header("E5 query evaluation on compressed graphs",
+         "querying Gc instead of G reduces query evaluation time by ~70%");
+  Table t({"dataset", "query", "on G (ms)", "on Gc+decompress (ms)", "reduction",
+           "equal"});
+  double total_red = 0;
+  int rows = 0;
+  for (const Dataset& d : datasets) {
+    auto cg = CompressedGraph::Build(d.graph, kSchema);
+    EF_CHECK(cg.ok());
+    for (int i = 0; i < 3; ++i) {
+      Pattern q = gen::TeamQuery(i);
+      // Average over repeats for stability.
+      const int reps = 3;
+      Timer direct_timer;
+      MatchRelation direct;
+      for (int r = 0; r < reps; ++r) direct = ComputeBoundedSimulation(d.graph, q);
+      double direct_ms = direct_timer.ElapsedMillis() / reps;
+      Timer gc_timer;
+      MatchRelation via_gc;
+      for (int r = 0; r < reps; ++r) {
+        via_gc = cg->Decompress(ComputeBoundedSimulation(cg->gc(), q));
+      }
+      double gc_ms = gc_timer.ElapsedMillis() / reps;
+      double reduction = 100.0 * (1.0 - gc_ms / std::max(direct_ms, 1e-9));
+      total_red += reduction;
+      ++rows;
+      t.AddRow({d.name, "Q" + std::to_string(i + 1), Table::Num(direct_ms, 2),
+                Table::Num(gc_ms, 2), Table::Num(reduction, 0) + "%",
+                via_gc == direct ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf("average query-time reduction, attribute queries: %.0f%%\n\n",
+              total_red / rows);
+
+  // The paper's regime: pattern nodes carry labels only (its data model has
+  // single-label nodes), so the compression schema is label-only and the
+  // peripheral mass that merges is also what the queries scan.
+  std::printf("label-only schema + label-only queries (the paper's setting):\n");
+  Table t2({"dataset", "query", "on G (ms)", "on Gc+decompress (ms)", "reduction",
+            "equal"});
+  double label_red = 0;
+  int label_rows = 0;
+  auto label_query = [](int i) {
+    PatternBuilder b;
+    switch (i) {
+      case 0: {
+        auto sd = b.Node("SD", "sd").Output();
+        auto st = b.Node("ST", "st");
+        b.Edge(sd, st, 2).Edge(st, sd, 2);
+        break;
+      }
+      case 1: {
+        auto sa = b.Node("SA", "sa").Output();
+        auto sd = b.Node("SD", "sd");
+        auto ba = b.Node("BA", "ba");
+        b.Edge(sa, sd, 2).Edge(sa, ba, 3).Edge(sd, ba, 2);
+        break;
+      }
+      default: {
+        auto pm = b.Node("PM", "pm").Output();
+        auto sd = b.Node("SD", "sd");
+        auto ux = b.Node("UX", "ux");
+        b.Edge(pm, sd, 1).Edge(sd, ux, 2).Edge(ux, pm, 3);
+        break;
+      }
+    }
+    return b.Build().value();
+  };
+  for (const Dataset& d : datasets) {
+    auto cg = CompressedGraph::Build(d.graph, {true, {}});
+    EF_CHECK(cg.ok());
+    for (int i = 0; i < 3; ++i) {
+      Pattern q = label_query(i);
+      EF_CHECK(cg->IsCompatible(q));
+      const int reps = 3;
+      Timer direct_timer;
+      MatchRelation direct;
+      for (int r = 0; r < reps; ++r) direct = ComputeBoundedSimulation(d.graph, q);
+      double direct_ms = direct_timer.ElapsedMillis() / reps;
+      Timer gc_timer;
+      MatchRelation via_gc;
+      for (int r = 0; r < reps; ++r) {
+        via_gc = cg->Decompress(ComputeBoundedSimulation(cg->gc(), q));
+      }
+      double gc_ms = gc_timer.ElapsedMillis() / reps;
+      double reduction = 100.0 * (1.0 - gc_ms / std::max(direct_ms, 1e-9));
+      label_red += reduction;
+      ++label_rows;
+      t2.AddRow({d.name, "L" + std::to_string(i + 1), Table::Num(direct_ms, 2),
+                 Table::Num(gc_ms, 2), Table::Num(reduction, 0) + "%",
+                 via_gc == direct ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s", t2.ToString().c_str());
+  std::printf("average query-time reduction, label-only queries: %.0f%% "
+              "(paper: ~70%%)\n\n",
+              label_red / label_rows);
+}
+
+void MaintenanceTable() {
+  Header("E6 maintaining Gc vs recompressing",
+         "the compression module efficiently maintains compressed graphs and "
+         "outperforms recomputation, even for large batch updates");
+  Graph base = MakeCollab(20000, 4);
+  Table t({"churn %", "maintain (ms)", "recompress (ms)", "speedup", "classes",
+           "classes (fresh)"});
+  for (double churn : {0.001, 0.01, 0.05, 0.10, 0.20, 0.30}) {
+    Graph g = base;
+    auto mc = MaintainedCompression::Create(&g, kSchema);
+    EF_CHECK(mc.ok());
+    size_t updates = std::max<size_t>(1, static_cast<size_t>(churn * g.NumEdges()));
+    UpdateBatch batch = GenerateUpdateStream(g, updates, 0.5, 31);
+    EF_CHECK(ApplyBatch(&g, batch).ok());
+    Timer maintain_timer;
+    mc->OnGraphUpdated(batch);
+    double maintain_ms = maintain_timer.ElapsedMillis();
+    Timer rebuild_timer;
+    auto fresh = CompressedGraph::Build(g, kSchema);
+    double rebuild_ms = rebuild_timer.ElapsedMillis();
+    EF_CHECK(fresh.ok());
+    t.AddRow({Table::Num(100 * churn, 1), Table::Num(maintain_ms, 1),
+              Table::Num(rebuild_ms, 1),
+              Table::Num(rebuild_ms / std::max(maintain_ms, 1e-9), 2),
+              Table::Int(mc->current().NumClasses()),
+              Table::Int(fresh->NumClasses())});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  auto datasets = MakeDatasets(20000);
+  RatioTable(datasets);
+  QuerySpeedTable(datasets);
+  MaintenanceTable();
+  return 0;
+}

@@ -1,0 +1,206 @@
+// ExpFinder Manager — the command-line counterpart of the demo's GUI
+// (paper Figs. 3-5): manage graphs in a file store, generate datasets,
+// inspect them at roll-up/drill-down granularity, compress, query from
+// .pattern files, rank experts, and export DOT for visualization.
+//
+// Usage:
+//   expfinder_manager <store-dir> generate <name> <kind> <n> [seed]
+//       kind: collab | twitter | er | fig1
+//   expfinder_manager <store-dir> list
+//   expfinder_manager <store-dir> info <graph>            (roll-up view)
+//   expfinder_manager <store-dir> show <graph> <node-id>  (drill-down view)
+//   expfinder_manager <store-dir> query <graph> <pattern-file> [top-k]
+//   expfinder_manager <store-dir> compress <graph>
+//   expfinder_manager <store-dir> update <graph> +src,dst [-src,dst ...]
+//   expfinder_manager <store-dir> export <graph> <out.dot>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/expfinder.h"
+
+using namespace expfinder;
+
+namespace {
+
+int Fail(const Status& st) {
+  std::cerr << "error: " << st << "\n";
+  return 1;
+}
+
+int Usage() {
+  std::cerr << "usage: expfinder_manager <store-dir> "
+               "<generate|list|info|show|query|compress|update|export> ...\n";
+  return 2;
+}
+
+int CmdGenerate(GraphStore* store, const std::vector<std::string>& args) {
+  if (args.size() < 3) return Usage();
+  const std::string& name = args[0];
+  const std::string& kind = args[1];
+  size_t n = std::stoul(args[2]);
+  uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 42;
+  Graph g;
+  if (kind == "collab") {
+    gen::CollaborationConfig cfg;
+    cfg.num_people = n;
+    cfg.num_teams = std::max<size_t>(1, n / 6);
+    cfg.seed = seed;
+    g = gen::CollaborationNetwork(cfg);
+  } else if (kind == "twitter") {
+    gen::TwitterLikeConfig cfg;
+    cfg.n = n;
+    cfg.seed = seed;
+    g = gen::TwitterLike(cfg);
+  } else if (kind == "er") {
+    g = gen::ErdosRenyi(n, 5 * n, seed);
+  } else if (kind == "fig1") {
+    g = gen::BuildFig1Graph();
+  } else {
+    return Usage();
+  }
+  if (Status st = store->PutGraph(name, g); !st.ok()) return Fail(st);
+  std::cout << "stored graph '" << name << "': " << g.NumNodes() << " nodes, "
+            << g.NumEdges() << " edges\n";
+  return 0;
+}
+
+int CmdList(GraphStore* store) {
+  for (const std::string& kind : {"graph", "pattern", "matches"}) {
+    std::cout << kind << ":\n";
+    for (const std::string& name : store->List(kind)) {
+      std::cout << "  " << name << "\n";
+    }
+  }
+  return 0;
+}
+
+int CmdInfo(GraphStore* store, const std::string& name) {
+  auto g = store->GetGraph(name);
+  if (!g.ok()) return Fail(g.status());
+  std::cout << FormatStats(ComputeStats(*g));
+  return 0;
+}
+
+int CmdShow(GraphStore* store, const std::string& name, NodeId v) {
+  auto g = store->GetGraph(name);
+  if (!g.ok()) return Fail(g.status());
+  if (!g->IsValidNode(v)) return Fail(Status::InvalidArgument("no such node"));
+  Table t({"field", "value"});
+  t.AddRow({"id", Table::Int(v)});
+  t.AddRow({"name", g->DisplayName(v)});
+  t.AddRow({"label", g->NodeLabelName(v)});
+  for (const auto& [key, value] : g->Attrs(v)) {
+    t.AddRow({g->AttrKeyName(key), value.ToString()});
+  }
+  t.AddRow({"out-degree", Table::Int(static_cast<int64_t>(g->OutDegree(v)))});
+  t.AddRow({"in-degree", Table::Int(static_cast<int64_t>(g->InDegree(v)))});
+  std::cout << t.ToString();
+  std::cout << "collaborators:";
+  for (NodeId w : g->OutNeighbors(v)) std::cout << " " << g->DisplayName(w);
+  std::cout << "\n";
+  return 0;
+}
+
+int CmdQuery(GraphStore* store, const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto g = store->GetGraph(args[0]);
+  if (!g.ok()) return Fail(g.status());
+  auto q = LoadPatternFile(args[1]);
+  if (!q.ok()) return Fail(q.status());
+  size_t k = args.size() > 2 ? std::stoul(args[2]) : 5;
+
+  Graph graph = std::move(g).value();
+  QueryEngine engine(&graph);
+  auto answer = engine.Evaluate(*q);
+  if (!answer.ok()) return Fail(answer.status());
+  std::cout << "matches: " << (*answer)->matches.TotalPairs() << " pairs; result graph "
+            << (*answer)->result_graph.NumNodes() << " nodes / "
+            << (*answer)->result_graph.NumEdges() << " edges\n";
+  auto top = engine.TopK(*q, k);
+  if (!top.ok()) return Fail(top.status());
+  Table t({"rank", "expert", "label", "f(v)"});
+  int rank = 1;
+  for (const RankedMatch& r : *top) {
+    t.AddRow({Table::Int(rank++), graph.DisplayName(r.node),
+              graph.NodeLabelName(r.node), Table::Num(r.score, 3)});
+  }
+  std::cout << t.ToString();
+  if (Status st = store->PutMatches(args[0] + "_last", (*answer)->matches); !st.ok()) {
+    return Fail(st);
+  }
+  std::cout << "(cached result stored as '" << args[0] << "_last')\n";
+  return 0;
+}
+
+int CmdCompress(GraphStore* store, const std::string& name) {
+  auto g = store->GetGraph(name);
+  if (!g.ok()) return Fail(g.status());
+  auto cg = CompressedGraph::Build(*g, {true, {"experience"}});
+  if (!cg.ok()) return Fail(cg.status());
+  std::printf("%s: %zu -> %u classes (%.1f%% nodes, %.1f%% edges)\n", name.c_str(),
+              g->NumNodes(), cg->NumClasses(), 100.0 * cg->NodeRatio(),
+              100.0 * cg->EdgeRatio());
+  if (Status st = store->PutGraph(name + "_compressed", cg->gc()); !st.ok()) {
+    return Fail(st);
+  }
+  std::cout << "stored as '" << name << "_compressed'\n";
+  return 0;
+}
+
+int CmdUpdate(GraphStore* store, const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto g = store->GetGraph(args[0]);
+  if (!g.ok()) return Fail(g.status());
+  Graph graph = std::move(g).value();
+  UpdateBatch batch;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& spec = args[i];
+    if (spec.size() < 4 || (spec[0] != '+' && spec[0] != '-')) return Usage();
+    size_t comma = spec.find(',');
+    if (comma == std::string::npos) return Usage();
+    NodeId a = static_cast<NodeId>(std::stoul(spec.substr(1, comma - 1)));
+    NodeId b = static_cast<NodeId>(std::stoul(spec.substr(comma + 1)));
+    batch.push_back(spec[0] == '+' ? GraphUpdate::Insert(a, b)
+                                   : GraphUpdate::Delete(a, b));
+  }
+  if (Status st = ApplyBatch(&graph, batch); !st.ok()) return Fail(st);
+  if (Status st = store->PutGraph(args[0], graph); !st.ok()) return Fail(st);
+  std::cout << "applied " << batch.size() << " updates; graph now "
+            << graph.NumEdges() << " edges\n";
+  return 0;
+}
+
+int CmdExport(GraphStore* store, const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto g = store->GetGraph(args[0]);
+  if (!g.ok()) return Fail(g.status());
+  std::ofstream out(args[1]);
+  if (!out.is_open()) return Fail(Status::IOError("cannot open " + args[1]));
+  out << GraphToDot(*g);
+  std::cout << "wrote " << args[1] << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto store = GraphStore::Open(argv[1]);
+  if (!store.ok()) return Fail(store.status());
+  std::string cmd = argv[2];
+  std::vector<std::string> args(argv + 3, argv + argc);
+  if (cmd == "generate") return CmdGenerate(&*store, args);
+  if (cmd == "list") return CmdList(&*store);
+  if (cmd == "info" && args.size() == 1) return CmdInfo(&*store, args[0]);
+  if (cmd == "show" && args.size() == 2) {
+    return CmdShow(&*store, args[0], static_cast<NodeId>(std::stoul(args[1])));
+  }
+  if (cmd == "query") return CmdQuery(&*store, args);
+  if (cmd == "compress" && args.size() == 1) return CmdCompress(&*store, args[0]);
+  if (cmd == "update") return CmdUpdate(&*store, args);
+  if (cmd == "export") return CmdExport(&*store, args);
+  return Usage();
+}

@@ -1,0 +1,139 @@
+#include "src/compression/compressed_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/compression/sim_equivalence.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace expfinder {
+
+Partition SchemaPartition(const Graph& g, const CompressionSchema& schema) {
+  const size_t n = g.NumNodes();
+  Partition p;
+  p.block_of.assign(n, 0);
+  // Key each node by (label?, schema attribute values); intern keys to ids.
+  std::unordered_map<std::string, uint32_t> key_ids;
+  std::string key;
+  for (NodeId v = 0; v < n; ++v) {
+    key.clear();
+    if (schema.use_label) {
+      key += std::to_string(g.label(v));
+      key += '|';
+    }
+    for (const std::string& attr : schema.attrs) {
+      const AttrValue* val = g.GetAttr(v, attr);
+      key += val ? val->Serialize() : "<absent>";
+      key += '|';
+    }
+    auto [it, inserted] = key_ids.emplace(key, static_cast<uint32_t>(key_ids.size()));
+    p.block_of[v] = it->second;
+  }
+  p.num_blocks = static_cast<uint32_t>(key_ids.size());
+  return p;
+}
+
+Result<CompressedGraph> CompressedGraph::Build(const Graph& g,
+                                               const CompressionSchema& schema,
+                                               EquivalenceMode mode) {
+  Partition initial = SchemaPartition(g, schema);
+  Partition partition;
+  if (mode == EquivalenceMode::kBisimulation) {
+    partition = ComputeBisimulation(g, initial);
+  } else {
+    auto res = ComputeSimEquivalence(g, initial);
+    if (!res.ok()) return res.status();
+    partition = std::move(res).value();
+  }
+  CompressedGraph cg;
+  cg.schema_ = schema;
+  cg.mode_ = mode;
+  cg.RebuildFromPartition(g, std::move(partition));
+  return cg;
+}
+
+void CompressedGraph::RebuildFromPartition(const Graph& g, Partition partition) {
+  partition_ = std::move(partition);
+  source_version_ = g.version();
+  source_nodes_ = g.NumNodes();
+  source_edges_ = g.NumEdges();
+
+  members_.assign(partition_.num_blocks, {});
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    members_[partition_.block_of[v]].push_back(v);
+  }
+
+  gc_ = Graph();
+  // One node per class, labelled and attributed from a representative
+  // member (all members agree on schema features by construction).
+  for (uint32_t cls = 0; cls < partition_.num_blocks; ++cls) {
+    EF_CHECK(!members_[cls].empty()) << "empty equivalence class " << cls;
+    NodeId rep = members_[cls][0];
+    NodeId cnode = gc_.AddNode(g.NodeLabelName(rep));
+    EF_CHECK(cnode == cls);
+    if (!schema_.use_label) {
+      // Label still copied above for display; queries must not rely on it.
+    }
+    for (const std::string& attr : schema_.attrs) {
+      const AttrValue* val = g.GetAttr(rep, attr);
+      if (val != nullptr) gc_.SetAttr(cnode, attr, *val);
+    }
+    gc_.SetAttr(cnode, "class_size",
+                AttrValue(static_cast<int64_t>(members_[cls].size())));
+  }
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(g.NumEdges());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    uint32_t cv = partition_.block_of[v];
+    for (NodeId w : g.OutNeighbors(v)) {
+      uint64_t key = (static_cast<uint64_t>(cv) << 32) | partition_.block_of[w];
+      if (seen.insert(key).second) {
+        gc_.AddEdgeUnchecked(cv, partition_.block_of[w]);
+      }
+    }
+  }
+}
+
+double CompressedGraph::NodeRatio() const {
+  if (source_nodes_ == 0) return 1.0;
+  return static_cast<double>(gc_.NumNodes()) / static_cast<double>(source_nodes_);
+}
+
+double CompressedGraph::EdgeRatio() const {
+  if (source_edges_ == 0) return 1.0;
+  return static_cast<double>(gc_.NumEdges()) / static_cast<double>(source_edges_);
+}
+
+bool CompressedGraph::IsCompatible(const Pattern& q) const {
+  if (mode_ == EquivalenceMode::kSimEquivalence && !q.IsSimulationPattern()) {
+    return false;
+  }
+  for (const PatternNode& n : q.nodes()) {
+    if (!n.label.empty() && !schema_.use_label) return false;
+    for (const Condition& c : n.conditions) {
+      if (std::find(schema_.attrs.begin(), schema_.attrs.end(), c.attr()) ==
+          schema_.attrs.end()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+MatchRelation CompressedGraph::Decompress(const MatchRelation& compressed) const {
+  MatchRelation out(compressed.NumPatternNodes());
+  for (PatternNodeId u = 0; u < compressed.NumPatternNodes(); ++u) {
+    std::vector<NodeId> expanded;
+    for (NodeId cls : compressed.MatchesOf(u)) {
+      const auto& members = members_[cls];
+      expanded.insert(expanded.end(), members.begin(), members.end());
+    }
+    std::sort(expanded.begin(), expanded.end());
+    out.SetMatches(u, std::move(expanded));
+  }
+  return out;
+}
+
+}  // namespace expfinder

@@ -1,0 +1,97 @@
+// Query-preserving compressed graphs (paper §II "Graph Compression
+// Module"): nodes in the same equivalence class are merged; the query engine
+// evaluates (bounded) simulation queries directly on the compressed graph
+// and expands classes back to data nodes in linear time.
+
+#ifndef EXPFINDER_COMPRESSION_COMPRESSED_GRAPH_H_
+#define EXPFINDER_COMPRESSION_COMPRESSED_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/compression/bisimulation.h"
+#include "src/graph/graph.h"
+#include "src/matching/match_relation.h"
+#include "src/query/pattern.h"
+#include "src/util/result.h"
+
+namespace expfinder {
+
+/// Equivalence used for merging.
+enum class EquivalenceMode {
+  /// Forward bisimulation (default): preserves bounded-simulation queries.
+  kBisimulation,
+  /// Simulation equivalence: coarser, preserves only bound-1 queries;
+  /// quadratic computation (small graphs / ablation).
+  kSimEquivalence,
+};
+
+/// \brief Which node features queries may test. The initial partition keys
+/// on the label (when use_label) plus the listed attributes, so any query
+/// touching only those is answerable on the compressed graph.
+struct CompressionSchema {
+  bool use_label = true;
+  std::vector<std::string> attrs;
+};
+
+/// Builds the initial partition induced by the schema.
+Partition SchemaPartition(const Graph& g, const CompressionSchema& schema);
+
+/// \brief A compressed graph Gc plus the class mapping needed to decompress
+/// query results.
+class CompressedGraph {
+ public:
+  /// Compresses `g` under `schema` with the chosen equivalence.
+  static Result<CompressedGraph> Build(const Graph& g, const CompressionSchema& schema,
+                                       EquivalenceMode mode = EquivalenceMode::kBisimulation);
+
+  /// The compressed graph (one node per class; schema attributes copied from
+  /// a representative member).
+  const Graph& gc() const { return gc_; }
+
+  EquivalenceMode mode() const { return mode_; }
+  const CompressionSchema& schema() const { return schema_; }
+
+  uint32_t NumClasses() const { return partition_.num_blocks; }
+  uint32_t ClassOf(NodeId v) const { return partition_.block_of[v]; }
+  const std::vector<NodeId>& MembersOf(uint32_t cls) const { return members_[cls]; }
+  const Partition& partition() const { return partition_; }
+
+  /// |Gc nodes| / |G nodes| (smaller = better compression).
+  double NodeRatio() const;
+  /// |Gc edges| / |G edges|.
+  double EdgeRatio() const;
+
+  /// True when `q` only tests features in the schema (and, for
+  /// simulation-equivalence mode, is a plain simulation pattern) — i.e.
+  /// M(Q,G) can be recovered from M(Q,Gc).
+  bool IsCompatible(const Pattern& q) const;
+
+  /// Linear-time decompression: expands each matched class to its members.
+  MatchRelation Decompress(const MatchRelation& compressed) const;
+
+  /// Version of the source graph at (re)build time.
+  uint64_t source_version() const { return source_version_; }
+
+  /// Rebuilds gc/members from a (refined) partition; used by incremental
+  /// maintenance. `g` must be the (updated) source graph.
+  void RebuildFromPartition(const Graph& g, Partition partition);
+
+  /// Default-constructs an empty placeholder (no classes); used by holders
+  /// that Build() into it. Most callers should use Build().
+  CompressedGraph() = default;
+
+ private:
+  Graph gc_;
+  Partition partition_;
+  std::vector<std::vector<NodeId>> members_;
+  CompressionSchema schema_;
+  EquivalenceMode mode_ = EquivalenceMode::kBisimulation;
+  uint64_t source_version_ = 0;
+  size_t source_nodes_ = 0;
+  size_t source_edges_ = 0;
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_COMPRESSION_COMPRESSED_GRAPH_H_

@@ -1,0 +1,90 @@
+#include "src/compression/sim_equivalence.h"
+
+#include "src/util/logging.h"
+
+namespace expfinder {
+
+namespace {
+inline bool TestBit(const std::vector<uint64_t>& bits, size_t i) {
+  return (bits[i >> 6] >> (i & 63)) & 1;
+}
+inline void SetBit(std::vector<uint64_t>* bits, size_t i) {
+  (*bits)[i >> 6] |= uint64_t{1} << (i & 63);
+}
+inline void ClearBit(std::vector<uint64_t>* bits, size_t i) {
+  (*bits)[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+}  // namespace
+
+Result<std::vector<std::vector<uint64_t>>> ComputeSelfSimulation(
+    const Graph& g, const Partition& initial) {
+  const size_t n = g.NumNodes();
+  if (n > kSimEquivalenceMaxNodes) {
+    return Status::Unsupported(
+        "simulation-equivalence is quadratic; graph exceeds the " +
+        std::to_string(kSimEquivalenceMaxNodes) + "-node guard");
+  }
+  EF_CHECK(initial.block_of.size() == n);
+  const size_t words = (n + 63) / 64;
+  // sim[v]: candidates that may simulate v; start with the initial block.
+  std::vector<std::vector<uint64_t>> sim(n, std::vector<uint64_t>(words, 0));
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w = 0; w < n; ++w) {
+      if (initial.block_of[v] == initial.block_of[w]) SetBit(&sim[v], w);
+    }
+  }
+  // Fixpoint: w simulates v requires for each v->v' some w->w' with
+  // w' simulating v' — i.e. out(w) intersects sim[v'].
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId vp : g.OutNeighbors(v)) {
+        const auto& target = sim[vp];
+        // Remove every w in sim[v] with out(w) ∩ sim[vp] empty.
+        for (size_t word = 0; word < words; ++word) {
+          uint64_t bits = sim[v][word];
+          while (bits) {
+            int bit = __builtin_ctzll(bits);
+            bits &= bits - 1;
+            NodeId w = static_cast<NodeId>(word * 64 + bit);
+            bool supported = false;
+            for (NodeId wp : g.OutNeighbors(w)) {
+              if (TestBit(target, wp)) {
+                supported = true;
+                break;
+              }
+            }
+            if (!supported) {
+              ClearBit(&sim[v], w);
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  return sim;
+}
+
+Result<Partition> ComputeSimEquivalence(const Graph& g, const Partition& initial) {
+  auto sim_res = ComputeSelfSimulation(g, initial);
+  if (!sim_res.ok()) return sim_res.status();
+  const auto& sim = sim_res.value();
+  const size_t n = g.NumNodes();
+  Partition p;
+  p.block_of.assign(n, UINT32_MAX);
+  for (NodeId v = 0; v < n; ++v) {
+    if (p.block_of[v] != UINT32_MAX) continue;
+    uint32_t cls = p.num_blocks++;
+    p.block_of[v] = cls;
+    for (NodeId w = v + 1; w < n; ++w) {
+      if (p.block_of[w] == UINT32_MAX && TestBit(sim[v], w) && TestBit(sim[w], v)) {
+        p.block_of[w] = cls;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace expfinder

@@ -1,0 +1,38 @@
+// Simulation-equivalence classes: u and v are equivalent when each
+// simulates the other (the merge criterion quoted in the paper: Fred and
+// Pat "simulate the behavior of each other ... they could be considered
+// equivalent"). Coarser than bisimulation, hence better compression, but
+// the quotient only preserves plain (bound-1) simulation queries — the
+// engine restricts it accordingly; bench_ablation compares the two modes.
+//
+// Computed as the maximum self-simulation relation with per-node bitsets,
+// O(n^2 m / 64) worst case — guarded to modest graphs.
+
+#ifndef EXPFINDER_COMPRESSION_SIM_EQUIVALENCE_H_
+#define EXPFINDER_COMPRESSION_SIM_EQUIVALENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/compression/bisimulation.h"
+#include "src/graph/graph.h"
+#include "src/util/result.h"
+
+namespace expfinder {
+
+/// Hard cap on node count for the quadratic-memory self-simulation.
+inline constexpr size_t kSimEquivalenceMaxNodes = 20000;
+
+/// Computes simulation-equivalence classes refining `initial` (two nodes can
+/// only be equivalent when in the same initial block). Fails with
+/// Unsupported beyond kSimEquivalenceMaxNodes.
+Result<Partition> ComputeSimEquivalence(const Graph& g, const Partition& initial);
+
+/// The maximum self-simulation preorder as bitsets: sim[v] bit w set iff w
+/// simulates v (label/block-compatible). Exposed for tests.
+Result<std::vector<std::vector<uint64_t>>> ComputeSelfSimulation(
+    const Graph& g, const Partition& initial);
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_COMPRESSION_SIM_EQUIVALENCE_H_

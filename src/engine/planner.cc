@@ -1,0 +1,62 @@
+#include "src/engine/planner.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace expfinder {
+
+EvalPlan Planner::Plan(const Graph& g, const Pattern& q) const {
+  EvalPlan plan;
+  plan.match_options.use_label_index = enabled_;
+  plan.estimated_candidates.resize(q.NumNodes(), g.NumNodes());
+  plan.node_order.resize(q.NumNodes());
+  for (PatternNodeId u = 0; u < q.NumNodes(); ++u) plan.node_order[u] = u;
+  if (!enabled_) return plan;
+
+  for (PatternNodeId u = 0; u < q.NumNodes(); ++u) {
+    const PatternNode& n = q.node(u);
+    size_t estimate = g.NumNodes();
+    if (!n.label.empty()) {
+      auto lid = g.FindLabel(n.label);
+      if (!lid) {
+        plan.provably_empty = true;
+        estimate = 0;
+      } else {
+        estimate = g.NodesWithLabel(*lid).size();
+      }
+    }
+    // Independence heuristic: each condition halves the candidates; unknown
+    // attribute keys cannot match at all.
+    for (const Condition& c : n.conditions) {
+      if (!g.FindAttrKey(c.attr())) {
+        plan.provably_empty = true;
+        estimate = 0;
+        break;
+      }
+      estimate = (estimate + 1) / 2;
+    }
+    plan.estimated_candidates[u] = estimate;
+  }
+  std::sort(plan.node_order.begin(), plan.node_order.end(),
+            [&](PatternNodeId a, PatternNodeId b) {
+              if (plan.estimated_candidates[a] != plan.estimated_candidates[b]) {
+                return plan.estimated_candidates[a] < plan.estimated_candidates[b];
+              }
+              return a < b;
+            });
+  return plan;
+}
+
+std::string EvalPlan::ToString(const Pattern& q) const {
+  std::ostringstream os;
+  os << "plan{label_index=" << (match_options.use_label_index ? "on" : "off")
+     << ", empty=" << (provably_empty ? "yes" : "no") << ", order=[";
+  for (size_t i = 0; i < node_order.size(); ++i) {
+    if (i) os << ", ";
+    os << q.node(node_order[i]).name << "~" << estimated_candidates[node_order[i]];
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace expfinder

@@ -1,0 +1,49 @@
+// Query planning (paper §III: "(bounded) simulation queries are processed
+// on large graphs by generating optimized query plans"). The planner
+// estimates per-pattern-node candidate counts from the graph's label index
+// and condition selectivities, decides whether the label index should drive
+// candidate initialization, and flags queries that cannot match at all
+// (empty candidate estimate) so the engine can skip the fixpoint.
+
+#ifndef EXPFINDER_ENGINE_PLANNER_H_
+#define EXPFINDER_ENGINE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/matching/candidates.h"
+#include "src/query/pattern.h"
+
+namespace expfinder {
+
+/// \brief The evaluation plan for one query.
+struct EvalPlan {
+  MatchOptions match_options;
+  /// Pattern nodes ordered by estimated selectivity (most selective first).
+  std::vector<PatternNodeId> node_order;
+  /// Estimated candidate count per pattern node.
+  std::vector<size_t> estimated_candidates;
+  /// True when some pattern node provably has zero candidates (unknown
+  /// label): the fixpoint can be skipped entirely.
+  bool provably_empty = false;
+
+  std::string ToString(const Pattern& q) const;
+};
+
+/// \brief Stateless planner over a graph's statistics.
+class Planner {
+ public:
+  /// `enabled` = false yields the default full-scan plan (the ablation
+  /// baseline).
+  explicit Planner(bool enabled) : enabled_(enabled) {}
+
+  EvalPlan Plan(const Graph& g, const Pattern& q) const;
+
+ private:
+  bool enabled_;
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_ENGINE_PLANNER_H_

@@ -1,0 +1,224 @@
+#include "src/engine/query_engine.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "src/matching/dual_simulation.h"
+#include "src/matching/bounded_simulation.h"
+#include "src/matching/simulation.h"
+#include "src/util/timer.h"
+
+namespace expfinder {
+
+namespace {
+
+/// Rejects batches that would fail halfway (duplicate inserts, missing
+/// deletes, bad endpoints). O(|batch|): only pairs touched by the batch are
+/// tracked; untouched pairs are consulted via Graph::HasEdge.
+Status ValidateBatch(const Graph& g, const UpdateBatch& batch) {
+  auto key = [](NodeId a, NodeId b) { return (static_cast<uint64_t>(a) << 32) | b; };
+  std::unordered_map<uint64_t, bool> touched;  // pair -> present after prefix
+  touched.reserve(batch.size() * 2);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const GraphUpdate& u = batch[i];
+    if (!g.IsValidNode(u.src) || !g.IsValidNode(u.dst)) {
+      return Status::InvalidArgument("update " + std::to_string(i) +
+                                     ": endpoint out of range");
+    }
+    uint64_t k = key(u.src, u.dst);
+    auto it = touched.find(k);
+    bool present = it != touched.end() ? it->second : g.HasEdge(u.src, u.dst);
+    if (u.kind == GraphUpdate::Kind::kInsertEdge) {
+      if (present) {
+        return Status::AlreadyExists("update " + std::to_string(i) +
+                                     ": edge already present " + u.ToString());
+      }
+      touched[k] = true;
+    } else {
+      if (!present) {
+        return Status::NotFound("update " + std::to_string(i) + ": edge absent " +
+                                u.ToString());
+      }
+      touched[k] = false;
+    }
+  }
+  return Status::OK();
+}
+
+MatchRelation RunMatcher(const Graph& g, const Pattern& q, const MatchOptions& opts) {
+  if (q.IsSimulationPattern()) return ComputeSimulation(g, q, opts);
+  return ComputeBoundedSimulation(g, q, opts);
+}
+
+/// Cache key combining the pattern fingerprint with the semantics.
+uint64_t CacheKey(const Pattern& q, MatchSemantics semantics) {
+  uint64_t fp = q.Fingerprint();
+  return semantics == MatchSemantics::kBoundedSimulation ? fp
+                                                         : fp ^ 0x9E3779B97F4A7C15ULL;
+}
+
+}  // namespace
+
+std::string EngineStats::ToString() const {
+  std::ostringstream os;
+  os << "queries=" << queries << " cache_hits=" << cache_hits
+     << " maintained_hits=" << maintained_hits
+     << " compressed_evals=" << compressed_evals << " direct_evals=" << direct_evals
+     << " planner_short_circuits=" << planner_short_circuits
+     << " batches=" << batches_applied << " updates=" << updates_applied
+     << " last_eval_ms=" << last_eval_ms;
+  return os.str();
+}
+
+QueryEngine::QueryEngine(Graph* g, EngineOptions options)
+    : g_(g),
+      options_(options),
+      planner_(options.use_planner),
+      cache_(options.use_cache ? options.cache_capacity : 0) {
+  if (options_.use_compression) {
+    Status st = CompressNow();
+    EF_CHECK(st.ok()) << "initial compression failed: " << st;
+  }
+}
+
+Status QueryEngine::CompressNow() {
+  if (compression_ != nullptr &&
+      compression_->current().source_version() == g_->version()) {
+    return Status::OK();
+  }
+  if (compression_ == nullptr) {
+    auto mc = MaintainedCompression::Create(g_, options_.compression_schema);
+    if (!mc.ok()) return mc.status();
+    compression_ = std::make_unique<MaintainedCompression>(std::move(mc).value());
+  } else {
+    compression_->Rebuild();
+  }
+  return Status::OK();
+}
+
+const CompressedGraph* QueryEngine::compressed() const {
+  return compression_ ? &compression_->current() : nullptr;
+}
+
+Result<MatchRelation> QueryEngine::EvaluateUncached(const Pattern& q,
+                                                    MatchSemantics semantics,
+                                                    bool* used_compression) {
+  *used_compression = false;
+  EvalPlan plan = planner_.Plan(*g_, q);
+  if (plan.provably_empty) {
+    ++stats_.planner_short_circuits;
+    return MatchRelation(q.NumNodes());
+  }
+  if (semantics == MatchSemantics::kDualSimulation) {
+    // The forward-bisimulation quotient does not preserve parent
+    // constraints, so dual queries always run directly on G.
+    return ComputeDualSimulation(*g_, q, plan.match_options);
+  }
+  if (options_.use_compression && compression_ != nullptr) {
+    const CompressedGraph& cg = compression_->current();
+    if (cg.source_version() == g_->version() && cg.IsCompatible(q)) {
+      *used_compression = true;
+      MatchRelation compressed = RunMatcher(cg.gc(), q, plan.match_options);
+      return cg.Decompress(compressed);
+    }
+  }
+  return RunMatcher(*g_, q, plan.match_options);
+}
+
+Result<std::shared_ptr<const QueryAnswer>> QueryEngine::Evaluate(
+    const Pattern& q, MatchSemantics semantics) {
+  EF_RETURN_NOT_OK(q.Validate());
+  Timer timer;
+  ++stats_.queries;
+  uint64_t key = CacheKey(q, semantics);
+
+  if (options_.use_cache) {
+    if (auto hit = cache_.Get(key, g_->version())) {
+      ++stats_.cache_hits;
+      stats_.last_eval_ms = timer.ElapsedMillis();
+      return hit;
+    }
+  }
+
+  MatchRelation matches;
+  bool used_compression = false;
+  auto it = maintained_.find(key);
+  if (it != maintained_.end()) {
+    ++stats_.maintained_hits;
+    matches = it->second.Snapshot();
+  } else {
+    auto res = EvaluateUncached(q, semantics, &used_compression);
+    if (!res.ok()) return res.status();
+    matches = std::move(res).value();
+    if (used_compression) {
+      ++stats_.compressed_evals;
+    } else {
+      ++stats_.direct_evals;
+    }
+  }
+
+  ResultGraph rg(*g_, q, matches);
+  auto answer =
+      std::make_shared<QueryAnswer>(QueryAnswer{std::move(matches), std::move(rg)});
+  if (options_.use_cache) cache_.Put(key, g_->version(), answer);
+  stats_.last_eval_ms = timer.ElapsedMillis();
+  return std::shared_ptr<const QueryAnswer>(answer);
+}
+
+Result<std::vector<RankedMatch>> QueryEngine::TopK(const Pattern& q, size_t k,
+                                                   RankingMetric metric,
+                                                   MatchSemantics semantics) {
+  auto answer = Evaluate(q, semantics);
+  if (!answer.ok()) return answer.status();
+  return TopKMatchesWith((*answer)->result_graph, q, k, metric);
+}
+
+Result<NodeId> QueryEngine::AddNode(
+    std::string_view label,
+    const std::vector<std::pair<std::string, AttrValue>>& attrs) {
+  NodeId v = g_->AddNode(label);
+  for (const auto& [key, value] : attrs) g_->SetAttr(v, key, value);
+  for (auto& [fp, m] : maintained_) m.OnNodeAdded(v);
+  if (compression_ != nullptr && options_.maintain_compression) {
+    compression_->OnNodeAdded(v);
+  }
+  return v;
+}
+
+Status QueryEngine::RegisterMaintainedQuery(const Pattern& q,
+                                            MatchSemantics semantics) {
+  EF_RETURN_NOT_OK(q.Validate());
+  uint64_t key = CacheKey(q, semantics);
+  if (maintained_.count(key)) {
+    return Status::AlreadyExists("query already maintained");
+  }
+  Maintained m;
+  if (semantics == MatchSemantics::kDualSimulation) {
+    m.dual = std::make_unique<IncrementalDualSimulation>(g_, q);
+  } else if (q.IsSimulationPattern()) {
+    m.sim = std::make_unique<IncrementalSimulation>(g_, q);
+  } else {
+    m.bounded = std::make_unique<IncrementalBoundedSimulation>(g_, q);
+  }
+  maintained_.emplace(key, std::move(m));
+  return Status::OK();
+}
+
+bool QueryEngine::IsMaintained(const Pattern& q, MatchSemantics semantics) const {
+  return maintained_.count(CacheKey(q, semantics)) > 0;
+}
+
+Status QueryEngine::ApplyUpdates(const UpdateBatch& batch) {
+  EF_RETURN_NOT_OK(ValidateBatch(*g_, batch));
+  for (auto& [fp, m] : maintained_) m.PreUpdate(batch);
+  EF_RETURN_NOT_OK(ApplyBatch(g_, batch));
+  for (auto& [fp, m] : maintained_) m.PostUpdate(batch);
+  if (compression_ != nullptr && options_.maintain_compression) {
+    compression_->OnGraphUpdated(batch);
+  }
+  ++stats_.batches_applied;
+  stats_.updates_applied += batch.size();
+  return Status::OK();
+}
+
+}  // namespace expfinder

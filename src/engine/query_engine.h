@@ -1,0 +1,157 @@
+// The ExpFinder query engine (paper §II, Fig. 2): evaluates pattern
+// queries, ranks matches, and coordinates the result cache, the incremental
+// computation module, and the graph compression module:
+//
+//   Evaluate(Q):  cache hit -> return cached M(Q,G)
+//                 maintained query -> snapshot from incremental state
+//                 compressed graph available & compatible -> evaluate on Gc,
+//                    decompress
+//                 otherwise -> direct (bounded) simulation on G
+//   ApplyUpdates: routes batches through every registered incremental
+//                 state, then re-stabilizes the compressed graph.
+
+#ifndef EXPFINDER_ENGINE_QUERY_ENGINE_H_
+#define EXPFINDER_ENGINE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/compression/maintenance.h"
+#include "src/engine/planner.h"
+#include "src/engine/result_cache.h"
+#include "src/incremental/inc_bounded.h"
+#include "src/incremental/inc_dual.h"
+#include "src/incremental/inc_simulation.h"
+#include "src/ranking/topk.h"
+
+namespace expfinder {
+
+/// \brief Matching semantics the engine can evaluate.
+enum class MatchSemantics {
+  /// Bounded simulation — the paper's notion (bound-1 = plain simulation).
+  kBoundedSimulation,
+  /// Bounded *dual* simulation — parents must match too (extension; see
+  /// dual_simulation.h). Not servable from the compressed graph (the
+  /// forward-bisimulation quotient does not preserve parent constraints) or
+  /// from maintained bounded-simulation states.
+  kDualSimulation,
+};
+
+/// \brief Engine configuration.
+struct EngineOptions {
+  bool use_cache = true;
+  size_t cache_capacity = 32;
+  /// Build and query a compressed graph when the pattern is compatible.
+  bool use_compression = false;
+  CompressionSchema compression_schema{true, {"experience"}};
+  /// Keep Gc in sync after ApplyUpdates (vs. rebuild-on-demand).
+  bool maintain_compression = true;
+  /// Candidate initialization via label index + selectivity ordering.
+  bool use_planner = true;
+};
+
+/// \brief Execution telemetry (cumulative + last query breakdown).
+struct EngineStats {
+  size_t queries = 0;
+  size_t cache_hits = 0;
+  size_t maintained_hits = 0;
+  size_t compressed_evals = 0;
+  size_t direct_evals = 0;
+  size_t planner_short_circuits = 0;
+  size_t batches_applied = 0;
+  size_t updates_applied = 0;
+  double last_eval_ms = 0.0;
+
+  std::string ToString() const;
+};
+
+/// \brief Facade over matching, ranking, incremental maintenance,
+/// compression and caching.
+class QueryEngine {
+ public:
+  /// `g` must outlive the engine; the engine mutates it in ApplyUpdates.
+  explicit QueryEngine(Graph* g, EngineOptions options = {});
+
+  const Graph& graph() const { return *g_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Evaluates Q under the chosen semantics and returns the match relation
+  /// + result graph.
+  Result<std::shared_ptr<const QueryAnswer>> Evaluate(
+      const Pattern& q, MatchSemantics semantics = MatchSemantics::kBoundedSimulation);
+
+  /// Top-K experts for Q's output node under the chosen metric.
+  Result<std::vector<RankedMatch>> TopK(
+      const Pattern& q, size_t k,
+      RankingMetric metric = RankingMetric::kSocialImpact,
+      MatchSemantics semantics = MatchSemantics::kBoundedSimulation);
+
+  /// Adds a person to the network (no edges yet; connect via ApplyUpdates).
+  /// Maintained queries and the compressed graph are extended in place.
+  Result<NodeId> AddNode(std::string_view label,
+                         const std::vector<std::pair<std::string, AttrValue>>& attrs = {});
+
+  /// Applies a batch of edge updates, maintaining every registered query
+  /// and the compressed graph. The batch is validated first; on validation
+  /// failure nothing changes.
+  Status ApplyUpdates(const UpdateBatch& batch);
+
+  /// Registers Q as a frequently issued query maintained incrementally
+  /// ("decided by the users", §II), under the chosen semantics.
+  Status RegisterMaintainedQuery(
+      const Pattern& q, MatchSemantics semantics = MatchSemantics::kBoundedSimulation);
+  bool IsMaintained(const Pattern& q,
+                    MatchSemantics semantics = MatchSemantics::kBoundedSimulation) const;
+
+  /// Builds the compressed graph now (no-op if current). Exposed so callers
+  /// can choose the compression moment, mirroring the GUI's "Graph
+  /// Compressor" tool.
+  Status CompressNow();
+  /// The compressed graph, or nullptr when not built.
+  const CompressedGraph* compressed() const;
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  struct Maintained {
+    std::unique_ptr<IncrementalSimulation> sim;
+    std::unique_ptr<IncrementalBoundedSimulation> bounded;
+    std::unique_ptr<IncrementalDualSimulation> dual;
+
+    MatchRelation Snapshot() const {
+      if (sim) return sim->Snapshot();
+      if (bounded) return bounded->Snapshot();
+      return dual->Snapshot();
+    }
+    void PreUpdate(const UpdateBatch& batch) {
+      if (sim) sim->PreUpdate(batch);
+      else if (bounded) bounded->PreUpdate(batch);
+      else dual->PreUpdate(batch);
+    }
+    void PostUpdate(const UpdateBatch& batch) {
+      if (sim) sim->PostUpdate(batch);
+      else if (bounded) bounded->PostUpdate(batch);
+      else dual->PostUpdate(batch);
+    }
+    void OnNodeAdded(NodeId v) {
+      if (sim) sim->OnNodeAdded(v);
+      else if (bounded) bounded->OnNodeAdded(v);
+      else dual->OnNodeAdded(v);
+    }
+  };
+
+  Result<MatchRelation> EvaluateUncached(const Pattern& q, MatchSemantics semantics,
+                                         bool* used_compression);
+
+  Graph* g_;
+  EngineOptions options_;
+  Planner planner_;
+  ResultCache cache_;
+  std::unique_ptr<MaintainedCompression> compression_;
+  std::unordered_map<uint64_t, Maintained> maintained_;
+  EngineStats stats_;
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_ENGINE_QUERY_ENGINE_H_

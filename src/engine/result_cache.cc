@@ -1,0 +1,47 @@
+#include "src/engine/result_cache.h"
+
+namespace expfinder {
+
+std::shared_ptr<const QueryAnswer> ResultCache::Get(uint64_t fingerprint,
+                                                    uint64_t graph_version) {
+  auto it = map_.find(fingerprint);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second->graph_version != graph_version) {
+    ++stale_drops_;
+    ++misses_;
+    lru_.erase(it->second);
+    map_.erase(it);
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->answer;
+}
+
+void ResultCache::Put(uint64_t fingerprint, uint64_t graph_version,
+                      std::shared_ptr<const QueryAnswer> answer) {
+  if (capacity_ == 0) return;
+  auto it = map_.find(fingerprint);
+  if (it != map_.end()) {
+    it->second->graph_version = graph_version;
+    it->second->answer = std::move(answer);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front({fingerprint, graph_version, std::move(answer)});
+  map_[fingerprint] = lru_.begin();
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().fingerprint);
+    lru_.pop_back();
+  }
+}
+
+void ResultCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace expfinder

@@ -1,0 +1,60 @@
+// LRU cache of query answers ("the query engine directly returns M(Q,G) if
+// it is already cached", paper §II). Keys are pattern fingerprints; each
+// entry remembers the graph version it was computed against, so any graph
+// mutation implicitly invalidates stale entries.
+
+#ifndef EXPFINDER_ENGINE_RESULT_CACHE_H_
+#define EXPFINDER_ENGINE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "src/matching/match_relation.h"
+#include "src/matching/result_graph.h"
+
+namespace expfinder {
+
+/// \brief A cached evaluation: the match relation plus its result graph.
+struct QueryAnswer {
+  MatchRelation matches;
+  ResultGraph result_graph;
+};
+
+/// \brief LRU map fingerprint -> QueryAnswer@graph-version.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Fetches the entry if present *and* computed at `graph_version`;
+  /// refreshes recency. Stale entries are dropped on lookup.
+  std::shared_ptr<const QueryAnswer> Get(uint64_t fingerprint, uint64_t graph_version);
+
+  /// Inserts/overwrites; evicts least-recently-used beyond capacity.
+  void Put(uint64_t fingerprint, uint64_t graph_version,
+           std::shared_ptr<const QueryAnswer> answer);
+
+  void Clear();
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t stale_drops() const { return stale_drops_; }
+
+ private:
+  struct Entry {
+    uint64_t fingerprint;
+    uint64_t graph_version;
+    std::shared_ptr<const QueryAnswer> answer;
+  };
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+  size_t hits_ = 0, misses_ = 0, stale_drops_ = 0;
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_ENGINE_RESULT_CACHE_H_

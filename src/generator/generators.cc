@@ -1,0 +1,428 @@
+#include "src/generator/generators.h"
+
+#include <unordered_set>
+
+#include "src/util/logging.h"
+#include "src/util/random.h"
+
+namespace expfinder {
+namespace gen {
+
+namespace {
+
+/// Packs an edge into a single key for dedup sets.
+inline uint64_t EdgeKey(NodeId a, NodeId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+/// Creates a node with model-driven label and attributes.
+NodeId AddModelNode(Graph* g, Rng* rng, const LabelModel& model, size_t index) {
+  EF_CHECK(!model.labels.empty()) << "LabelModel needs at least one label";
+  size_t li = model.labels.size() == 1
+                  ? 0
+                  : static_cast<size_t>(rng->NextZipf(model.labels.size(), model.zipf_s));
+  NodeId v = g->AddNode(model.labels[li]);
+  g->SetAttr(v, "name", AttrValue("p" + std::to_string(index)));
+  g->SetAttr(v, "experience",
+             AttrValue(static_cast<int64_t>(rng->NextInt(0, model.max_experience))));
+  if (!model.specialties.empty()) {
+    size_t si = static_cast<size_t>(rng->NextBounded(model.specialties.size()));
+    g->SetAttr(v, "specialty", AttrValue(model.specialties[si]));
+  }
+  return v;
+}
+
+}  // namespace
+
+LabelModel DefaultExpertiseModel() {
+  LabelModel m;
+  m.labels = {"SD", "ST", "BA", "SA", "PM", "UX", "DBA", "OPS"};
+  m.zipf_s = 1.0;
+  m.max_experience = 15;
+  m.specialties = {"backend", "frontend", "database", "embedded"};
+  return m;
+}
+
+Graph ErdosRenyi(size_t n, size_t m, uint64_t seed, const LabelModel& model) {
+  EF_CHECK(n >= 2 || m == 0) << "ErdosRenyi needs >= 2 nodes for edges";
+  EF_CHECK(m <= n * (n - 1)) << "too many edges requested";
+  Rng rng(seed);
+  Graph g;
+  for (size_t i = 0; i < n; ++i) AddModelNode(&g, &rng, model, i);
+  std::unordered_set<uint64_t> edges;
+  edges.reserve(m * 2);
+  while (edges.size() < m) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(n));
+    if (a == b) continue;
+    if (edges.insert(EdgeKey(a, b)).second) g.AddEdgeUnchecked(a, b);
+  }
+  return g;
+}
+
+Graph PreferentialAttachment(size_t n, size_t out_per_node, uint64_t seed,
+                             double reciprocity, const LabelModel& model) {
+  EF_CHECK(n >= 2);
+  Rng rng(seed);
+  Graph g;
+  std::unordered_set<uint64_t> edges;
+  // Attractiveness pool: node ids repeated once per incident edge endpoint
+  // (+1 baseline appearance each), the classic BA urn.
+  std::vector<NodeId> urn;
+  urn.reserve(n * (out_per_node + 1) * 2);
+  for (size_t i = 0; i < n; ++i) {
+    NodeId v = AddModelNode(&g, &rng, model, i);
+    urn.push_back(v);
+    if (i == 0) continue;
+    size_t fanout = std::min(out_per_node, i);
+    for (size_t e = 0; e < fanout; ++e) {
+      NodeId target = kInvalidNode;
+      for (int tries = 0; tries < 32; ++tries) {
+        NodeId cand = urn[rng.NextBounded(urn.size())];
+        if (cand != v && !edges.count(EdgeKey(v, cand))) {
+          target = cand;
+          break;
+        }
+      }
+      if (target == kInvalidNode) continue;  // saturated neighborhood
+      edges.insert(EdgeKey(v, target));
+      g.AddEdgeUnchecked(v, target);
+      urn.push_back(target);
+      if (rng.NextBool(reciprocity) && !edges.count(EdgeKey(target, v))) {
+        edges.insert(EdgeKey(target, v));
+        g.AddEdgeUnchecked(target, v);
+        urn.push_back(v);
+      }
+    }
+  }
+  return g;
+}
+
+Graph CollaborationNetwork(const CollaborationConfig& config) {
+  EF_CHECK(config.num_people >= config.team_size_max)
+      << "population smaller than a team";
+  EF_CHECK(config.team_size_min >= 2 && config.team_size_min <= config.team_size_max);
+  Rng rng(config.seed);
+  Graph g;
+  for (size_t i = 0; i < config.num_people; ++i) {
+    AddModelNode(&g, &rng, config.labels, i);
+  }
+  std::unordered_set<uint64_t> edges;
+  auto add_edge = [&](NodeId a, NodeId b) {
+    if (a != b && edges.insert(EdgeKey(a, b)).second) g.AddEdgeUnchecked(a, b);
+  };
+  // Junior contributors never initiate collaboration (no outgoing edges),
+  // except "assistants" who credit exactly one lead; see
+  // CollaborationConfig::junior_fraction / assistant_fraction.
+  std::vector<char> junior(config.num_people, 0);
+  std::vector<char> assistant(config.num_people, 0);
+  for (size_t i = 0; i < config.num_people; ++i) {
+    junior[i] = rng.NextBool(config.junior_fraction) ? 1 : 0;
+    assistant[i] = junior[i] && rng.NextBool(config.assistant_fraction) ? 1 : 0;
+    if (junior[i]) {
+      // Juniors are early-career: narrow experience range (also the source
+      // of their compressibility).
+      g.SetAttr(static_cast<NodeId>(i), "experience", AttrValue(rng.NextInt(0, 2)));
+    }
+  }
+  for (size_t t = 0; t < config.num_teams; ++t) {
+    size_t size = static_cast<size_t>(rng.NextInt(
+        static_cast<int64_t>(config.team_size_min),
+        static_cast<int64_t>(config.team_size_max)));
+    auto members = rng.SampleWithoutReplacement(config.num_people, size);
+    // The lead must be a non-junior if the team has one.
+    size_t lead_idx = 0;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (!junior[members[i]]) {
+        lead_idx = i;
+        break;
+      }
+    }
+    NodeId lead = static_cast<NodeId>(members[lead_idx]);
+    if (junior[lead]) continue;  // all-junior team: no collaboration credited
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i == lead_idx) continue;
+      // Leads collaborate with (and are credited by) every member.
+      add_edge(lead, static_cast<NodeId>(members[i]));
+      // Assistants credit their (first) lead and do nothing else.
+      if (assistant[members[i]] && g.OutDegree(static_cast<NodeId>(members[i])) == 0) {
+        add_edge(static_cast<NodeId>(members[i]), lead);
+      }
+      if (junior[members[i]]) continue;
+      for (size_t j = 0; j < members.size(); ++j) {
+        if (i != j && j != lead_idx && rng.NextBool(config.intra_team_density)) {
+          add_edge(static_cast<NodeId>(members[i]), static_cast<NodeId>(members[j]));
+        }
+      }
+    }
+  }
+  size_t cross = static_cast<size_t>(config.cross_link_factor * config.num_people);
+  for (size_t i = 0; i < cross; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(config.num_people));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(config.num_people));
+    if (!junior[a]) add_edge(a, b);
+  }
+  return g;
+}
+
+Graph SmallWorld(size_t n, size_t k, double beta, uint64_t seed,
+                 const LabelModel& model) {
+  EF_CHECK(n >= 3 && k >= 1 && k < n) << "degenerate small-world parameters";
+  Rng rng(seed);
+  Graph g;
+  for (size_t i = 0; i < n; ++i) AddModelNode(&g, &rng, model, i);
+  std::unordered_set<uint64_t> edges;
+  auto add_unique = [&](NodeId a, NodeId b) {
+    if (a != b && edges.insert(EdgeKey(a, b)).second) {
+      g.AddEdgeUnchecked(a, b);
+      return true;
+    }
+    return false;
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    for (size_t j = 1; j <= k; ++j) {
+      NodeId target = static_cast<NodeId>((v + j) % n);
+      if (rng.NextBool(beta)) {
+        // Rewire: uniform random target, retrying on collisions.
+        for (int tries = 0; tries < 32; ++tries) {
+          NodeId r = static_cast<NodeId>(rng.NextBounded(n));
+          if (add_unique(v, r)) break;
+        }
+      } else {
+        add_unique(v, target);
+      }
+    }
+  }
+  return g;
+}
+
+Graph Rmat(const RmatConfig& config) {
+  EF_CHECK(config.scale >= 2 && config.scale <= 26) << "scale out of range";
+  EF_CHECK(config.a + config.b + config.c < 1.0) << "quadrant probabilities >= 1";
+  Rng rng(config.seed);
+  const size_t n = size_t{1} << config.scale;
+  Graph g;
+  for (size_t i = 0; i < n; ++i) AddModelNode(&g, &rng, config.labels, i);
+  std::unordered_set<uint64_t> edges;
+  const size_t target_edges = config.edge_factor * n;
+  size_t attempts = 0;
+  const size_t max_attempts = target_edges * 20;
+  while (edges.size() < target_edges && attempts++ < max_attempts) {
+    // Recursive quadrant descent: at each level choose the quadrant of the
+    // adjacency matrix by (a, b, c, d) with slight noise for realism.
+    NodeId row = 0, col = 0;
+    for (size_t level = 0; level < config.scale; ++level) {
+      double r = rng.NextDouble();
+      double a = config.a, b = config.b, c = config.c;
+      row <<= 1;
+      col <<= 1;
+      if (r < a) {
+        // top-left
+      } else if (r < a + b) {
+        col |= 1;  // top-right
+      } else if (r < a + b + c) {
+        row |= 1;  // bottom-left
+      } else {
+        row |= 1;
+        col |= 1;  // bottom-right
+      }
+    }
+    if (row == col) continue;
+    if (edges.insert(EdgeKey(row, col)).second) g.AddEdgeUnchecked(row, col);
+  }
+  return g;
+}
+
+Graph TwitterLike(const TwitterLikeConfig& config) {
+  EF_CHECK(config.n >= 2);
+  Rng rng(config.seed);
+  Graph g;
+  std::unordered_set<uint64_t> edges;
+  std::vector<NodeId> urn;  // preferential-attachment endpoint pool
+  std::vector<char> lurker(config.n, 0);
+  urn.reserve(config.n * (config.out_per_node + 1) * 2);
+  auto add_edge = [&](NodeId a, NodeId b) {
+    if (a != b && edges.insert(EdgeKey(a, b)).second) {
+      g.AddEdgeUnchecked(a, b);
+      return true;
+    }
+    return false;
+  };
+  std::vector<char> fan(config.n, 0);
+  const size_t pool =
+      std::max<size_t>(1, std::min(config.celebrity_pool, config.n / 2));
+  for (size_t i = 0; i < config.n; ++i) {
+    NodeId v = AddModelNode(&g, &rng, config.labels, i);
+    double roll = rng.NextDouble();
+    lurker[v] = roll < config.lurker_fraction ? 1 : 0;
+    fan[v] = !lurker[v] && roll < config.lurker_fraction + config.fan_fraction ? 1 : 0;
+    urn.push_back(v);
+    // Peripheral accounts (lurkers and fans) are casual users: junior,
+    // low-experience profiles — which is also why they are so redundant.
+    if (lurker[v] || fan[v]) {
+      g.SetAttr(v, "experience", AttrValue(rng.NextInt(0, 2)));
+    }
+    if (i == 0 || lurker[v]) continue;  // passive accounts never act
+    if (fan[v]) {
+      // Fans follow a celebrity from the head of the network (the oldest
+      // nodes, which preferential attachment makes the hubs); some follow a
+      // second one.
+      size_t follows = rng.NextBool(0.3) ? 2 : 1;
+      for (size_t f = 0; f < follows; ++f) {
+        NodeId hub = static_cast<NodeId>(
+            rng.NextZipf(std::min<uint64_t>(pool, i), 1.2));
+        add_edge(v, hub);
+      }
+      continue;
+    }
+    size_t fanout = std::min(config.out_per_node, i);
+    for (size_t e = 0; e < fanout; ++e) {
+      for (int tries = 0; tries < 32; ++tries) {
+        NodeId cand = urn[rng.NextBounded(urn.size())];
+        if (cand == v || edges.count(EdgeKey(v, cand))) continue;
+        add_edge(v, cand);
+        urn.push_back(cand);
+        // Reciprocity: only active accounts follow back.
+        if (!lurker[cand] && rng.NextBool(config.reciprocity) && add_edge(cand, v)) {
+          urn.push_back(v);
+        }
+        break;
+      }
+    }
+  }
+  size_t bridges = static_cast<size_t>(config.bridge_factor * config.n);
+  for (size_t i = 0; i < bridges; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(config.n));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(config.n));
+    if (!lurker[a]) add_edge(a, b);
+  }
+  return g;
+}
+
+Graph BuildFig1Graph() {
+  Graph g;
+  auto person = [&](std::string_view label, std::string_view name, int64_t years,
+                    std::string_view specialty = "") {
+    NodeId v = g.AddNode(label);
+    g.SetAttr(v, "name", AttrValue(std::string(name)));
+    g.SetAttr(v, "experience", AttrValue(years));
+    if (!specialty.empty()) g.SetAttr(v, "specialty", AttrValue(std::string(specialty)));
+    return v;
+  };
+  // Creation order must match the Fig1 enum.
+  NodeId bob = person("SA", "Bob", 7);
+  NodeId walt = person("SA", "Walt", 5);
+  NodeId jean = person("BA", "Jean", 3);
+  NodeId mat = person("SD", "Mat", 4, "programmer");
+  NodeId dan = person("SD", "Dan", 3, "programmer");
+  NodeId pat = person("SD", "Pat", 3, "DBA");
+  NodeId fred = person("SD", "Fred", 2, "DBA");
+  NodeId eva = person("ST", "Eva", 2);
+  NodeId bill = person("GD", "Bill", 2);
+  EF_CHECK(bob == Fig1::kBob && walt == Fig1::kWalt && jean == Fig1::kJean &&
+           mat == Fig1::kMat && dan == Fig1::kDan && pat == Fig1::kPat &&
+           fred == Fig1::kFred && eva == Fig1::kEva && bill == Fig1::kBill);
+
+  // Collaboration edges reconstructed so that every fact reported in the
+  // paper's Examples 1-3 holds exactly (verified in fig1_test.cc):
+  //   dist(Bob,Dan)=1  dist(Bob,Mat)=1  dist(Bob,Pat)=2  dist(Bob,Jean)=3
+  //   dist(Walt,Pat)=2 dist(Walt,Jean)=2
+  //   dist(Dan,Eva)=1  dist(Mat,Eva)=2  dist(Pat,Eva)=1  dist(Jean,Eva)=1
+  //   Fred cannot reach Eva (until e1 = (Fred,Jean) is inserted).
+  auto edge = [&](NodeId a, NodeId b) { EF_CHECK(g.AddEdge(a, b).ok()); };
+  edge(bob, dan);
+  edge(bob, mat);
+  edge(dan, pat);
+  edge(dan, eva);
+  edge(mat, bill);
+  edge(bill, eva);
+  edge(bill, pat);
+  edge(bill, jean);
+  edge(pat, jean);
+  edge(pat, eva);
+  edge(jean, eva);
+  edge(walt, bill);
+  return g;
+}
+
+std::pair<NodeId, NodeId> Fig1EdgeE1() { return {Fig1::kFred, Fig1::kJean}; }
+
+Pattern BuildFig1Pattern() {
+  PatternBuilder b;
+  auto sa = b.Node("SA", "SA").Where("experience", CmpOp::kGe, 5).Output();
+  auto sd = b.Node("SD", "SD").Where("experience", CmpOp::kGe, 2);
+  auto ba = b.Node("BA", "BA").Where("experience", CmpOp::kGe, 3);
+  auto st = b.Node("ST", "ST").Where("experience", CmpOp::kGe, 2);
+  b.Edge(sa, sd, 2).Edge(sa, ba, 3).Edge(sd, st, 2).Edge(ba, st, 1);
+  auto res = b.Build();
+  EF_CHECK(res.ok()) << res.status();
+  return std::move(res).value();
+}
+
+Pattern TeamQuery(int index) {
+  PatternBuilder b;
+  switch (index) {
+    case 0: {
+      // Q1: an experienced architect leading developers and testers.
+      auto sa = b.Node("SA", "SA").Where("experience", CmpOp::kGe, 5).Output();
+      auto sd = b.Node("SD", "SD").Where("experience", CmpOp::kGe, 2);
+      auto st = b.Node("ST", "ST");
+      b.Edge(sa, sd, 2).Edge(sd, st, 2).Edge(sa, st, 3);
+      break;
+    }
+    case 1: {
+      // Q2: a project manager coordinating analysts and developers, who in
+      // turn rely on a DBA.
+      auto pm = b.Node("PM", "PM").Where("experience", CmpOp::kGe, 4).Output();
+      auto ba = b.Node("BA", "BA").Where("experience", CmpOp::kGe, 3);
+      auto sd = b.Node("SD", "SD");
+      auto dba = b.Node("DBA", "DBA").Where("experience", CmpOp::kGe, 2);
+      b.Edge(pm, ba, 2).Edge(pm, sd, 1).Edge(sd, dba, 2).Edge(ba, sd, 2);
+      break;
+    }
+    default: {
+      // Q3: cyclic collaboration — developers and testers reviewing each
+      // other, anchored by a senior developer.
+      auto sd = b.Node("SD", "SD").Where("experience", CmpOp::kGe, 6).Output();
+      auto st = b.Node("ST", "ST").Where("experience", CmpOp::kGe, 1);
+      auto ux = b.Node("UX", "UX");
+      b.Edge(sd, st, 2).Edge(st, sd, 2).Edge(sd, ux, 3).Edge(ux, st, 2);
+      break;
+    }
+  }
+  auto res = b.Build();
+  EF_CHECK(res.ok()) << res.status();
+  return std::move(res).value();
+}
+
+Pattern RandomPattern(size_t num_nodes, size_t num_edges, Distance max_bound,
+                      double cond_prob, uint64_t seed, const LabelModel& model) {
+  EF_CHECK(num_nodes >= 1);
+  Rng rng(seed);
+  Pattern p;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    PatternNode n;
+    n.name = "q" + std::to_string(i);
+    n.label = model.labels[rng.NextBounded(model.labels.size())];
+    if (rng.NextBool(cond_prob)) {
+      int64_t threshold = rng.NextInt(0, model.max_experience / 2);
+      n.conditions.emplace_back("experience", CmpOp::kGe, AttrValue(threshold));
+    }
+    EF_CHECK(p.AddNode(std::move(n)).ok());
+  }
+  size_t added = 0;
+  size_t attempts = 0;
+  while (added < num_edges && attempts < num_edges * 20) {
+    ++attempts;
+    PatternNodeId a = static_cast<PatternNodeId>(rng.NextBounded(num_nodes));
+    PatternNodeId b = static_cast<PatternNodeId>(rng.NextBounded(num_nodes));
+    if (a == b) continue;
+    Distance bound = static_cast<Distance>(rng.NextInt(1, max_bound));
+    if (p.AddEdge(a, b, bound).ok()) ++added;
+  }
+  EF_CHECK(p.SetOutput(0).ok());
+  return p;
+}
+
+}  // namespace gen
+}  // namespace expfinder

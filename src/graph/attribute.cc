@@ -1,0 +1,122 @@
+#include "src/graph/attribute.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace expfinder {
+
+double AttrValue::ToDouble() const {
+  switch (type()) {
+    case Type::kInt: return static_cast<double>(AsInt());
+    case Type::kDouble: return AsDouble();
+    case Type::kBool: return AsBool() ? 1.0 : 0.0;
+    case Type::kString: break;
+  }
+  EF_LOG(Fatal) << "AttrValue::ToDouble on string value";
+  return 0.0;
+}
+
+bool AttrValue::Equals(const AttrValue& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) return AsInt() == other.AsInt();
+    return ToDouble() == other.ToDouble();
+  }
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case Type::kBool: return AsBool() == other.AsBool();
+    case Type::kString: return AsString() == other.AsString();
+    default: return false;  // unreachable: numeric handled above
+  }
+}
+
+std::optional<int> AttrValue::Compare(const AttrValue& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = ToDouble(), b = other.ToDouble();
+    if (std::isnan(a) || std::isnan(b)) return std::nullopt;
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (is_string() && other.is_string()) {
+    int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (is_bool() && other.is_bool()) {
+    return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+  }
+  return std::nullopt;
+}
+
+std::string AttrValue::ToString() const { return Serialize(); }
+
+std::string AttrValue::Serialize() const {
+  switch (type()) {
+    case Type::kInt: return std::to_string(AsInt());
+    case Type::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", AsDouble());
+      std::string s(buf);
+      // Ensure it reparses as a double, not an int.
+      if (s.find_first_of(".eEnN") == std::string::npos) s += ".0";
+      return s;
+    }
+    case Type::kBool: return AsBool() ? "true" : "false";
+    case Type::kString: return "\"" + EscapeQuoted(AsString()) + "\"";
+  }
+  return "";
+}
+
+std::optional<AttrValue> ParseAttrValue(std::string_view text) {
+  text = Trim(text);
+  if (text.empty()) return std::nullopt;
+  if (text.front() == '"') {
+    if (text.size() < 2 || text.back() != '"') return std::nullopt;
+    std::string out;
+    out.reserve(text.size() - 2);
+    for (size_t i = 1; i + 1 < text.size(); ++i) {
+      char c = text[i];
+      if (c == '\\' && i + 2 < text.size()) {
+        out.push_back(text[++i]);
+      } else if (c == '"') {
+        return std::nullopt;  // unescaped quote inside
+      } else {
+        out.push_back(c);
+      }
+    }
+    return AttrValue(std::move(out));
+  }
+  if (text == "true") return AttrValue(true);
+  if (text == "false") return AttrValue(false);
+  int64_t i;
+  if (ParseInt64(text, &i)) return AttrValue(i);
+  double d;
+  if (ParseDouble(text, &d)) return AttrValue(d);
+  return std::nullopt;
+}
+
+uint32_t StringInterner::Intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<uint32_t> StringInterner::Find(std::string_view s) const {
+  auto it = ids_.find(std::string(s));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& StringInterner::NameOf(uint32_t id) const {
+  EF_CHECK(id < names_.size()) << "interner id out of range: " << id;
+  return names_[id];
+}
+
+}  // namespace expfinder

@@ -1,0 +1,95 @@
+// Typed attribute values attached to graph nodes, and the comparison
+// machinery used by pattern search conditions.
+
+#ifndef EXPFINDER_GRAPH_ATTRIBUTE_H_
+#define EXPFINDER_GRAPH_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "src/graph/types.h"
+
+namespace expfinder {
+
+/// \brief A dynamically typed attribute value: one of int64, double, bool,
+/// or string. Node contents in ExpFinder (name, field, specialty, years of
+/// experience, ...) are modelled as attributes.
+class AttrValue {
+ public:
+  enum class Type { kInt, kDouble, kBool, kString };
+
+  AttrValue() : v_(int64_t{0}) {}
+  AttrValue(int64_t v) : v_(v) {}              // NOLINT(runtime/explicit)
+  AttrValue(int v) : v_(int64_t{v}) {}         // NOLINT(runtime/explicit)
+  AttrValue(double v) : v_(v) {}               // NOLINT(runtime/explicit)
+  AttrValue(bool v) : v_(v) {}                 // NOLINT(runtime/explicit)
+  AttrValue(std::string v) : v_(std::move(v)) {}       // NOLINT(runtime/explicit)
+  AttrValue(const char* v) : v_(std::string(v)) {}     // NOLINT(runtime/explicit)
+
+  Type type() const { return static_cast<Type>(v_.index()); }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  bool AsBool() const { return std::get<bool>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric value widened to double (valid for int/double/bool).
+  double ToDouble() const;
+
+  /// Total equality: same type (modulo int/double numeric promotion) and
+  /// same value.
+  bool Equals(const AttrValue& other) const;
+
+  /// Three-way comparison for order operators. Returns std::nullopt when the
+  /// two values are not comparable (e.g. string vs int); search conditions
+  /// treat that as "condition not satisfied".
+  std::optional<int> Compare(const AttrValue& other) const;
+
+  /// Human-readable rendering; strings are quoted.
+  std::string ToString() const;
+
+  /// Serialization used by graph IO and fingerprints (lossless, parseable by
+  /// ParseAttrValue).
+  std::string Serialize() const;
+
+  bool operator==(const AttrValue& other) const { return Equals(other); }
+
+ private:
+  std::variant<int64_t, double, bool, std::string> v_;
+};
+
+/// Parses the value grammar used by graph/pattern text formats:
+/// `"..."` -> string, `true`/`false` -> bool, integer literal -> int,
+/// floating literal -> double. Returns nullopt on malformed input.
+std::optional<AttrValue> ParseAttrValue(std::string_view text);
+
+/// \brief Bidirectional string <-> dense id mapping for labels and attribute
+/// keys. Ids are assigned in insertion order and never reused.
+class StringInterner {
+ public:
+  /// Returns the id for `s`, interning it if new.
+  uint32_t Intern(std::string_view s);
+  /// Returns the id for `s` if already interned.
+  std::optional<uint32_t> Find(std::string_view s) const;
+  /// Inverse lookup; id must be valid.
+  const std::string& NameOf(uint32_t id) const;
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_GRAPH_ATTRIBUTE_H_

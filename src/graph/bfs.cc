@@ -1,0 +1,65 @@
+#include "src/graph/bfs.h"
+
+#include "src/util/logging.h"
+
+namespace expfinder {
+
+namespace {
+
+template <bool Forward>
+std::vector<Distance> Distances(const Graph& g, NodeId src, Distance max_depth) {
+  EF_CHECK(g.IsValidNode(src)) << "BFS source out of range: " << src;
+  std::vector<Distance> dist(g.NumNodes(), kUnreachable);
+  std::vector<NodeId> queue;
+  queue.reserve(64);
+  dist[src] = 0;
+  queue.push_back(src);
+  size_t head = 0;
+  while (head < queue.size()) {
+    NodeId v = queue[head++];
+    Distance d = dist[v];
+    if (d >= max_depth) continue;
+    const auto& nbrs = Forward ? g.OutNeighbors(v) : g.InNeighbors(v);
+    for (NodeId w : nbrs) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = d + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<Distance> SingleSourceDistances(const Graph& g, NodeId src,
+                                            Distance max_depth) {
+  return Distances<true>(g, src, max_depth);
+}
+
+std::vector<Distance> SingleTargetDistances(const Graph& g, NodeId dst,
+                                            Distance max_depth) {
+  return Distances<false>(g, dst, max_depth);
+}
+
+bool Reachable(const Graph& g, NodeId src, NodeId dst) {
+  if (!g.IsValidNode(src) || !g.IsValidNode(dst)) return false;
+  if (src == dst) return true;
+  std::vector<char> seen(g.NumNodes(), 0);
+  std::vector<NodeId> queue{src};
+  seen[src] = 1;
+  size_t head = 0;
+  while (head < queue.size()) {
+    NodeId v = queue[head++];
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (w == dst) return true;
+      if (!seen[w]) {
+        seen[w] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace expfinder

@@ -1,0 +1,22 @@
+#include "src/graph/csr.h"
+
+namespace expfinder {
+
+Csr::Csr(const Graph& g) : num_nodes_(g.NumNodes()) {
+  out_off_.assign(num_nodes_ + 1, 0);
+  in_off_.assign(num_nodes_ + 1, 0);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    out_off_[v + 1] = out_off_[v] + g.OutDegree(v);
+    in_off_[v + 1] = in_off_[v] + g.InDegree(v);
+  }
+  out_nbrs_.resize(out_off_[num_nodes_]);
+  in_nbrs_.resize(in_off_[num_nodes_]);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    uint64_t o = out_off_[v];
+    for (NodeId w : g.OutNeighbors(v)) out_nbrs_[o++] = w;
+    uint64_t i = in_off_[v];
+    for (NodeId w : g.InNeighbors(v)) in_nbrs_[i++] = w;
+  }
+}
+
+}  // namespace expfinder

@@ -1,0 +1,119 @@
+// The attributed, directed data-graph type at the heart of ExpFinder.
+//
+// A Graph models a social / collaboration network: every node carries a
+// label (its "field", e.g. system architect) plus typed attributes
+// (name, specialty, years of experience, ...). Edges are unlabelled and
+// unweighted; an edge (u, v) means "v collaborated in a project with/under
+// u" and paths model indirect collaboration (paper §I).
+//
+// The structure is fully dynamic: edges can be inserted and removed at any
+// time (the incremental module depends on this), and a monotonically
+// increasing version() supports cache invalidation.
+
+#ifndef EXPFINDER_GRAPH_GRAPH_H_
+#define EXPFINDER_GRAPH_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/graph/attribute.h"
+#include "src/graph/types.h"
+#include "src/util/status.h"
+
+namespace expfinder {
+
+/// \brief Attributed directed graph with dynamic edge updates.
+class Graph {
+ public:
+  Graph() = default;
+
+  // --- Construction -------------------------------------------------------
+
+  /// Adds a node with the given label; returns its id (dense, sequential).
+  NodeId AddNode(std::string_view label);
+
+  /// Adds a directed edge. Fails with InvalidArgument when an endpoint is
+  /// out of range, AlreadyExists when the edge is already present.
+  Status AddEdge(NodeId src, NodeId dst);
+
+  /// Adds an edge without the duplicate check (for bulk generators that
+  /// guarantee uniqueness themselves). Endpoints must be valid.
+  void AddEdgeUnchecked(NodeId src, NodeId dst);
+
+  /// Removes a directed edge. Fails with NotFound when absent.
+  Status RemoveEdge(NodeId src, NodeId dst);
+
+  bool HasEdge(NodeId src, NodeId dst) const;
+
+  // --- Topology -----------------------------------------------------------
+
+  size_t NumNodes() const { return labels_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+  bool IsValidNode(NodeId v) const { return v < labels_.size(); }
+
+  const std::vector<NodeId>& OutNeighbors(NodeId v) const { return out_[v]; }
+  const std::vector<NodeId>& InNeighbors(NodeId v) const { return in_[v]; }
+  size_t OutDegree(NodeId v) const { return out_[v].size(); }
+  size_t InDegree(NodeId v) const { return in_[v].size(); }
+
+  // --- Labels -------------------------------------------------------------
+
+  LabelId label(NodeId v) const { return labels_[v]; }
+  const std::string& LabelName(LabelId id) const { return label_interner_.NameOf(id); }
+  const std::string& NodeLabelName(NodeId v) const { return LabelName(labels_[v]); }
+  /// Id of `name` if any node uses it.
+  std::optional<LabelId> FindLabel(std::string_view name) const {
+    return label_interner_.Find(name);
+  }
+  size_t NumLabels() const { return label_interner_.size(); }
+  /// All nodes with the given label (the candidate index used by planners).
+  const std::vector<NodeId>& NodesWithLabel(LabelId id) const;
+
+  // --- Attributes ---------------------------------------------------------
+
+  /// Sets (or overwrites) attribute `key` on node `v`.
+  void SetAttr(NodeId v, std::string_view key, AttrValue value);
+
+  /// Attribute by interned key id; nullptr when the node lacks it.
+  const AttrValue* GetAttr(NodeId v, AttrKeyId key) const;
+  /// Attribute by name; nullptr when unknown key or the node lacks it.
+  const AttrValue* GetAttr(NodeId v, std::string_view key) const;
+
+  std::optional<AttrKeyId> FindAttrKey(std::string_view key) const {
+    return attr_interner_.Find(key);
+  }
+  AttrKeyId InternAttrKey(std::string_view key) { return attr_interner_.Intern(key); }
+  const std::string& AttrKeyName(AttrKeyId id) const { return attr_interner_.NameOf(id); }
+  size_t NumAttrKeys() const { return attr_interner_.size(); }
+
+  /// All (key, value) pairs on `v`, in insertion order.
+  const std::vector<std::pair<AttrKeyId, AttrValue>>& Attrs(NodeId v) const {
+    return attrs_[v];
+  }
+
+  /// Convenience: node "name" attribute or "v<id>" placeholder.
+  std::string DisplayName(NodeId v) const;
+
+  // --- Versioning ---------------------------------------------------------
+
+  /// Bumped on every mutation (node/edge/attr change); used by caches.
+  uint64_t version() const { return version_; }
+
+ private:
+  StringInterner label_interner_;
+  StringInterner attr_interner_;
+  std::vector<LabelId> labels_;                      // per node
+  std::vector<std::vector<NodeId>> out_;             // adjacency
+  std::vector<std::vector<NodeId>> in_;              // reverse adjacency
+  std::vector<std::vector<std::pair<AttrKeyId, AttrValue>>> attrs_;  // per node
+  std::vector<std::vector<NodeId>> label_index_;     // label id -> nodes
+  size_t num_edges_ = 0;
+  uint64_t version_ = 0;
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_GRAPH_GRAPH_H_

@@ -1,0 +1,82 @@
+#include "src/graph/scc.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace expfinder {
+
+SccResult ComputeScc(const Graph& g) {
+  const size_t n = g.NumNodes();
+  SccResult res;
+  res.component.assign(n, UINT32_MAX);
+
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<NodeId> stack;            // Tarjan stack
+  uint32_t next_index = 0;
+
+  // Explicit DFS stack: (node, next child position).
+  struct Frame {
+    NodeId v;
+    size_t child;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto& nbrs = g.OutNeighbors(f.v);
+      if (f.child < nbrs.size()) {
+        NodeId w = nbrs[f.child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        NodeId v = f.v;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          uint32_t comp = res.num_components++;
+          while (true) {
+            NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            res.component[w] = comp;
+            if (w == v) break;
+          }
+        }
+      }
+    }
+  }
+  return res;
+}
+
+std::vector<std::vector<uint32_t>> Condensation(const Graph& g, const SccResult& scc) {
+  std::vector<std::vector<uint32_t>> adj(scc.num_components);
+  std::vector<std::unordered_set<uint32_t>> seen(scc.num_components);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    uint32_t cv = scc.component[v];
+    for (NodeId w : g.OutNeighbors(v)) {
+      uint32_t cw = scc.component[w];
+      if (cv != cw && seen[cv].insert(cw).second) adj[cv].push_back(cw);
+    }
+  }
+  return adj;
+}
+
+}  // namespace expfinder

@@ -1,0 +1,31 @@
+// Strongly connected components (iterative Tarjan) and condensation.
+// Used by graph statistics and by the compression module's diagnostics.
+
+#ifndef EXPFINDER_GRAPH_SCC_H_
+#define EXPFINDER_GRAPH_SCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/types.h"
+
+namespace expfinder {
+
+/// \brief Result of an SCC decomposition.
+struct SccResult {
+  /// Component id per node; ids are in reverse topological order of the
+  /// condensation (Tarjan numbering).
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+};
+
+/// Computes strongly connected components with an iterative Tarjan scan.
+SccResult ComputeScc(const Graph& g);
+
+/// Builds the condensation DAG: adjacency between component ids (deduped).
+std::vector<std::vector<uint32_t>> Condensation(const Graph& g, const SccResult& scc);
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_GRAPH_SCC_H_

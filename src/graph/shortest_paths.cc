@@ -1,0 +1,48 @@
+#include "src/graph/shortest_paths.h"
+
+#include <limits>
+#include <queue>
+
+#include "src/graph/bfs.h"
+#include "src/util/logging.h"
+
+namespace expfinder {
+
+double InfiniteDistance() { return std::numeric_limits<double>::infinity(); }
+
+std::vector<double> DijkstraFrom(const WeightedAdjacency& adj, uint32_t src) {
+  EF_CHECK(src < adj.size()) << "Dijkstra source out of range";
+  std::vector<double> dist(adj.size(), InfiniteDistance());
+  using Entry = std::pair<double, uint32_t>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[src] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;  // stale entry
+    for (auto [w, weight] : adj[v]) {
+      EF_DCHECK(weight >= 0.0);
+      double nd = d + weight;
+      if (nd < dist[w]) {
+        dist[w] = nd;
+        pq.emplace(nd, w);
+      }
+    }
+  }
+  return dist;
+}
+
+DistanceMatrix::DistanceMatrix(const Graph& g, Distance max_depth) : n_(g.NumNodes()) {
+  EF_CHECK(n_ <= 4096) << "DistanceMatrix is quadratic; graph too large (" << n_ << ")";
+  d_.assign(n_ * n_, kUnreachable);
+  BfsBuffers buf;
+  buf.EnsureSize(n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    Distance* row = d_.data() + static_cast<size_t>(u) * n_;
+    BoundedBfsNonEmpty<true>(g, u, max_depth, &buf,
+                             [&](NodeId w, Distance d) { row[w] = d; });
+  }
+}
+
+}  // namespace expfinder

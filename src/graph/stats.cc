@@ -1,0 +1,83 @@
+#include "src/graph/stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/graph/bfs.h"
+#include "src/graph/scc.h"
+
+namespace expfinder {
+
+GraphStats ComputeStats(const Graph& g, int diameter_samples) {
+  GraphStats s;
+  s.num_nodes = g.NumNodes();
+  s.num_edges = g.NumEdges();
+  if (s.num_nodes == 0) return s;
+  s.avg_out_degree = static_cast<double>(s.num_edges) / s.num_nodes;
+
+  size_t reciprocal = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    s.max_out_degree = std::max(s.max_out_degree, g.OutDegree(v));
+    s.max_in_degree = std::max(s.max_in_degree, g.InDegree(v));
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (g.HasEdge(w, v)) ++reciprocal;
+    }
+  }
+  s.reciprocity = s.num_edges ? static_cast<double>(reciprocal) / s.num_edges : 0.0;
+
+  for (LabelId l = 0; l < g.NumLabels(); ++l) {
+    const auto& nodes = g.NodesWithLabel(l);
+    if (!nodes.empty()) s.label_histogram.emplace_back(g.LabelName(l), nodes.size());
+  }
+  std::sort(s.label_histogram.begin(), s.label_histogram.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second > b.second : a.first < b.first;
+            });
+
+  SccResult scc = ComputeScc(g);
+  s.num_sccs = scc.num_components;
+  std::vector<size_t> sizes(scc.num_components, 0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) ++sizes[scc.component[v]];
+  for (size_t sz : sizes) s.largest_scc = std::max(s.largest_scc, sz);
+
+  // Diameter estimate: double-sweep heuristic from evenly spread samples.
+  Distance best = 0;
+  int samples = std::min<int>(diameter_samples, static_cast<int>(s.num_nodes));
+  for (int i = 0; i < samples; ++i) {
+    NodeId src = static_cast<NodeId>((s.num_nodes * static_cast<size_t>(i)) / samples);
+    auto dist = SingleSourceDistances(g, src);
+    NodeId far = src;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (dist[v] != kUnreachable && (dist[far] == kUnreachable || dist[v] > dist[far])) {
+        far = v;
+      }
+    }
+    if (dist[far] != kUnreachable) best = std::max(best, dist[far]);
+    auto dist2 = SingleSourceDistances(g, far);
+    for (Distance d : dist2) {
+      if (d != kUnreachable) best = std::max(best, d);
+    }
+  }
+  s.estimated_diameter = best;
+  return s;
+}
+
+std::string FormatStats(const GraphStats& s) {
+  std::ostringstream os;
+  os << "nodes: " << s.num_nodes << "\n"
+     << "edges: " << s.num_edges << "\n"
+     << "avg out-degree: " << s.avg_out_degree << "\n"
+     << "max out-degree: " << s.max_out_degree << "\n"
+     << "max in-degree: " << s.max_in_degree << "\n"
+     << "reciprocity: " << s.reciprocity << "\n"
+     << "SCCs: " << s.num_sccs << " (largest " << s.largest_scc << ")\n"
+     << "estimated diameter: " << s.estimated_diameter << "\n"
+     << "labels:\n";
+  for (const auto& [name, count] : s.label_histogram) {
+    os << "  " << name << ": " << count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace expfinder

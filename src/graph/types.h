@@ -1,0 +1,30 @@
+// Fundamental identifier types for the graph substrate.
+
+#ifndef EXPFINDER_GRAPH_TYPES_H_
+#define EXPFINDER_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace expfinder {
+
+/// Dense node identifier; nodes are numbered 0..NumNodes()-1.
+using NodeId = uint32_t;
+
+/// Interned label identifier (a node's "field", e.g. SA / SD / BA / ST).
+using LabelId = uint32_t;
+
+/// Interned attribute-key identifier (e.g. "experience").
+using AttrKeyId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr LabelId kInvalidLabel = std::numeric_limits<LabelId>::max();
+inline constexpr AttrKeyId kInvalidAttrKey = std::numeric_limits<AttrKeyId>::max();
+
+/// Distance value for hop-bounded reachability. kUnreachable means "no path".
+using Distance = uint32_t;
+inline constexpr Distance kUnreachable = std::numeric_limits<Distance>::max();
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_GRAPH_TYPES_H_

@@ -1,0 +1,223 @@
+#include "src/incremental/inc_bounded.h"
+
+#include "src/util/logging.h"
+
+namespace expfinder {
+
+IncrementalBoundedSimulation::IncrementalBoundedSimulation(Graph* g, Pattern q,
+                                                           const MatchOptions& options)
+    : g_(g), q_(std::move(q)) {
+  EF_CHECK(q_.Validate().ok()) << "invalid pattern";
+  const size_t n = g_->NumNodes();
+  Distance max_bound = q_.MaxBound();
+  seed_depth_ = max_bound == 0 ? 0 : max_bound - 1;
+  cand_ = ComputeCandidates(*g_, q_, options);
+  mat_ = cand_.bitmap;
+  cnt_.assign(q_.NumEdges(), std::vector<int32_t>(n, 0));
+  restore_mark_.assign(q_.NumNodes(), std::vector<char>(n, 0));
+  buf_.EnsureSize(n);
+  seed_bitmap_.assign(n, 0);
+
+  // Initial fixpoint (same as ComputeBoundedSimulation, retaining state).
+  for (PatternNodeId u = 0; u < q_.NumNodes(); ++u) {
+    if (q_.OutEdges(u).empty()) continue;
+    for (NodeId v : cand_.list[u]) {
+      RecomputeCounters(u, v);
+      AddToWorklistIfDead(u, v);
+    }
+  }
+  MatchDelta ignored;
+  RunRemovalFixpoint(&ignored, {});
+}
+
+MatchRelation IncrementalBoundedSimulation::Snapshot() const {
+  return MatchRelation::FromBitmaps(mat_);
+}
+
+void IncrementalBoundedSimulation::SeedNodesAround(NodeId src) {
+  auto mark = [&](NodeId w) {
+    if (!seed_bitmap_[w]) {
+      seed_bitmap_[w] = 1;
+      seed_nodes_.push_back(w);
+    }
+  };
+  mark(src);
+  if (seed_depth_ == 0) return;
+  BoundedBfsNonEmpty<false>(*g_, src, seed_depth_, &buf_,
+                            [&](NodeId w, Distance) { mark(w); });
+}
+
+void IncrementalBoundedSimulation::RecomputeCounters(PatternNodeId u, NodeId v) {
+  const auto& out_edges = q_.OutEdges(u);
+  if (out_edges.empty()) return;
+  for (uint32_t e : out_edges) cnt_[e][v] = 0;
+  BoundedBfsNonEmpty<true>(*g_, v, q_.MaxOutBound(u), &buf_,
+                           [&](NodeId w, Distance d) {
+                             for (uint32_t e : out_edges) {
+                               const PatternEdge& pe = q_.edges()[e];
+                               if (d <= pe.bound && mat_[pe.dst][w]) ++cnt_[e][v];
+                             }
+                           });
+}
+
+void IncrementalBoundedSimulation::AddToWorklistIfDead(PatternNodeId u, NodeId v) {
+  for (uint32_t e : q_.OutEdges(u)) {
+    if (cnt_[e][v] == 0) {
+      worklist_.emplace_back(u, v);
+      return;
+    }
+  }
+}
+
+void IncrementalBoundedSimulation::RunRemovalFixpoint(
+    MatchDelta* delta, const std::vector<std::pair<PatternNodeId, NodeId>>& restored) {
+  while (!worklist_.empty()) {
+    auto [u, v] = worklist_.back();
+    worklist_.pop_back();
+    if (!mat_[u][v]) continue;
+    mat_[u][v] = 0;
+    if (restore_mark_[u][v]) {
+      restore_mark_[u][v] = 0;
+    } else {
+      delta->removed.emplace_back(u, v);
+    }
+    for (uint32_t e : q_.InEdges(u)) {
+      const PatternEdge& pe = q_.edges()[e];
+      auto& counters = cnt_[e];
+      const auto& src_mat = mat_[pe.src];
+      BoundedBfsNonEmpty<false>(*g_, v, pe.bound, &buf_, [&](NodeId w, Distance) {
+        if (--counters[w] == 0 && src_mat[w]) {
+          worklist_.emplace_back(pe.src, w);
+        }
+      });
+    }
+  }
+  for (const auto& [u, v] : restored) {
+    if (restore_mark_[u][v]) {
+      if (mat_[u][v]) delta->added.emplace_back(u, v);
+      restore_mark_[u][v] = 0;
+    }
+  }
+}
+
+void IncrementalBoundedSimulation::PreUpdate(const UpdateBatch& batch) {
+  // Deletions remove paths that exist only pre-mutation: collect the nodes
+  // whose bounded out-window could lose content now, while those paths are
+  // still present.
+  for (const GraphUpdate& upd : batch) {
+    if (upd.kind == GraphUpdate::Kind::kDeleteEdge) SeedNodesAround(upd.src);
+  }
+}
+
+MatchDelta IncrementalBoundedSimulation::PostUpdate(const UpdateBatch& batch) {
+  MatchDelta delta;
+  const size_t nq = q_.NumNodes();
+
+  // Insertions add paths that exist only post-mutation.
+  bool any_insert = false;
+  for (const GraphUpdate& upd : batch) {
+    if (upd.kind == GraphUpdate::Kind::kInsertEdge) {
+      any_insert = true;
+      SeedNodesAround(upd.src);
+    }
+  }
+
+  // Restore closure: non-matching candidates with a (bounded) support-
+  // dependency chain to a seed node may re-qualify; restore them
+  // optimistically so mutually dependent (cyclic) pairs are considered
+  // together.
+  std::vector<std::pair<PatternNodeId, NodeId>> restored;
+  if (any_insert) {
+    std::vector<std::pair<PatternNodeId, NodeId>> stack;
+    auto try_restore = [&](PatternNodeId u, NodeId v) {
+      if (!cand_.bitmap[u][v] || mat_[u][v] || restore_mark_[u][v]) return;
+      restore_mark_[u][v] = 1;
+      stack.emplace_back(u, v);
+    };
+    for (NodeId v : seed_nodes_) {
+      for (PatternNodeId u = 0; u < nq; ++u) try_restore(u, v);
+    }
+    while (!stack.empty()) {
+      auto [u, v] = stack.back();
+      stack.pop_back();
+      restored.emplace_back(u, v);
+      for (uint32_t e : q_.InEdges(u)) {
+        const PatternEdge& pe = q_.edges()[e];
+        BoundedBfsNonEmpty<false>(*g_, v, pe.bound, &buf_,
+                                  [&](NodeId w, Distance) { try_restore(pe.src, w); });
+      }
+    }
+    for (const auto& [u, v] : restored) mat_[u][v] = 1;
+  }
+
+  // Recompute counters of every pair whose window changed (seeds) or whose
+  // membership was optimistically restored.
+  for (NodeId v : seed_nodes_) {
+    for (PatternNodeId u = 0; u < nq; ++u) {
+      if (cand_.bitmap[u][v]) RecomputeCounters(u, v);
+    }
+  }
+  for (const auto& [u, v] : restored) {
+    if (!seed_bitmap_[v]) RecomputeCounters(u, v);
+  }
+  // Patch counters of *unmarked* pairs: each restored pair is one new
+  // member inside their unchanged windows.
+  for (const auto& [u, v] : restored) {
+    for (uint32_t e : q_.InEdges(u)) {
+      const PatternEdge& pe = q_.edges()[e];
+      auto& counters = cnt_[e];
+      const auto& src_cand = cand_.bitmap[pe.src];
+      const auto& src_restored = restore_mark_[pe.src];
+      BoundedBfsNonEmpty<false>(*g_, v, pe.bound, &buf_, [&](NodeId w, Distance) {
+        if (src_cand[w] && !seed_bitmap_[w] && !src_restored[w]) ++counters[w];
+      });
+    }
+  }
+
+  // Schedule every touched member with a dead counter, then cascade.
+  for (NodeId v : seed_nodes_) {
+    for (PatternNodeId u = 0; u < nq; ++u) {
+      if (mat_[u][v]) AddToWorklistIfDead(u, v);
+    }
+  }
+  for (const auto& [u, v] : restored) AddToWorklistIfDead(u, v);
+  last_affected_ = seed_nodes_.size() + restored.size();
+
+  RunRemovalFixpoint(&delta, restored);
+
+  // Reset per-batch seed state.
+  for (NodeId v : seed_nodes_) seed_bitmap_[v] = 0;
+  seed_nodes_.clear();
+  return delta;
+}
+
+void IncrementalBoundedSimulation::OnNodeAdded(NodeId v) {
+  EF_CHECK(g_->IsValidNode(v) && v == mat_[0].size())
+      << "OnNodeAdded must follow Graph::AddNode immediately";
+  EF_CHECK(g_->OutDegree(v) == 0 && g_->InDegree(v) == 0)
+      << "new node must be connected via ApplyBatch after registration";
+  for (PatternNodeId u = 0; u < q_.NumNodes(); ++u) {
+    bool is_cand = q_.node(u).Matches(*g_, v);
+    cand_.bitmap[u].push_back(is_cand ? 1 : 0);
+    if (is_cand) cand_.list[u].push_back(v);
+    mat_[u].push_back(is_cand && q_.OutEdges(u).empty() ? 1 : 0);
+    restore_mark_[u].push_back(0);
+  }
+  for (auto& counters : cnt_) counters.push_back(0);
+  seed_bitmap_.push_back(0);
+  buf_.EnsureSize(g_->NumNodes());
+}
+
+Result<MatchDelta> IncrementalBoundedSimulation::ApplyBatch(const UpdateBatch& batch) {
+  PreUpdate(batch);
+  Status st = ::expfinder::ApplyBatch(g_, batch);
+  if (!st.ok()) {
+    // Roll back the seed state so a failed batch leaves us reusable.
+    for (NodeId v : seed_nodes_) seed_bitmap_[v] = 0;
+    seed_nodes_.clear();
+    return st;
+  }
+  return PostUpdate(batch);
+}
+
+}  // namespace expfinder

@@ -1,0 +1,265 @@
+#include "src/incremental/inc_dual.h"
+
+#include "src/util/logging.h"
+
+namespace expfinder {
+
+IncrementalDualSimulation::IncrementalDualSimulation(Graph* g, Pattern q,
+                                                     const MatchOptions& options)
+    : g_(g), q_(std::move(q)) {
+  EF_CHECK(q_.Validate().ok()) << "invalid pattern";
+  const size_t n = g_->NumNodes();
+  Distance max_bound = q_.MaxBound();
+  seed_depth_ = max_bound == 0 ? 0 : max_bound - 1;
+  cand_ = ComputeCandidates(*g_, q_, options);
+  mat_ = cand_.bitmap;
+  fwd_.assign(q_.NumEdges(), std::vector<int32_t>(n, 0));
+  bwd_.assign(q_.NumEdges(), std::vector<int32_t>(n, 0));
+  restore_mark_.assign(q_.NumNodes(), std::vector<char>(n, 0));
+  buf_.EnsureSize(n);
+  seed_bitmap_.assign(n, 0);
+
+  for (PatternNodeId u = 0; u < q_.NumNodes(); ++u) {
+    for (NodeId v : cand_.list[u]) {
+      RecomputeCounters(u, v);
+      if (Dead(u, v)) worklist_.emplace_back(u, v);
+    }
+  }
+  MatchDelta ignored;
+  RunRemovalFixpoint(&ignored, {});
+}
+
+MatchRelation IncrementalDualSimulation::Snapshot() const {
+  return MatchRelation::FromBitmaps(mat_);
+}
+
+Distance IncrementalDualSimulation::MaxInBound(PatternNodeId u) const {
+  Distance best = 0;
+  for (uint32_t e : q_.InEdges(u)) best = std::max(best, q_.edges()[e].bound);
+  return best;
+}
+
+bool IncrementalDualSimulation::Dead(PatternNodeId u, NodeId v) const {
+  for (uint32_t e : q_.OutEdges(u)) {
+    if (fwd_[e][v] == 0) return true;
+  }
+  for (uint32_t e : q_.InEdges(u)) {
+    if (bwd_[e][v] == 0) return true;
+  }
+  return false;
+}
+
+void IncrementalDualSimulation::SeedNodesAround(const GraphUpdate& upd) {
+  auto mark = [&](NodeId w) {
+    if (!seed_bitmap_[w]) {
+      seed_bitmap_[w] = 1;
+      seed_nodes_.push_back(w);
+    }
+  };
+  // Forward windows that may change: ancestors of the edge source.
+  mark(upd.src);
+  if (seed_depth_ > 0) {
+    BoundedBfsNonEmpty<false>(*g_, upd.src, seed_depth_, &buf_,
+                              [&](NodeId w, Distance) { mark(w); });
+  }
+  // Backward windows that may change: descendants of the edge target.
+  mark(upd.dst);
+  if (seed_depth_ > 0) {
+    BoundedBfsNonEmpty<true>(*g_, upd.dst, seed_depth_, &buf_,
+                             [&](NodeId w, Distance) { mark(w); });
+  }
+}
+
+void IncrementalDualSimulation::RecomputeCounters(PatternNodeId u, NodeId v) {
+  const auto& out_edges = q_.OutEdges(u);
+  const auto& in_edges = q_.InEdges(u);
+  for (uint32_t e : out_edges) fwd_[e][v] = 0;
+  for (uint32_t e : in_edges) bwd_[e][v] = 0;
+  Distance out_depth = q_.MaxOutBound(u);
+  if (out_depth > 0) {
+    BoundedBfsNonEmpty<true>(*g_, v, out_depth, &buf_, [&](NodeId w, Distance d) {
+      for (uint32_t e : out_edges) {
+        const PatternEdge& pe = q_.edges()[e];
+        if (d <= pe.bound && mat_[pe.dst][w]) ++fwd_[e][v];
+      }
+    });
+  }
+  Distance in_depth = MaxInBound(u);
+  if (in_depth > 0) {
+    BoundedBfsNonEmpty<false>(*g_, v, in_depth, &buf_, [&](NodeId w, Distance d) {
+      for (uint32_t e : in_edges) {
+        const PatternEdge& pe = q_.edges()[e];
+        if (d <= pe.bound && mat_[pe.src][w]) ++bwd_[e][v];
+      }
+    });
+  }
+}
+
+void IncrementalDualSimulation::RunRemovalFixpoint(
+    MatchDelta* delta, const std::vector<std::pair<PatternNodeId, NodeId>>& restored) {
+  while (!worklist_.empty()) {
+    auto [u, v] = worklist_.back();
+    worklist_.pop_back();
+    if (!mat_[u][v]) continue;
+    mat_[u][v] = 0;
+    if (restore_mark_[u][v]) {
+      restore_mark_[u][v] = 0;
+    } else {
+      delta->removed.emplace_back(u, v);
+    }
+    // Ancestors lose forward support.
+    for (uint32_t e : q_.InEdges(u)) {
+      const PatternEdge& pe = q_.edges()[e];
+      auto& counters = fwd_[e];
+      const auto& src_mat = mat_[pe.src];
+      BoundedBfsNonEmpty<false>(*g_, v, pe.bound, &buf_, [&](NodeId w, Distance) {
+        if (--counters[w] == 0 && src_mat[w]) worklist_.emplace_back(pe.src, w);
+      });
+    }
+    // Descendants lose backward support.
+    for (uint32_t e : q_.OutEdges(u)) {
+      const PatternEdge& pe = q_.edges()[e];
+      auto& counters = bwd_[e];
+      const auto& dst_mat = mat_[pe.dst];
+      BoundedBfsNonEmpty<true>(*g_, v, pe.bound, &buf_, [&](NodeId w, Distance) {
+        if (--counters[w] == 0 && dst_mat[w]) worklist_.emplace_back(pe.dst, w);
+      });
+    }
+  }
+  for (const auto& [u, v] : restored) {
+    if (restore_mark_[u][v]) {
+      if (mat_[u][v]) delta->added.emplace_back(u, v);
+      restore_mark_[u][v] = 0;
+    }
+  }
+}
+
+void IncrementalDualSimulation::PreUpdate(const UpdateBatch& batch) {
+  for (const GraphUpdate& upd : batch) {
+    if (upd.kind == GraphUpdate::Kind::kDeleteEdge) SeedNodesAround(upd);
+  }
+}
+
+MatchDelta IncrementalDualSimulation::PostUpdate(const UpdateBatch& batch) {
+  MatchDelta delta;
+  const size_t nq = q_.NumNodes();
+
+  bool any_insert = false;
+  for (const GraphUpdate& upd : batch) {
+    if (upd.kind == GraphUpdate::Kind::kInsertEdge) {
+      any_insert = true;
+      SeedNodesAround(upd);
+    }
+  }
+
+  // Restore closure in both dependency directions.
+  std::vector<std::pair<PatternNodeId, NodeId>> restored;
+  if (any_insert) {
+    std::vector<std::pair<PatternNodeId, NodeId>> stack;
+    auto try_restore = [&](PatternNodeId u, NodeId v) {
+      if (!cand_.bitmap[u][v] || mat_[u][v] || restore_mark_[u][v]) return;
+      restore_mark_[u][v] = 1;
+      stack.emplace_back(u, v);
+    };
+    for (NodeId v : seed_nodes_) {
+      for (PatternNodeId u = 0; u < nq; ++u) try_restore(u, v);
+    }
+    while (!stack.empty()) {
+      auto [u, v] = stack.back();
+      stack.pop_back();
+      restored.emplace_back(u, v);
+      for (uint32_t e : q_.InEdges(u)) {
+        const PatternEdge& pe = q_.edges()[e];
+        BoundedBfsNonEmpty<false>(*g_, v, pe.bound, &buf_,
+                                  [&](NodeId w, Distance) { try_restore(pe.src, w); });
+      }
+      for (uint32_t e : q_.OutEdges(u)) {
+        const PatternEdge& pe = q_.edges()[e];
+        BoundedBfsNonEmpty<true>(*g_, v, pe.bound, &buf_,
+                                 [&](NodeId w, Distance) { try_restore(pe.dst, w); });
+      }
+    }
+    for (const auto& [u, v] : restored) mat_[u][v] = 1;
+  }
+
+  // Exact recomputation for changed windows and restored pairs.
+  for (NodeId v : seed_nodes_) {
+    for (PatternNodeId u = 0; u < nq; ++u) {
+      if (cand_.bitmap[u][v]) RecomputeCounters(u, v);
+    }
+  }
+  for (const auto& [u, v] : restored) {
+    if (!seed_bitmap_[v]) RecomputeCounters(u, v);
+  }
+  // Patch unmarked pairs: each restored pair adds support inside both kinds
+  // of unchanged windows.
+  auto marked = [&](PatternNodeId u, NodeId v) {
+    return seed_bitmap_[v] || restore_mark_[u][v];
+  };
+  for (const auto& [u, v] : restored) {
+    for (uint32_t e : q_.InEdges(u)) {
+      const PatternEdge& pe = q_.edges()[e];
+      auto& counters = fwd_[e];
+      BoundedBfsNonEmpty<false>(*g_, v, pe.bound, &buf_, [&](NodeId w, Distance) {
+        if (cand_.bitmap[pe.src][w] && !marked(pe.src, w)) ++counters[w];
+      });
+    }
+    for (uint32_t e : q_.OutEdges(u)) {
+      const PatternEdge& pe = q_.edges()[e];
+      auto& counters = bwd_[e];
+      BoundedBfsNonEmpty<true>(*g_, v, pe.bound, &buf_, [&](NodeId w, Distance) {
+        if (cand_.bitmap[pe.dst][w] && !marked(pe.dst, w)) ++counters[w];
+      });
+    }
+  }
+
+  for (NodeId v : seed_nodes_) {
+    for (PatternNodeId u = 0; u < nq; ++u) {
+      if (mat_[u][v] && Dead(u, v)) worklist_.emplace_back(u, v);
+    }
+  }
+  for (const auto& [u, v] : restored) {
+    if (Dead(u, v)) worklist_.emplace_back(u, v);
+  }
+  last_affected_ = seed_nodes_.size() + restored.size();
+
+  RunRemovalFixpoint(&delta, restored);
+
+  for (NodeId v : seed_nodes_) seed_bitmap_[v] = 0;
+  seed_nodes_.clear();
+  return delta;
+}
+
+Result<MatchDelta> IncrementalDualSimulation::ApplyBatch(const UpdateBatch& batch) {
+  PreUpdate(batch);
+  Status st = ::expfinder::ApplyBatch(g_, batch);
+  if (!st.ok()) {
+    for (NodeId v : seed_nodes_) seed_bitmap_[v] = 0;
+    seed_nodes_.clear();
+    return st;
+  }
+  return PostUpdate(batch);
+}
+
+void IncrementalDualSimulation::OnNodeAdded(NodeId v) {
+  EF_CHECK(g_->IsValidNode(v) && v == mat_[0].size())
+      << "OnNodeAdded must follow Graph::AddNode immediately";
+  EF_CHECK(g_->OutDegree(v) == 0 && g_->InDegree(v) == 0)
+      << "new node must be connected via ApplyBatch after registration";
+  for (PatternNodeId u = 0; u < q_.NumNodes(); ++u) {
+    bool is_cand = q_.node(u).Matches(*g_, v);
+    cand_.bitmap[u].push_back(is_cand ? 1 : 0);
+    if (is_cand) cand_.list[u].push_back(v);
+    // Dual semantics: an isolated node satisfies neither out- nor in-edge
+    // constraints, so it only matches fully unconstrained pattern nodes.
+    bool isolated_ok = q_.OutEdges(u).empty() && q_.InEdges(u).empty();
+    mat_[u].push_back(is_cand && isolated_ok ? 1 : 0);
+    restore_mark_[u].push_back(0);
+  }
+  for (auto& counters : fwd_) counters.push_back(0);
+  for (auto& counters : bwd_) counters.push_back(0);
+  seed_bitmap_.push_back(0);
+  buf_.EnsureSize(g_->NumNodes());
+}
+
+}  // namespace expfinder

@@ -1,0 +1,104 @@
+#include "src/matching/bounded_simulation.h"
+
+#include <deque>
+
+#include "src/graph/bfs.h"
+#include "src/graph/csr.h"
+#include "src/graph/shortest_paths.h"
+#include "src/util/logging.h"
+
+namespace expfinder {
+
+MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
+                                       const MatchOptions& options) {
+  const size_t n = g.NumNodes();
+  const size_t ne = q.NumEdges();
+
+  CandidateSets cand = ComputeCandidates(g, q, options);
+  std::vector<std::vector<char>> mat = cand.bitmap;
+  std::vector<std::vector<int32_t>> cnt(ne);
+  for (auto& c : cnt) c.assign(n, 0);
+
+  Csr csr(g);
+  BfsBuffers buf;
+  buf.EnsureSize(n);
+  std::deque<std::pair<PatternNodeId, NodeId>> worklist;
+
+  // Seed: one forward bounded BFS per candidate of each pattern node with
+  // out-edges, counting current (candidate) members of each target per edge.
+  for (PatternNodeId u = 0; u < q.NumNodes(); ++u) {
+    const auto& out_edges = q.OutEdges(u);
+    if (out_edges.empty()) continue;
+    Distance depth = q.MaxOutBound(u);
+    for (NodeId v : cand.list[u]) {
+      BoundedBfsNonEmpty<true>(csr, v, depth, &buf, [&](NodeId w, Distance d) {
+        for (uint32_t e : out_edges) {
+          const PatternEdge& pe = q.edges()[e];
+          if (d <= pe.bound && mat[pe.dst][w]) ++cnt[e][v];
+        }
+      });
+      for (uint32_t e : out_edges) {
+        if (cnt[e][v] == 0) {
+          worklist.emplace_back(u, v);
+          break;
+        }
+      }
+    }
+  }
+
+  while (!worklist.empty()) {
+    auto [u, v] = worklist.front();
+    worklist.pop_front();
+    if (!mat[u][v]) continue;
+    mat[u][v] = 0;
+    // Every node that could see v within bound(e) loses one supporter.
+    for (uint32_t e : q.InEdges(u)) {
+      const PatternEdge& pe = q.edges()[e];
+      auto& counters = cnt[e];
+      const auto& src_mat = mat[pe.src];
+      BoundedBfsNonEmpty<false>(csr, v, pe.bound, &buf, [&](NodeId w, Distance) {
+        if (--counters[w] == 0 && src_mat[w]) {
+          worklist.emplace_back(pe.src, w);
+        }
+      });
+    }
+  }
+  return MatchRelation::FromBitmaps(mat);
+}
+
+MatchRelation ComputeBoundedSimulationNaive(const Graph& g, const Pattern& q) {
+  const size_t n = g.NumNodes();
+  const size_t nq = q.NumNodes();
+  DistanceMatrix dist(g, q.MaxBound() == kUnboundedEdge
+                             ? static_cast<Distance>(n)
+                             : q.MaxBound());
+
+  CandidateSets cand = ComputeCandidates(g, q);
+  std::vector<std::vector<char>> mat = cand.bitmap;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (PatternNodeId u = 0; u < nq; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (!mat[u][v]) continue;
+        for (uint32_t e : q.OutEdges(u)) {
+          const PatternEdge& pe = q.edges()[e];
+          bool supported = false;
+          for (NodeId w = 0; w < n && !supported; ++w) {
+            supported = mat[pe.dst][w] && dist.At(v, w) != kUnreachable &&
+                        dist.At(v, w) <= pe.bound;
+          }
+          if (!supported) {
+            mat[u][v] = 0;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return MatchRelation::FromBitmaps(mat);
+}
+
+}  // namespace expfinder

@@ -1,0 +1,36 @@
+// Bounded simulation matching — the paper's core notion (§II, from Fan et
+// al., PVLDB 2010): a pattern edge (u,u') with bound k maps to a *nonempty
+// path* of length <= k between matches, so experts who collaborated
+// indirectly still match.
+//
+// ComputeBoundedSimulation runs the cubic-time worklist fixpoint:
+//   cnt[e=(u,u')][v] = |{v' in mat(u') : 0 < dist(v,v') <= bound(e)}|
+// seeded by forward hop-bounded BFS from every candidate; removing v' from
+// mat(u') triggers a reverse bounded BFS decrementing supporters, and zero
+// counters cascade. Graph simulation is the special case bound == 1.
+//
+// ComputeBoundedSimulationNaive re-derives the fixpoint against a dense
+// distance matrix; it is the test oracle (graphs <= 4096 nodes).
+
+#ifndef EXPFINDER_MATCHING_BOUNDED_SIMULATION_H_
+#define EXPFINDER_MATCHING_BOUNDED_SIMULATION_H_
+
+#include "src/graph/graph.h"
+#include "src/matching/candidates.h"
+#include "src/matching/match_relation.h"
+#include "src/query/pattern.h"
+
+namespace expfinder {
+
+/// Computes M(Q,G) under bounded-simulation semantics. Handles any bounds
+/// (including kUnboundedEdge = reachability).
+MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
+                                       const MatchOptions& options = {});
+
+/// Reference implementation against a dense all-pairs distance matrix;
+/// requires g.NumNodes() <= 4096.
+MatchRelation ComputeBoundedSimulationNaive(const Graph& g, const Pattern& q);
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_MATCHING_BOUNDED_SIMULATION_H_

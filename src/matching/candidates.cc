@@ -1,0 +1,76 @@
+#include "src/matching/candidates.h"
+
+#include <algorithm>
+
+namespace expfinder {
+
+namespace {
+
+struct CompiledNode {
+  bool impossible = false;
+  bool label_wildcard = false;
+  LabelId label = kInvalidLabel;
+  // (resolved key, condition) pairs.
+  std::vector<std::pair<AttrKeyId, const Condition*>> conds;
+};
+
+CompiledNode Compile(const Graph& g, const PatternNode& n) {
+  CompiledNode c;
+  if (n.label.empty()) {
+    c.label_wildcard = true;
+  } else {
+    auto lid = g.FindLabel(n.label);
+    if (!lid) {
+      c.impossible = true;  // label absent from graph: no candidates
+      return c;
+    }
+    c.label = *lid;
+  }
+  for (const Condition& cond : n.conditions) {
+    auto key = g.FindAttrKey(cond.attr());
+    if (!key) {
+      c.impossible = true;  // attribute key never set on any node
+      return c;
+    }
+    c.conds.emplace_back(*key, &cond);
+  }
+  return c;
+}
+
+bool Satisfies(const Graph& g, NodeId v, const CompiledNode& c) {
+  if (!c.label_wildcard && g.label(v) != c.label) return false;
+  for (const auto& [key, cond] : c.conds) {
+    if (!cond->Eval(g.GetAttr(v, key))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CandidateSets ComputeCandidates(const Graph& g, const Pattern& q,
+                                const MatchOptions& options) {
+  const size_t n = g.NumNodes();
+  const size_t nq = q.NumNodes();
+  CandidateSets out;
+  out.bitmap.assign(nq, std::vector<char>(n, 0));
+  out.list.resize(nq);
+  for (PatternNodeId u = 0; u < nq; ++u) {
+    CompiledNode c = Compile(g, q.node(u));
+    if (c.impossible) continue;
+    auto consider = [&](NodeId v) {
+      if (Satisfies(g, v, c)) {
+        out.bitmap[u][v] = 1;
+        out.list[u].push_back(v);
+      }
+    };
+    if (options.use_label_index && !c.label_wildcard) {
+      for (NodeId v : g.NodesWithLabel(c.label)) consider(v);
+      std::sort(out.list[u].begin(), out.list[u].end());
+    } else {
+      for (NodeId v = 0; v < n; ++v) consider(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace expfinder

@@ -1,0 +1,41 @@
+// Candidate-set computation shared by all matchers: for each pattern node,
+// the data nodes satisfying its label requirement and search conditions
+// (structure is checked later by the fixpoints).
+//
+// Conditions are compiled once per (pattern, graph): attribute names resolve
+// to interned key ids, and a pattern node whose label or attribute key does
+// not exist in the graph is marked impossible without scanning.
+
+#ifndef EXPFINDER_MATCHING_CANDIDATES_H_
+#define EXPFINDER_MATCHING_CANDIDATES_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/query/pattern.h"
+
+namespace expfinder {
+
+/// \brief Tunables shared by the matchers.
+struct MatchOptions {
+  /// Initialize candidates from the graph's label index instead of scanning
+  /// every node (the planner's main lever; see bench_ablation).
+  bool use_label_index = true;
+};
+
+/// \brief Per-pattern-node candidate sets in both bitmap and list form.
+struct CandidateSets {
+  /// bitmap[u][v] != 0 iff data node v satisfies pattern node u's label and
+  /// conditions.
+  std::vector<std::vector<char>> bitmap;
+  /// The same sets as sorted id lists.
+  std::vector<std::vector<NodeId>> list;
+};
+
+/// Computes candidate sets for every pattern node.
+CandidateSets ComputeCandidates(const Graph& g, const Pattern& q,
+                                const MatchOptions& options = {});
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_MATCHING_CANDIDATES_H_

@@ -1,0 +1,152 @@
+#include "src/matching/dual_simulation.h"
+
+#include <deque>
+
+#include "src/graph/bfs.h"
+#include "src/graph/csr.h"
+#include "src/graph/shortest_paths.h"
+#include "src/util/logging.h"
+
+namespace expfinder {
+
+MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
+                                    const MatchOptions& options) {
+  const size_t n = g.NumNodes();
+  const size_t ne = q.NumEdges();
+
+  CandidateSets cand = ComputeCandidates(g, q, options);
+  std::vector<std::vector<char>> mat = cand.bitmap;
+  // Two counter families per pattern edge e = (u,u'):
+  //   fwd[e][v]  = |{v' in mat(u') : 0 < dist(v,v')  <= bound}|  (v cand of u)
+  //   bwd[e][v'] = |{v  in mat(u)  : 0 < dist(v,v')  <= bound}|  (v' cand of u')
+  std::vector<std::vector<int32_t>> fwd(ne), bwd(ne);
+  for (auto& c : fwd) c.assign(n, 0);
+  for (auto& c : bwd) c.assign(n, 0);
+
+  Csr csr(g);
+  BfsBuffers buf;
+  buf.EnsureSize(n);
+  std::deque<std::pair<PatternNodeId, NodeId>> worklist;
+
+  auto dead = [&](PatternNodeId u, NodeId v) {
+    for (uint32_t e : q.OutEdges(u)) {
+      if (fwd[e][v] == 0) return true;
+    }
+    for (uint32_t e : q.InEdges(u)) {
+      if (bwd[e][v] == 0) return true;
+    }
+    return false;
+  };
+
+  // Largest bound over u's in-edges (reverse BFS depth from u's matches).
+  auto max_in_bound = [&](PatternNodeId u) {
+    Distance best = 0;
+    for (uint32_t e : q.InEdges(u)) best = std::max(best, q.edges()[e].bound);
+    return best;
+  };
+
+  // Seed both counter families.
+  for (PatternNodeId u = 0; u < q.NumNodes(); ++u) {
+    Distance out_depth = q.MaxOutBound(u);
+    Distance in_depth = max_in_bound(u);
+    for (NodeId v : cand.list[u]) {
+      if (out_depth > 0) {
+        BoundedBfsNonEmpty<true>(csr, v, out_depth, &buf, [&](NodeId w, Distance d) {
+          for (uint32_t e : q.OutEdges(u)) {
+            const PatternEdge& pe = q.edges()[e];
+            if (d <= pe.bound && mat[pe.dst][w]) ++fwd[e][v];
+          }
+        });
+      }
+      if (in_depth > 0) {
+        BoundedBfsNonEmpty<false>(csr, v, in_depth, &buf, [&](NodeId w, Distance d) {
+          for (uint32_t e : q.InEdges(u)) {
+            const PatternEdge& pe = q.edges()[e];
+            if (d <= pe.bound && mat[pe.src][w]) ++bwd[e][v];
+          }
+        });
+      }
+      if (dead(u, v)) worklist.emplace_back(u, v);
+    }
+  }
+
+  while (!worklist.empty()) {
+    auto [u, v] = worklist.front();
+    worklist.pop_front();
+    if (!mat[u][v]) continue;
+    mat[u][v] = 0;
+    // Ancestors lose forward support...
+    for (uint32_t e : q.InEdges(u)) {
+      const PatternEdge& pe = q.edges()[e];
+      auto& counters = fwd[e];
+      const auto& src_mat = mat[pe.src];
+      BoundedBfsNonEmpty<false>(csr, v, pe.bound, &buf, [&](NodeId w, Distance) {
+        if (--counters[w] == 0 && src_mat[w]) {
+          worklist.emplace_back(pe.src, w);
+        }
+      });
+    }
+    // ...and descendants lose backward support.
+    for (uint32_t e : q.OutEdges(u)) {
+      const PatternEdge& pe = q.edges()[e];
+      auto& counters = bwd[e];
+      const auto& dst_mat = mat[pe.dst];
+      BoundedBfsNonEmpty<true>(csr, v, pe.bound, &buf, [&](NodeId w, Distance) {
+        if (--counters[w] == 0 && dst_mat[w]) {
+          worklist.emplace_back(pe.dst, w);
+        }
+      });
+    }
+  }
+  return MatchRelation::FromBitmaps(mat);
+}
+
+MatchRelation ComputeDualSimulationNaive(const Graph& g, const Pattern& q) {
+  const size_t n = g.NumNodes();
+  const size_t nq = q.NumNodes();
+  DistanceMatrix dist(g, q.MaxBound() == kUnboundedEdge
+                             ? static_cast<Distance>(n)
+                             : q.MaxBound());
+  CandidateSets cand = ComputeCandidates(g, q);
+  std::vector<std::vector<char>> mat = cand.bitmap;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (PatternNodeId u = 0; u < nq; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (!mat[u][v]) continue;
+        bool ok = true;
+        for (uint32_t e : q.OutEdges(u) /* child constraints */) {
+          const PatternEdge& pe = q.edges()[e];
+          bool supported = false;
+          for (NodeId w = 0; w < n && !supported; ++w) {
+            supported = mat[pe.dst][w] && dist.At(v, w) != kUnreachable &&
+                        dist.At(v, w) <= pe.bound;
+          }
+          if (!supported) {
+            ok = false;
+            break;
+          }
+        }
+        for (uint32_t e : q.InEdges(u) /* parent constraints */) {
+          if (!ok) break;
+          const PatternEdge& pe = q.edges()[e];
+          bool supported = false;
+          for (NodeId w = 0; w < n && !supported; ++w) {
+            supported = mat[pe.src][w] && dist.At(w, v) != kUnreachable &&
+                        dist.At(w, v) <= pe.bound;
+          }
+          if (!supported) ok = false;
+        }
+        if (!ok) {
+          mat[u][v] = 0;
+          changed = true;
+        }
+      }
+    }
+  }
+  return MatchRelation::FromBitmaps(mat);
+}
+
+}  // namespace expfinder

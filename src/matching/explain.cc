@@ -1,0 +1,105 @@
+#include "src/matching/explain.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace expfinder {
+
+namespace {
+
+/// Bounded BFS with parent tracking; returns the shortest nonempty path
+/// from src to the first node satisfying `is_target`, or empty when none
+/// exists within `max_depth`.
+template <typename Pred>
+std::vector<NodeId> ShortestPathTo(const Graph& g, NodeId src, Distance max_depth,
+                                   Pred&& is_target) {
+  std::unordered_map<NodeId, NodeId> parent;  // child -> parent on BFS tree
+  std::unordered_map<NodeId, Distance> depth;
+  std::vector<NodeId> queue;
+  // Seed with out-neighbors so src itself can be a target via a cycle.
+  for (NodeId w : g.OutNeighbors(src)) {
+    if (!depth.count(w)) {
+      depth[w] = 1;
+      parent[w] = src;
+      queue.push_back(w);
+    }
+  }
+  size_t head = 0;
+  while (head < queue.size()) {
+    NodeId v = queue[head++];
+    Distance d = depth[v];
+    if (is_target(v)) {
+      // Walk the parent chain back to src. Works for v == src too (a cycle
+      // witness): the chain from a cyclically re-discovered src leads back
+      // to src through its BFS tree, yielding src ... src.
+      std::vector<NodeId> path{v};
+      NodeId x = v;
+      do {
+        x = parent.at(x);
+        path.push_back(x);
+      } while (x != src);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    if (d >= max_depth) continue;
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (!depth.count(w)) {
+        depth[w] = d + 1;
+        parent[w] = v;
+        queue.push_back(w);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<MatchExplanation> ExplainMatch(const Graph& g, const Pattern& q,
+                                      const MatchRelation& m, PatternNodeId u,
+                                      NodeId v) {
+  if (u >= q.NumNodes()) return Status::InvalidArgument("pattern node out of range");
+  if (!g.IsValidNode(v)) return Status::InvalidArgument("data node out of range");
+  if (!m.Contains(u, v)) {
+    return Status::NotFound("(" + q.node(u).name + ", " + g.DisplayName(v) +
+                            ") is not in the match relation");
+  }
+  MatchExplanation out;
+  out.pattern_node = u;
+  out.data_node = v;
+  for (uint32_t e : q.OutEdges(u)) {
+    const PatternEdge& pe = q.edges()[e];
+    std::vector<NodeId> path = ShortestPathTo(
+        g, v, pe.bound, [&](NodeId w) { return m.Contains(pe.dst, w); });
+    if (path.empty()) {
+      return Status::Internal("match relation inconsistent: no witness for edge " +
+                              q.node(pe.src).name + " -> " + q.node(pe.dst).name);
+    }
+    out.witnesses.push_back({e, std::move(path)});
+  }
+  return out;
+}
+
+std::string MatchExplanation::ToString(const Graph& g, const Pattern& q) const {
+  std::ostringstream os;
+  os << g.DisplayName(data_node) << " matches " << q.node(pattern_node).name << ":\n";
+  for (const EdgeWitness& w : witnesses) {
+    const PatternEdge& pe = q.edges()[w.edge_index];
+    os << "  " << q.node(pe.src).name << " -[<=";
+    if (pe.bound == kUnboundedEdge) {
+      os << "*";
+    } else {
+      os << pe.bound;
+    }
+    os << "]-> " << q.node(pe.dst).name << ": ";
+    for (size_t i = 0; i < w.path.size(); ++i) {
+      if (i) os << " -> ";
+      os << g.DisplayName(w.path[i]);
+    }
+    os << " (length " << (w.path.size() - 1) << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace expfinder

@@ -1,0 +1,52 @@
+// Match explanations: the witness paths behind a match (the "drill down"
+// view of the demo GUI, §III — inspecting *why* an expert matches). For a
+// pair (u, v) in M(Q,G), every pattern edge (u, u') is justified by a
+// shortest path from v to some match of u' within the bound; this module
+// extracts those paths.
+
+#ifndef EXPFINDER_MATCHING_EXPLAIN_H_
+#define EXPFINDER_MATCHING_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/matching/match_relation.h"
+#include "src/query/pattern.h"
+#include "src/util/result.h"
+
+namespace expfinder {
+
+/// \brief Justification of one pattern edge at one match: the shortest data
+/// path from the match to the nearest match of the edge's target.
+struct EdgeWitness {
+  /// Index into Pattern::edges().
+  uint32_t edge_index = 0;
+  /// Data path v = path[0] -> ... -> path.back() (a match of the target);
+  /// length = path.size() - 1 <= bound.
+  std::vector<NodeId> path;
+};
+
+/// \brief Full justification of a match pair (u, v): one witness per
+/// outgoing pattern edge of u.
+struct MatchExplanation {
+  PatternNodeId pattern_node = 0;
+  NodeId data_node = kInvalidNode;
+  std::vector<EdgeWitness> witnesses;
+
+  /// Human-readable rendering with display names, e.g.
+  ///   Bob matches SA:
+  ///     SA -[<=2]-> SD: Bob -> Dan (length 1)
+  std::string ToString(const Graph& g, const Pattern& q) const;
+};
+
+/// Extracts witnesses for (u, v); fails with NotFound when (u, v) is not in
+/// `m`, InvalidArgument on bad indices. The returned paths are shortest
+/// (witness length == the result graph's edge weight).
+Result<MatchExplanation> ExplainMatch(const Graph& g, const Pattern& q,
+                                      const MatchRelation& m, PatternNodeId u,
+                                      NodeId v);
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_MATCHING_EXPLAIN_H_

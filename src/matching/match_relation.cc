@@ -1,0 +1,78 @@
+#include "src/matching/match_relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace expfinder {
+
+MatchRelation MatchRelation::FromBitmaps(const std::vector<std::vector<char>>& in_mat) {
+  MatchRelation m(in_mat.size());
+  bool any_empty = false;
+  for (size_t u = 0; u < in_mat.size(); ++u) {
+    std::vector<NodeId> list;
+    for (NodeId v = 0; v < in_mat[u].size(); ++v) {
+      if (in_mat[u][v]) list.push_back(v);
+    }
+    any_empty |= list.empty();
+    m.matches_[u] = std::move(list);
+  }
+  if (any_empty) m.Clear();
+  return m;
+}
+
+void MatchRelation::SetMatches(PatternNodeId u, std::vector<NodeId> nodes) {
+  EF_CHECK(u < matches_.size());
+  EF_DCHECK(std::is_sorted(nodes.begin(), nodes.end()));
+  matches_[u] = std::move(nodes);
+}
+
+bool MatchRelation::Contains(PatternNodeId u, NodeId v) const {
+  if (u >= matches_.size()) return false;
+  const auto& list = matches_[u];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+bool MatchRelation::IsEmpty() const {
+  for (const auto& list : matches_) {
+    if (!list.empty()) return false;
+  }
+  return true;
+}
+
+size_t MatchRelation::TotalPairs() const {
+  size_t total = 0;
+  for (const auto& list : matches_) total += list.size();
+  return total;
+}
+
+std::vector<std::pair<PatternNodeId, NodeId>> MatchRelation::AllPairs() const {
+  std::vector<std::pair<PatternNodeId, NodeId>> out;
+  out.reserve(TotalPairs());
+  for (PatternNodeId u = 0; u < matches_.size(); ++u) {
+    for (NodeId v : matches_[u]) out.emplace_back(u, v);
+  }
+  return out;
+}
+
+void MatchRelation::Clear() {
+  for (auto& list : matches_) list.clear();
+}
+
+std::string MatchRelation::ToString(const Pattern& q, const Graph& g) const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (PatternNodeId u = 0; u < matches_.size(); ++u) {
+    for (NodeId v : matches_[u]) {
+      if (!first) os << ", ";
+      first = false;
+      os << "(" << q.node(u).name << "," << g.DisplayName(v) << ")";
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace expfinder

@@ -1,0 +1,77 @@
+#include "src/matching/result_graph.h"
+
+#include <algorithm>
+
+#include "src/graph/bfs.h"
+#include "src/graph/csr.h"
+
+namespace expfinder {
+
+ResultGraph::ResultGraph(const Graph& g, const Pattern& q, const MatchRelation& m) {
+  // Union of matched data nodes, sorted and deduplicated.
+  for (PatternNodeId u = 0; u < m.NumPatternNodes(); ++u) {
+    const auto& list = m.MatchesOf(u);
+    nodes_.insert(nodes_.end(), list.begin(), list.end());
+  }
+  std::sort(nodes_.begin(), nodes_.end());
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
+  index_.reserve(nodes_.size() * 2);
+  for (uint32_t i = 0; i < nodes_.size(); ++i) index_.emplace(nodes_[i], i);
+
+  matches_of_.resize(q.NumNodes());
+  for (PatternNodeId u = 0; u < m.NumPatternNodes(); ++u) {
+    for (NodeId v : m.MatchesOf(u)) matches_of_[u].push_back(index_.at(v));
+  }
+
+  out_.resize(nodes_.size());
+  in_.resize(nodes_.size());
+  if (nodes_.empty() || q.NumEdges() == 0) return;
+
+  // For every source match, one bounded BFS up to the node's largest
+  // out-bound discovers all shortest distances to potential targets; edges
+  // are emitted per pattern edge when the target matches. Duplicate (v,v')
+  // derivations keep the minimum weight via a first-wins map (BFS yields
+  // shortest distances, identical for all derivations).
+  Csr csr(g);
+  BfsBuffers buf;
+  buf.EnsureSize(g.NumNodes());
+  std::unordered_map<uint64_t, double> edge_weight;
+  auto key = [](uint32_t a, uint32_t b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  for (PatternNodeId u = 0; u < q.NumNodes(); ++u) {
+    const auto& out_edges = q.OutEdges(u);
+    if (out_edges.empty()) continue;
+    Distance depth = q.MaxOutBound(u);
+    for (NodeId v : m.MatchesOf(u)) {
+      uint32_t vpos = index_.at(v);
+      BoundedBfsNonEmpty<true>(csr, v, depth, &buf, [&](NodeId w, Distance d) {
+        for (uint32_t e : out_edges) {
+          const PatternEdge& pe = q.edges()[e];
+          if (d > pe.bound || !m.Contains(pe.dst, w)) continue;
+          auto [it, inserted] = edge_weight.emplace(key(vpos, index_.at(w)),
+                                                    static_cast<double>(d));
+          if (!inserted) it->second = std::min(it->second, static_cast<double>(d));
+        }
+      });
+    }
+  }
+  for (const auto& [k, weight] : edge_weight) {
+    uint32_t a = static_cast<uint32_t>(k >> 32);
+    uint32_t b = static_cast<uint32_t>(k);
+    out_[a].emplace_back(b, weight);
+    in_[b].emplace_back(a, weight);
+    ++num_edges_;
+  }
+  // Deterministic adjacency order (hash-map iteration order is not).
+  for (auto& list : out_) std::sort(list.begin(), list.end());
+  for (auto& list : in_) std::sort(list.begin(), list.end());
+}
+
+std::optional<uint32_t> ResultGraph::PositionOf(NodeId v) const {
+  auto it = index_.find(v);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace expfinder

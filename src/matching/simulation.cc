@@ -1,0 +1,89 @@
+#include "src/matching/simulation.h"
+
+#include <deque>
+
+#include "src/util/logging.h"
+
+namespace expfinder {
+
+MatchRelation ComputeSimulation(const Graph& g, const Pattern& q,
+                                const MatchOptions& options) {
+  EF_CHECK(q.IsSimulationPattern())
+      << "ComputeSimulation requires all bounds == 1; use bounded simulation";
+  const size_t n = g.NumNodes();
+  const size_t ne = q.NumEdges();
+
+  CandidateSets cand = ComputeCandidates(g, q, options);
+  std::vector<std::vector<char>> mat = cand.bitmap;  // in-relation bitmap
+  std::vector<std::vector<int32_t>> cnt(ne);
+  for (auto& c : cnt) c.assign(n, 0);
+
+  // Pending invalidated pairs.
+  std::deque<std::pair<PatternNodeId, NodeId>> worklist;
+
+  // Seed counters against the initial (candidate) sets.
+  for (uint32_t e = 0; e < ne; ++e) {
+    const PatternEdge& pe = q.edges()[e];
+    const auto& dst_mat = mat[pe.dst];
+    for (NodeId v : cand.list[pe.src]) {
+      int32_t c = 0;
+      for (NodeId w : g.OutNeighbors(v)) c += dst_mat[w];
+      cnt[e][v] = c;
+      if (c == 0) worklist.emplace_back(pe.src, v);
+    }
+  }
+
+  while (!worklist.empty()) {
+    auto [u, v] = worklist.front();
+    worklist.pop_front();
+    if (!mat[u][v]) continue;
+    mat[u][v] = 0;
+    // v no longer matches u: decrement support of predecessors along every
+    // pattern edge ending in u.
+    for (uint32_t e : q.InEdges(u)) {
+      const PatternEdge& pe = q.edges()[e];
+      auto& counters = cnt[e];
+      for (NodeId w : g.InNeighbors(v)) {
+        if (--counters[w] == 0 && mat[pe.src][w]) {
+          worklist.emplace_back(pe.src, w);
+        }
+      }
+    }
+  }
+  return MatchRelation::FromBitmaps(mat);
+}
+
+MatchRelation ComputeSimulationNaive(const Graph& g, const Pattern& q) {
+  EF_CHECK(q.IsSimulationPattern());
+  const size_t nq = q.NumNodes();
+  CandidateSets cand = ComputeCandidates(g, q);
+  std::vector<std::vector<char>> mat = cand.bitmap;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (PatternNodeId u = 0; u < nq; ++u) {
+      for (NodeId v = 0; v < g.NumNodes(); ++v) {
+        if (!mat[u][v]) continue;
+        for (uint32_t e : q.OutEdges(u)) {
+          const PatternEdge& pe = q.edges()[e];
+          bool supported = false;
+          for (NodeId w : g.OutNeighbors(v)) {
+            if (mat[pe.dst][w]) {
+              supported = true;
+              break;
+            }
+          }
+          if (!supported) {
+            mat[u][v] = 0;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return MatchRelation::FromBitmaps(mat);
+}
+
+}  // namespace expfinder

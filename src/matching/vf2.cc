@@ -1,0 +1,126 @@
+#include "src/matching/vf2.h"
+
+#include <algorithm>
+
+#include "src/matching/candidates.h"
+
+namespace expfinder {
+
+namespace {
+
+/// Chooses a matching order: start from the most selective node, then
+/// greedily prefer nodes adjacent to already-ordered ones (connectivity
+/// keeps the partial mapping constrained).
+std::vector<PatternNodeId> MatchingOrder(const Pattern& q, const CandidateSets& cand) {
+  const size_t nq = q.NumNodes();
+  std::vector<char> placed(nq, 0);
+  std::vector<PatternNodeId> order;
+  order.reserve(nq);
+  auto selectivity = [&](PatternNodeId u) { return cand.list[u].size(); };
+  while (order.size() < nq) {
+    PatternNodeId best = kInvalidNode;
+    bool best_adjacent = false;
+    for (PatternNodeId u = 0; u < nq; ++u) {
+      if (placed[u]) continue;
+      bool adjacent = false;
+      for (uint32_t e : q.OutEdges(u)) adjacent |= placed[q.edges()[e].dst] != 0;
+      for (uint32_t e : q.InEdges(u)) adjacent |= placed[q.edges()[e].src] != 0;
+      if (best == kInvalidNode || (adjacent && !best_adjacent) ||
+          (adjacent == best_adjacent && selectivity(u) < selectivity(best))) {
+        best = u;
+        best_adjacent = adjacent;
+      }
+    }
+    placed[best] = 1;
+    order.push_back(best);
+  }
+  return order;
+}
+
+}  // namespace
+
+IsoResult FindIsomorphicEmbeddings(const Graph& g, const Pattern& q,
+                                   const IsoOptions& options) {
+  IsoResult res;
+  const size_t nq = q.NumNodes();
+  CandidateSets cand = ComputeCandidates(g, q);
+  for (PatternNodeId u = 0; u < nq; ++u) {
+    if (cand.list[u].empty()) return res;  // impossible
+  }
+  std::vector<PatternNodeId> order = MatchingOrder(q, cand);
+  std::vector<NodeId> assignment(nq, kInvalidNode);
+  std::vector<char> used(g.NumNodes(), 0);
+
+  // Iterative backtracking over `order` with explicit candidate cursors.
+  std::vector<size_t> cursor(nq, 0);
+  size_t depth = 0;
+  while (true) {
+    if (res.steps >= options.max_steps ||
+        res.embeddings.size() >= options.max_embeddings) {
+      res.truncated = true;
+      return res;
+    }
+    if (depth == nq) {
+      res.embeddings.push_back(assignment);
+      // Backtrack to continue enumeration.
+      --depth;
+      NodeId v = assignment[order[depth]];
+      used[v] = 0;
+      assignment[order[depth]] = kInvalidNode;
+      continue;
+    }
+    PatternNodeId u = order[depth];
+    const auto& candidates = cand.list[u];
+    bool advanced = false;
+    while (cursor[depth] < candidates.size()) {
+      NodeId v = candidates[cursor[depth]++];
+      ++res.steps;
+      if (used[v]) continue;
+      // Consistency: every pattern edge between u and an already-assigned
+      // node must map to a data edge.
+      bool ok = true;
+      for (uint32_t e : q.OutEdges(u)) {
+        NodeId w = assignment[q.edges()[e].dst];
+        if (w != kInvalidNode && !g.HasEdge(v, w)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (uint32_t e : q.InEdges(u)) {
+          NodeId w = assignment[q.edges()[e].src];
+          if (w != kInvalidNode && !g.HasEdge(w, v)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (!ok) continue;
+      assignment[u] = v;
+      used[v] = 1;
+      ++depth;
+      if (depth < nq) cursor[depth] = 0;
+      advanced = true;
+      break;
+    }
+    if (advanced) continue;
+    // Exhausted candidates at this depth: backtrack.
+    if (depth == 0) return res;
+    cursor[depth] = 0;
+    --depth;
+    NodeId v = assignment[order[depth]];
+    used[v] = 0;
+    assignment[order[depth]] = kInvalidNode;
+  }
+}
+
+MatchRelation IsoMatchRelation(const IsoResult& iso, const Pattern& q,
+                               size_t num_nodes) {
+  std::vector<std::vector<char>> mat(q.NumNodes(), std::vector<char>(num_nodes, 0));
+  for (const auto& emb : iso.embeddings) {
+    for (PatternNodeId u = 0; u < emb.size(); ++u) mat[u][emb[u]] = 1;
+  }
+  return MatchRelation::FromBitmaps(mat);
+}
+
+}  // namespace expfinder

@@ -1,0 +1,52 @@
+// Subgraph-isomorphism baseline (VF2-style backtracking).
+//
+// The paper (§I) contrasts bounded simulation with subgraph isomorphism:
+// isomorphism forces a bijection (one data node per pattern node) and
+// edge-to-edge mapping, so it misses sensible matches (e.g. SD mapping to
+// both Mat and Pat in Example 1) and is NP-complete. This module provides
+// that baseline for the semantic comparisons and benchmarks.
+//
+// Edge bounds are interpreted as 1 (pattern edge -> single data edge); the
+// mapping must be injective and edge-preserving (non-induced).
+
+#ifndef EXPFINDER_MATCHING_VF2_H_
+#define EXPFINDER_MATCHING_VF2_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/matching/match_relation.h"
+#include "src/query/pattern.h"
+
+namespace expfinder {
+
+/// \brief Controls for the isomorphism search.
+struct IsoOptions {
+  /// Stop after this many embeddings (the count is exponential in general).
+  size_t max_embeddings = 1000;
+  /// Safety valve on explored search-tree nodes.
+  size_t max_steps = 10'000'000;
+};
+
+/// \brief Embeddings found by the backtracking search.
+struct IsoResult {
+  /// Each embedding maps pattern node u -> embedding[u].
+  std::vector<std::vector<NodeId>> embeddings;
+  /// True when the search stopped at a limit rather than exhausting.
+  bool truncated = false;
+  /// Search-tree nodes explored (cost proxy used by benchmarks).
+  size_t steps = 0;
+};
+
+/// Enumerates subgraph-isomorphic embeddings of `q` in `g`.
+IsoResult FindIsomorphicEmbeddings(const Graph& g, const Pattern& q,
+                                   const IsoOptions& options = {});
+
+/// Projects embeddings to a MatchRelation (union over embeddings; the
+/// "match set" view used to compare semantics against simulation).
+MatchRelation IsoMatchRelation(const IsoResult& iso, const Pattern& q, size_t num_nodes);
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_MATCHING_VF2_H_

@@ -1,0 +1,65 @@
+#include "src/query/condition.h"
+
+namespace expfinder {
+
+std::string_view CmpOpToken(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kContains: return "contains";
+  }
+  return "?";
+}
+
+std::optional<CmpOp> ParseCmpOp(std::string_view token) {
+  if (token == "==") return CmpOp::kEq;
+  if (token == "!=") return CmpOp::kNe;
+  if (token == "<") return CmpOp::kLt;
+  if (token == "<=") return CmpOp::kLe;
+  if (token == ">") return CmpOp::kGt;
+  if (token == ">=") return CmpOp::kGe;
+  if (token == "contains") return CmpOp::kContains;
+  return std::nullopt;
+}
+
+bool Condition::Eval(const AttrValue* lhs) const {
+  if (lhs == nullptr) return false;
+  switch (op_) {
+    case CmpOp::kEq:
+      return lhs->Equals(rhs_);
+    case CmpOp::kNe:
+      return !lhs->Equals(rhs_);
+    case CmpOp::kLt:
+    case CmpOp::kLe:
+    case CmpOp::kGt:
+    case CmpOp::kGe: {
+      auto c = lhs->Compare(rhs_);
+      if (!c) return false;
+      switch (op_) {
+        case CmpOp::kLt: return *c < 0;
+        case CmpOp::kLe: return *c <= 0;
+        case CmpOp::kGt: return *c > 0;
+        default: return *c >= 0;
+      }
+    }
+    case CmpOp::kContains:
+      if (!lhs->is_string() || !rhs_.is_string()) return false;
+      return lhs->AsString().find(rhs_.AsString()) != std::string::npos;
+  }
+  return false;
+}
+
+std::string Condition::ToString() const {
+  std::string out = attr_;
+  out += " ";
+  out += CmpOpToken(op_);
+  out += " ";
+  out += rhs_.Serialize();
+  return out;
+}
+
+}  // namespace expfinder

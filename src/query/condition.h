@@ -1,0 +1,59 @@
+// Search conditions on pattern nodes (paper §I: "the SA should have at
+// least 5 years of working experience, shown as a search condition at node
+// SA"). A condition compares one node attribute against a constant.
+
+#ifndef EXPFINDER_QUERY_CONDITION_H_
+#define EXPFINDER_QUERY_CONDITION_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/graph/attribute.h"
+
+namespace expfinder {
+
+/// Comparison operator of a search condition.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+/// Token used by the text formats ("==", "!=", "<", "<=", ">", ">=",
+/// "contains").
+std::string_view CmpOpToken(CmpOp op);
+
+/// Parses an operator token; nullopt when unknown.
+std::optional<CmpOp> ParseCmpOp(std::string_view token);
+
+/// \brief One predicate `attr OP constant` evaluated against a data node's
+/// attribute. Missing or type-incomparable attributes fail the condition
+/// (never error): a node without "experience" cannot match
+/// "experience >= 5".
+class Condition {
+ public:
+  Condition(std::string attr, CmpOp op, AttrValue rhs)
+      : attr_(std::move(attr)), op_(op), rhs_(std::move(rhs)) {}
+
+  const std::string& attr() const { return attr_; }
+  CmpOp op() const { return op_; }
+  const AttrValue& rhs() const { return rhs_; }
+
+  /// Evaluates against the node's attribute value (nullptr = attribute
+  /// absent -> false; for kNe absence is also false, keeping Eval monotone
+  /// in information).
+  bool Eval(const AttrValue* lhs) const;
+
+  /// Round-trippable rendering: `attr OP value`.
+  std::string ToString() const;
+
+  bool operator==(const Condition& other) const {
+    return attr_ == other.attr_ && op_ == other.op_ && rhs_ == other.rhs_;
+  }
+
+ private:
+  std::string attr_;
+  CmpOp op_;
+  AttrValue rhs_;
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_QUERY_CONDITION_H_

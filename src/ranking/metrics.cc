@@ -1,0 +1,80 @@
+#include "src/ranking/metrics.h"
+
+#include <cmath>
+
+#include "src/graph/shortest_paths.h"
+#include "src/ranking/social_impact.h"
+
+namespace expfinder {
+
+std::string_view RankingMetricName(RankingMetric metric) {
+  switch (metric) {
+    case RankingMetric::kSocialImpact: return "social-impact";
+    case RankingMetric::kCloseness: return "closeness";
+    case RankingMetric::kDegree: return "degree";
+    case RankingMetric::kPageRank: return "pagerank";
+  }
+  return "?";
+}
+
+std::optional<RankingMetric> ParseRankingMetric(std::string_view name) {
+  if (name == "social-impact") return RankingMetric::kSocialImpact;
+  if (name == "closeness") return RankingMetric::kCloseness;
+  if (name == "degree") return RankingMetric::kDegree;
+  if (name == "pagerank") return RankingMetric::kPageRank;
+  return std::nullopt;
+}
+
+std::vector<double> ResultGraphPageRank(const ResultGraph& gr, double damping,
+                                        int iterations) {
+  const size_t n = gr.NumNodes();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / n), next(n);
+  for (int it = 0; it < iterations; ++it) {
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), (1.0 - damping) / n);
+    for (uint32_t v = 0; v < n; ++v) {
+      const auto& outs = gr.Out()[v];
+      if (outs.empty()) {
+        dangling += rank[v];
+        continue;
+      }
+      double share = damping * rank[v] / outs.size();
+      for (const auto& edge : outs) next[edge.first] += share;
+    }
+    double dangling_share = damping * dangling / n;
+    for (double& r : next) r += dangling_share;
+    rank.swap(next);
+  }
+  return rank;
+}
+
+double MetricScore(const ResultGraph& gr, uint32_t pos, RankingMetric metric) {
+  switch (metric) {
+    case RankingMetric::kSocialImpact:
+      return SocialImpactScore(gr, pos);
+    case RankingMetric::kCloseness: {
+      std::vector<double> fwd = DijkstraFrom(gr.Out(), pos);
+      double sum = 0.0;
+      size_t reached = 0;
+      for (uint32_t i = 0; i < gr.NumNodes(); ++i) {
+        if (i != pos && std::isfinite(fwd[i])) {
+          sum += fwd[i];
+          ++reached;
+        }
+      }
+      if (reached == 0) return InfiniteDistance();
+      // Closeness = reached / sum; negate so smaller is better.
+      return -(static_cast<double>(reached) / sum);
+    }
+    case RankingMetric::kDegree:
+      return -static_cast<double>(gr.Out()[pos].size() + gr.In()[pos].size());
+    case RankingMetric::kPageRank: {
+      // Note: recomputes per call; TopKMatchesWith amortizes via MetricScores.
+      return -ResultGraphPageRank(gr)[pos];
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace expfinder

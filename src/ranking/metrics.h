@@ -1,0 +1,42 @@
+// Alternative social-impact metrics (paper §II: "Note that other metrics
+// can be readily supported by ExpFinder."). All are normalized to
+// smaller-is-better scores so the top-K machinery is metric-agnostic.
+
+#ifndef EXPFINDER_RANKING_METRICS_H_
+#define EXPFINDER_RANKING_METRICS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/matching/result_graph.h"
+
+namespace expfinder {
+
+/// Selectable ranking metric.
+enum class RankingMetric {
+  /// The paper's f(u_o, v): average result-graph distance to/from peers.
+  kSocialImpact,
+  /// Negated closeness centrality (reciprocal average forward distance).
+  kCloseness,
+  /// Negated total degree in the result graph.
+  kDegree,
+  /// Negated PageRank over the result graph.
+  kPageRank,
+};
+
+std::string_view RankingMetricName(RankingMetric metric);
+std::optional<RankingMetric> ParseRankingMetric(std::string_view name);
+
+/// Smaller-is-better score of the match at result position `pos`.
+double MetricScore(const ResultGraph& gr, uint32_t pos, RankingMetric metric);
+
+/// PageRank over the result graph (damping 0.85, 50 iterations); exposed for
+/// tests. Scores sum to 1 over result nodes (dangling mass redistributed).
+std::vector<double> ResultGraphPageRank(const ResultGraph& gr, double damping = 0.85,
+                                        int iterations = 50);
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_RANKING_METRICS_H_

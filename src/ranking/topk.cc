@@ -1,0 +1,59 @@
+#include "src/ranking/topk.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace expfinder {
+
+namespace {
+
+/// Shared bounded-heap selection once scores are computable per position.
+template <typename ScoreFn>
+Result<std::vector<RankedMatch>> SelectTopK(const ResultGraph& gr, const Pattern& q,
+                                            size_t k, ScoreFn&& score_of) {
+  auto output = q.output_node();
+  if (!output) return Status::InvalidArgument("pattern has no output node");
+  auto worse = [](const RankedMatch& a, const RankedMatch& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.node < b.node;  // larger id = worse on ties
+  };
+  // Max-heap of the best k seen so far (top = worst of the kept).
+  std::priority_queue<RankedMatch, std::vector<RankedMatch>, decltype(worse)> heap(worse);
+  for (uint32_t pos : gr.MatchesOf(*output)) {
+    RankedMatch m{gr.DataNode(pos), score_of(pos)};
+    if (heap.size() < k) {
+      heap.push(m);
+    } else if (k > 0 && worse(m, heap.top())) {
+      heap.pop();
+      heap.push(m);
+    }
+  }
+  std::vector<RankedMatch> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<RankedMatch>> TopKMatches(const ResultGraph& gr, const Pattern& q,
+                                             size_t k) {
+  return SelectTopK(gr, q, k,
+                    [&](uint32_t pos) { return SocialImpactScore(gr, pos); });
+}
+
+Result<std::vector<RankedMatch>> TopKMatchesWith(const ResultGraph& gr,
+                                                 const Pattern& q, size_t k,
+                                                 RankingMetric metric) {
+  if (metric == RankingMetric::kPageRank) {
+    // Amortize the power iteration across all matches.
+    std::vector<double> pr = ResultGraphPageRank(gr);
+    return SelectTopK(gr, q, k, [&](uint32_t pos) { return -pr[pos]; });
+  }
+  return SelectTopK(gr, q, k,
+                    [&](uint32_t pos) { return MetricScore(gr, pos, metric); });
+}
+
+}  // namespace expfinder

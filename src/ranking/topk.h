@@ -1,0 +1,29 @@
+// Top-K selection over ranked matches ("the users may only be interested in
+// the best K experts", paper §II). Uses a bounded max-heap so only K results
+// are kept while every candidate is scored once.
+
+#ifndef EXPFINDER_RANKING_TOPK_H_
+#define EXPFINDER_RANKING_TOPK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/ranking/metrics.h"
+#include "src/ranking/social_impact.h"
+
+namespace expfinder {
+
+/// The K best matches of the output node under the social-impact metric,
+/// sorted best-first. K >= result size returns everything ranked.
+Result<std::vector<RankedMatch>> TopKMatches(const ResultGraph& gr, const Pattern& q,
+                                             size_t k);
+
+/// Top-K under an alternative metric ("other metrics can be readily
+/// supported", §II).
+Result<std::vector<RankedMatch>> TopKMatchesWith(const ResultGraph& gr,
+                                                 const Pattern& q, size_t k,
+                                                 RankingMetric metric);
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_RANKING_TOPK_H_

@@ -1,0 +1,207 @@
+#include "src/storage/graph_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/graph/graph_io.h"
+#include "src/query/pattern_parser.h"
+#include "src/util/string_util.h"
+
+namespace expfinder {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kChecksumPrefix = "# checksum ";
+
+std::string WithChecksum(const std::string& body) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(Fnv1a(body)));
+  std::string out(kChecksumPrefix);
+  out += buf;
+  out += "\n";
+  out += body;
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f.is_open()) return Status::IOError("cannot open for writing: " + tmp);
+    f << content;
+    if (!f.good()) return Status::IOError("write failed: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IOError("rename failed: " + ec.message());
+  return Status::OK();
+}
+
+Result<std::string> ReadCheckedFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) return Status::NotFound("no such file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  std::string content = ss.str();
+  if (!StartsWith(content, kChecksumPrefix)) {
+    return Status::Corruption("missing checksum header: " + path);
+  }
+  size_t eol = content.find('\n');
+  if (eol == std::string::npos) return Status::Corruption("truncated file: " + path);
+  std::string_view hex =
+      Trim(std::string_view(content).substr(kChecksumPrefix.size(),
+                                            eol - kChecksumPrefix.size()));
+  std::string body = content.substr(eol + 1);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(Fnv1a(body)));
+  if (hex != buf) {
+    return Status::Corruption("checksum mismatch in " + path);
+  }
+  return body;
+}
+
+}  // namespace
+
+Result<GraphStore> GraphStore::Open(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create store dir: " + ec.message());
+  if (!fs::is_directory(dir)) {
+    return Status::InvalidArgument("store path is not a directory: " + dir);
+  }
+  return GraphStore(dir);
+}
+
+std::string GraphStore::PathFor(const std::string& name, const std::string& kind) const {
+  return dir_ + "/" + name + "." + kind;
+}
+
+Status GraphStore::PutGraph(const std::string& name, const Graph& g) {
+  std::ostringstream os;
+  EF_RETURN_NOT_OK(SaveGraphText(g, os));
+  return WriteFileAtomic(PathFor(name, "graph"), WithChecksum(os.str()));
+}
+
+Result<Graph> GraphStore::GetGraph(const std::string& name) const {
+  auto body = ReadCheckedFile(PathFor(name, "graph"));
+  if (!body.ok()) return body.status();
+  std::istringstream is(body.value());
+  return LoadGraphText(is);
+}
+
+Status GraphStore::PutPattern(const std::string& name, const Pattern& p) {
+  return WriteFileAtomic(PathFor(name, "pattern"), WithChecksum(p.ToText()));
+}
+
+Result<Pattern> GraphStore::GetPattern(const std::string& name) const {
+  auto body = ReadCheckedFile(PathFor(name, "pattern"));
+  if (!body.ok()) return body.status();
+  return ParsePatternText(body.value());
+}
+
+Status GraphStore::PutMatches(const std::string& name, const MatchRelation& m) {
+  return WriteFileAtomic(PathFor(name, "matches"),
+                         WithChecksum(SerializeMatchRelation(m)));
+}
+
+Result<MatchRelation> GraphStore::GetMatches(const std::string& name) const {
+  auto body = ReadCheckedFile(PathFor(name, "matches"));
+  if (!body.ok()) return body.status();
+  return ParseMatchRelation(body.value());
+}
+
+std::vector<std::string> GraphStore::List(const std::string& kind) const {
+  std::vector<std::string> out;
+  std::string ext = "." + kind;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string fname = entry.path().filename().string();
+    if (fname.size() > ext.size() &&
+        fname.compare(fname.size() - ext.size(), ext.size(), ext) == 0) {
+      out.push_back(fname.substr(0, fname.size() - ext.size()));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status GraphStore::Remove(const std::string& name, const std::string& kind) {
+  std::error_code ec;
+  if (!fs::remove(PathFor(name, kind), ec) || ec) {
+    return Status::NotFound("no such object: " + name + "." + kind);
+  }
+  return Status::OK();
+}
+
+std::string SerializeMatchRelation(const MatchRelation& m) {
+  std::ostringstream os;
+  os << "# expfinder matches v1\n";
+  os << "patternnodes " << m.NumPatternNodes() << "\n";
+  for (PatternNodeId u = 0; u < m.NumPatternNodes(); ++u) {
+    os << "match " << u;
+    for (NodeId v : m.MatchesOf(u)) os << " " << v;
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<MatchRelation> ParseMatchRelation(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  MatchRelation m;
+  size_t line_no = 0;
+  bool sized = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    auto tokens = Split(std::string(sv), ' ');
+    if (tokens[0] == "patternnodes") {
+      int64_t n;
+      if (tokens.size() != 2 || !ParseInt64(tokens[1], &n) || n < 0) {
+        return Status::Corruption("bad patternnodes line " + std::to_string(line_no));
+      }
+      m = MatchRelation(static_cast<size_t>(n));
+      sized = true;
+    } else if (tokens[0] == "match") {
+      if (!sized || tokens.size() < 2) {
+        return Status::Corruption("match before patternnodes at line " +
+                                  std::to_string(line_no));
+      }
+      int64_t u;
+      if (!ParseInt64(tokens[1], &u) || u < 0 ||
+          static_cast<size_t>(u) >= m.NumPatternNodes()) {
+        return Status::Corruption("bad pattern node id at line " +
+                                  std::to_string(line_no));
+      }
+      std::vector<NodeId> nodes;
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        if (tokens[i].empty()) continue;
+        int64_t v;
+        if (!ParseInt64(tokens[i], &v) || v < 0) {
+          return Status::Corruption("bad node id at line " + std::to_string(line_no));
+        }
+        nodes.push_back(static_cast<NodeId>(v));
+      }
+      if (!std::is_sorted(nodes.begin(), nodes.end())) {
+        return Status::Corruption("unsorted match list at line " +
+                                  std::to_string(line_no));
+      }
+      m.SetMatches(static_cast<PatternNodeId>(u), std::move(nodes));
+    } else {
+      return Status::Corruption("unknown directive at line " + std::to_string(line_no));
+    }
+  }
+  if (!sized) return Status::Corruption("missing patternnodes header");
+  return m;
+}
+
+}  // namespace expfinder

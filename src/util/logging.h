@@ -1,0 +1,67 @@
+// Minimal logging + assertion macros (glog-flavoured, dependency-free).
+
+#ifndef EXPFINDER_UTIL_LOGGING_H_
+#define EXPFINDER_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace expfinder {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal {
+
+/// Collects one log statement and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  /// The stream users write into; the temporary LogMessage outlives the full
+  /// expression, so streaming into it is safe.
+  std::ostream& stream() { return stream_; }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Turns a streamed log expression into void so it can sit in the false
+/// branch of the EF_CHECK ternary (glog's voidify idiom).
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+/// Sets the minimum level that is actually emitted (default kWarning so that
+/// library internals stay quiet in tests/benchmarks).
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+#define EF_LOG(level)                                                \
+  ::expfinder::internal::LogMessage(::expfinder::LogLevel::k##level, \
+                                    __FILE__, __LINE__)              \
+      .stream()
+
+/// Always-on invariant check (kept in release builds; cheap predicates only).
+#define EF_CHECK(cond)                                    \
+  (cond) ? static_cast<void>(0)                           \
+         : ::expfinder::internal::LogMessageVoidify() &   \
+               EF_LOG(Fatal) << "Check failed: " #cond " "
+
+#ifndef NDEBUG
+#define EF_DCHECK(cond) EF_CHECK(cond)
+#else
+#define EF_DCHECK(cond) \
+  true ? static_cast<void>(0) : ::expfinder::internal::LogMessageVoidify() & EF_LOG(Fatal)
+#endif
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_UTIL_LOGGING_H_

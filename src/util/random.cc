@@ -1,0 +1,125 @@
+#include "src/util/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/util/logging.h"
+
+namespace expfinder {
+
+namespace {
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  EF_DCHECK(bound > 0);
+  // Lemire's multiply-shift rejection method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  EF_DCHECK(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit span
+  return lo + static_cast<int64_t>(NextBounded(range));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextGaussian() {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return gauss_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  gauss_ = v * factor;
+  have_gauss_ = true;
+  return u * factor;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  EF_DCHECK(n > 0);
+  EF_DCHECK(s > 0.0);
+  // Continuous-approximation inverse CDF: F(x) = (x^{1-s} - 1)/(n^{1-s} - 1)
+  // on [1, n], inverted in closed form. Accurate enough for modelling skewed
+  // label/expertise popularity; exact harmonic sampling is unnecessary here.
+  if (std::fabs(s - 1.0) < 1e-9) s = 1.0 + 1e-9;
+  double u = NextDouble();
+  double np = std::pow(static_cast<double>(n), 1.0 - s);
+  double x = std::pow(u * (np - 1.0) + 1.0, 1.0 / (1.0 - s));
+  uint64_t k = static_cast<uint64_t>(x) - 1;  // 0-based rank (0 = most popular)
+  if (k >= n) k = n - 1;
+  return k;
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  EF_CHECK(k <= n) << "sample size " << k << " exceeds population " << n;
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k > n / 3) {
+    // Dense case: partial Fisher–Yates over an index vector.
+    std::vector<uint64_t> idx(n);
+    for (uint64_t i = 0; i < n; ++i) idx[i] = i;
+    for (uint64_t i = 0; i < k; ++i) {
+      uint64_t j = i + NextBounded(n - i);
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+  } else {
+    // Sparse case: rejection with a hash set.
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(k * 2);
+    while (out.size() < k) {
+      uint64_t v = NextBounded(n);
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace expfinder

@@ -1,0 +1,74 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+
+#ifndef EXPFINDER_UTIL_RESULT_H_
+#define EXPFINDER_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/status.h"
+
+namespace expfinder {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why
+/// the value could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from non-OK status (failure). Constructing from OK is an error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    EF_CHECK(!status_.ok()) << "Result constructed from OK status without value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value access; aborts if !ok() (programming error).
+  const T& value() const& {
+    EF_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    EF_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    EF_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `alternative` when in error state.
+  T ValueOr(T alternative) const {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ engaged
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define EF_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  EF_ASSIGN_OR_RETURN_IMPL(                              \
+      EF_CONCAT_NAME(_ef_result_, __LINE__), lhs, rexpr)
+
+#define EF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define EF_CONCAT_NAME(x, y) EF_CONCAT_NAME_INNER(x, y)
+#define EF_CONCAT_NAME_INNER(x, y) x##y
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_UTIL_RESULT_H_

@@ -1,0 +1,45 @@
+// Small string helpers shared by parsers, IO, and renderers.
+
+#ifndef EXPFINDER_UTIL_STRING_UTIL_H_
+#define EXPFINDER_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace expfinder {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// Parses a signed integer; returns false on malformed/overflowing input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Escapes `"` and `\` for embedding in quoted fields / DOT labels.
+std::string EscapeQuoted(std::string_view s);
+
+/// FNV-1a 64-bit hash, used for cache fingerprints and file checksums.
+uint64_t Fnv1a(std::string_view s, uint64_t seed = 0xCBF29CE484222325ULL);
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_UTIL_STRING_UTIL_H_

@@ -1,0 +1,106 @@
+#include "src/viz/dot_export.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/string_util.h"
+
+namespace expfinder {
+
+namespace {
+
+std::string NodeLabel(const Graph& g, NodeId v, bool include_attrs) {
+  std::ostringstream os;
+  os << g.DisplayName(v) << "\\n" << g.NodeLabelName(v);
+  if (include_attrs) {
+    for (const auto& [key, value] : g.Attrs(v)) {
+      const std::string& name = g.AttrKeyName(key);
+      if (name == "name") continue;
+      os << "\\n" << name << "=" << value.ToString();
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string GraphToDot(const Graph& g, const DotOptions& options) {
+  std::ostringstream os;
+  size_t limit = options.max_nodes == 0 ? g.NumNodes()
+                                        : std::min(options.max_nodes, g.NumNodes());
+  os << "digraph G {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  if (limit < g.NumNodes()) {
+    os << "  // truncated to the first " << limit << " of " << g.NumNodes()
+       << " nodes\n";
+  }
+  for (NodeId v = 0; v < limit; ++v) {
+    os << "  n" << v << " [label=\""
+       << EscapeQuoted(NodeLabel(g, v, options.include_attrs)) << "\"];\n";
+  }
+  for (NodeId v = 0; v < limit; ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (w < limit) os << "  n" << v << " -> n" << w << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string PatternToDot(const Pattern& q) {
+  std::ostringstream os;
+  os << "digraph Q {\n  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n";
+  for (PatternNodeId u = 0; u < q.NumNodes(); ++u) {
+    const PatternNode& n = q.node(u);
+    std::ostringstream label;
+    label << n.name;
+    if (!n.label.empty()) label << "\\n" << n.label;
+    for (const Condition& c : n.conditions) label << "\\n" << c.ToString();
+    bool is_output = q.output_node() && *q.output_node() == u;
+    os << "  q" << u << " [label=\"" << EscapeQuoted(label.str()) << "\"";
+    if (is_output) os << ", peripheries=2, color=red";
+    os << "];\n";
+  }
+  for (const PatternEdge& e : q.edges()) {
+    os << "  q" << e.src << " -> q" << e.dst << " [label=\"";
+    if (e.bound == kUnboundedEdge) {
+      os << "*";
+    } else {
+      os << e.bound;
+    }
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ResultGraphToDot(const ResultGraph& gr, const Graph& g, const Pattern& q,
+                             const std::vector<NodeId>& highlight) {
+  std::ostringstream os;
+  os << "digraph Gr {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  // Annotate each result node with the pattern nodes it matches.
+  std::vector<std::string> roles(gr.NumNodes());
+  for (PatternNodeId u = 0; u < q.NumNodes(); ++u) {
+    for (uint32_t pos : gr.MatchesOf(u)) {
+      if (!roles[pos].empty()) roles[pos] += ",";
+      roles[pos] += q.node(u).name;
+    }
+  }
+  for (uint32_t pos = 0; pos < gr.NumNodes(); ++pos) {
+    NodeId v = gr.DataNode(pos);
+    bool hot = std::find(highlight.begin(), highlight.end(), v) != highlight.end();
+    os << "  r" << pos << " [label=\""
+       << EscapeQuoted(g.DisplayName(v) + "\\n[" + roles[pos] + "]") << "\"";
+    if (hot) os << ", color=red, fontcolor=red, penwidth=2";
+    os << "];\n";
+  }
+  for (uint32_t pos = 0; pos < gr.NumNodes(); ++pos) {
+    for (const auto& [dst, weight] : gr.Out()[pos]) {
+      os << "  r" << pos << " -> r" << dst << " [label=\""
+         << static_cast<int64_t>(weight) << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace expfinder

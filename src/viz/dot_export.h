@@ -1,0 +1,41 @@
+// Graphviz DOT export — the library-level substitute for the ExpFinder GUI
+// (paper Figs. 3-5): data graphs, pattern queries (bounds on edges, output
+// node starred) and result graphs (top-1 match highlighted red, as in
+// Fig. 5) render to DOT for external viewers.
+
+#ifndef EXPFINDER_VIZ_DOT_EXPORT_H_
+#define EXPFINDER_VIZ_DOT_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/matching/result_graph.h"
+#include "src/query/pattern.h"
+
+namespace expfinder {
+
+/// \brief Rendering options for data graphs.
+struct DotOptions {
+  /// Render at most this many nodes (plus their induced edges); larger
+  /// graphs are truncated with a note. 0 = no limit.
+  size_t max_nodes = 200;
+  /// Include attribute key=value lines in node labels.
+  bool include_attrs = true;
+};
+
+/// Data graph -> DOT digraph.
+std::string GraphToDot(const Graph& g, const DotOptions& options = {});
+
+/// Pattern -> DOT (conditions in node labels, bounds on edge labels, output
+/// node double-circled).
+std::string PatternToDot(const Pattern& q);
+
+/// Result graph -> DOT (edge labels = path lengths; `highlight` data nodes,
+/// e.g. the top-1 expert, drawn red).
+std::string ResultGraphToDot(const ResultGraph& gr, const Graph& g, const Pattern& q,
+                             const std::vector<NodeId>& highlight = {});
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_VIZ_DOT_EXPORT_H_

@@ -1,0 +1,36 @@
+// Fixed-width console tables: the "drill down / roll up" text views of the
+// manager CLI and the paper-style rows printed by the benchmark harness.
+
+#ifndef EXPFINDER_VIZ_TABLE_RENDER_H_
+#define EXPFINDER_VIZ_TABLE_RENDER_H_
+
+#include <string>
+#include <vector>
+
+namespace expfinder {
+
+/// \brief Accumulates rows and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row (shorter rows are padded with empty cells).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Renders with column separators and a header rule.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_VIZ_TABLE_RENDER_H_

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/attribute.h"
+
+namespace expfinder {
+namespace {
+
+TEST(AttrValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(AttrValue(int64_t{5}).is_int());
+  EXPECT_TRUE(AttrValue(5).is_int());
+  EXPECT_TRUE(AttrValue(2.5).is_double());
+  EXPECT_TRUE(AttrValue(true).is_bool());
+  EXPECT_TRUE(AttrValue("s").is_string());
+  EXPECT_EQ(AttrValue(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(AttrValue(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(AttrValue(std::string("abc")).AsString(), "abc");
+  EXPECT_TRUE(AttrValue(true).AsBool());
+}
+
+TEST(AttrValueTest, NumericPromotionInEquals) {
+  EXPECT_TRUE(AttrValue(5).Equals(AttrValue(5.0)));
+  EXPECT_FALSE(AttrValue(5).Equals(AttrValue(5.5)));
+  EXPECT_TRUE(AttrValue(5).Equals(AttrValue(5)));
+  EXPECT_FALSE(AttrValue(5).Equals(AttrValue("5")));
+  EXPECT_FALSE(AttrValue(true).Equals(AttrValue("true")));
+  EXPECT_TRUE(AttrValue("x").Equals(AttrValue("x")));
+}
+
+TEST(AttrValueTest, CompareNumeric) {
+  EXPECT_EQ(AttrValue(3).Compare(AttrValue(5)).value(), -1);
+  EXPECT_EQ(AttrValue(5).Compare(AttrValue(3)).value(), 1);
+  EXPECT_EQ(AttrValue(4).Compare(AttrValue(4)).value(), 0);
+  EXPECT_EQ(AttrValue(3.5).Compare(AttrValue(3)).value(), 1);
+}
+
+TEST(AttrValueTest, CompareStrings) {
+  EXPECT_EQ(AttrValue("a").Compare(AttrValue("b")).value(), -1);
+  EXPECT_EQ(AttrValue("b").Compare(AttrValue("b")).value(), 0);
+}
+
+TEST(AttrValueTest, CompareIncompatibleIsNullopt) {
+  EXPECT_FALSE(AttrValue("a").Compare(AttrValue(1)).has_value());
+  EXPECT_FALSE(AttrValue(true).Compare(AttrValue("x")).has_value());
+}
+
+TEST(AttrValueTest, SerializeRoundTrip) {
+  for (const AttrValue& v :
+       {AttrValue(42), AttrValue(-3), AttrValue(2.5), AttrValue(true),
+        AttrValue(false), AttrValue("hello world"), AttrValue("with \"quotes\""),
+        AttrValue("back\\slash"), AttrValue(std::string())}) {
+    auto parsed = ParseAttrValue(v.Serialize());
+    ASSERT_TRUE(parsed.has_value()) << v.Serialize();
+    EXPECT_TRUE(parsed->Equals(v)) << v.Serialize();
+    EXPECT_EQ(parsed->type(), v.type()) << v.Serialize();
+  }
+}
+
+TEST(AttrValueTest, DoubleSerializationKeepsType) {
+  AttrValue v(5.0);
+  auto parsed = ParseAttrValue(v.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_double()) << v.Serialize();
+}
+
+TEST(ParseAttrValueTest, Classification) {
+  EXPECT_TRUE(ParseAttrValue("123")->is_int());
+  EXPECT_TRUE(ParseAttrValue("-4")->is_int());
+  EXPECT_TRUE(ParseAttrValue("1.5")->is_double());
+  EXPECT_TRUE(ParseAttrValue("true")->is_bool());
+  EXPECT_TRUE(ParseAttrValue("false")->is_bool());
+  EXPECT_TRUE(ParseAttrValue("\"txt\"")->is_string());
+  EXPECT_EQ(ParseAttrValue("\"a b\"")->AsString(), "a b");
+}
+
+TEST(ParseAttrValueTest, Malformed) {
+  EXPECT_FALSE(ParseAttrValue("").has_value());
+  EXPECT_FALSE(ParseAttrValue("\"unterminated").has_value());
+  EXPECT_FALSE(ParseAttrValue("notaliteral").has_value());
+  EXPECT_FALSE(ParseAttrValue("\"inner\"quote\"").has_value());
+}
+
+TEST(StringInternerTest, InternAndLookup) {
+  StringInterner interner;
+  uint32_t a = interner.Intern("alpha");
+  uint32_t b = interner.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.NameOf(a), "alpha");
+  EXPECT_EQ(interner.Find("beta").value(), b);
+  EXPECT_FALSE(interner.Find("gamma").has_value());
+}
+
+TEST(StringInternerTest, IdsAreDense) {
+  StringInterner interner;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(interner.Intern("s" + std::to_string(i)), static_cast<uint32_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace expfinder

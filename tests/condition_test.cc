@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "src/query/condition.h"
+
+namespace expfinder {
+namespace {
+
+TEST(CmpOpTest, TokenRoundTrip) {
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                   CmpOp::kGe, CmpOp::kContains}) {
+    auto parsed = ParseCmpOp(CmpOpToken(op));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, op);
+  }
+  EXPECT_FALSE(ParseCmpOp("=~").has_value());
+  EXPECT_FALSE(ParseCmpOp("").has_value());
+}
+
+TEST(ConditionTest, NumericComparisons) {
+  AttrValue five(5);
+  EXPECT_TRUE(Condition("x", CmpOp::kEq, 5).Eval(&five));
+  EXPECT_FALSE(Condition("x", CmpOp::kNe, 5).Eval(&five));
+  EXPECT_TRUE(Condition("x", CmpOp::kGe, 5).Eval(&five));
+  EXPECT_TRUE(Condition("x", CmpOp::kLe, 5).Eval(&five));
+  EXPECT_FALSE(Condition("x", CmpOp::kGt, 5).Eval(&five));
+  EXPECT_TRUE(Condition("x", CmpOp::kGt, 4).Eval(&five));
+  EXPECT_TRUE(Condition("x", CmpOp::kLt, 6).Eval(&five));
+}
+
+TEST(ConditionTest, MixedIntDouble) {
+  AttrValue v(4.5);
+  EXPECT_TRUE(Condition("x", CmpOp::kGt, 4).Eval(&v));
+  EXPECT_TRUE(Condition("x", CmpOp::kLt, 5).Eval(&v));
+  AttrValue i(4);
+  EXPECT_TRUE(Condition("x", CmpOp::kLt, AttrValue(4.5)).Eval(&i));
+}
+
+TEST(ConditionTest, StringComparisons) {
+  AttrValue s("database admin");
+  EXPECT_TRUE(Condition("x", CmpOp::kEq, "database admin").Eval(&s));
+  EXPECT_TRUE(Condition("x", CmpOp::kContains, "base").Eval(&s));
+  EXPECT_FALSE(Condition("x", CmpOp::kContains, "Base").Eval(&s));
+  EXPECT_TRUE(Condition("x", CmpOp::kLt, "z").Eval(&s));
+}
+
+TEST(ConditionTest, AbsentAttributeFailsEveryOp) {
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                   CmpOp::kGe, CmpOp::kContains}) {
+    EXPECT_FALSE(Condition("x", op, 1).Eval(nullptr)) << CmpOpToken(op);
+  }
+}
+
+TEST(ConditionTest, TypeMismatchFailsOrderOps) {
+  AttrValue s("text");
+  EXPECT_FALSE(Condition("x", CmpOp::kGe, 5).Eval(&s));
+  EXPECT_FALSE(Condition("x", CmpOp::kLt, 5).Eval(&s));
+  // Ne across types is true (they are not equal).
+  EXPECT_TRUE(Condition("x", CmpOp::kNe, 5).Eval(&s));
+  EXPECT_FALSE(Condition("x", CmpOp::kEq, 5).Eval(&s));
+}
+
+TEST(ConditionTest, ContainsRequiresStrings) {
+  AttrValue num(12);
+  EXPECT_FALSE(Condition("x", CmpOp::kContains, "1").Eval(&num));
+  AttrValue s("12");
+  EXPECT_FALSE(Condition("x", CmpOp::kContains, 1).Eval(&s));
+}
+
+TEST(ConditionTest, BoolEquality) {
+  AttrValue t(true);
+  EXPECT_TRUE(Condition("x", CmpOp::kEq, true).Eval(&t));
+  EXPECT_FALSE(Condition("x", CmpOp::kEq, false).Eval(&t));
+  EXPECT_TRUE(Condition("x", CmpOp::kNe, false).Eval(&t));
+}
+
+TEST(ConditionTest, ToStringRendersOperator) {
+  Condition c("experience", CmpOp::kGe, 5);
+  EXPECT_EQ(c.ToString(), "experience >= 5");
+  Condition s("specialty", CmpOp::kEq, "DBA");
+  EXPECT_EQ(s.ToString(), "specialty == \"DBA\"");
+}
+
+TEST(ConditionTest, Equality) {
+  Condition a("x", CmpOp::kGe, 5);
+  EXPECT_TRUE(a == Condition("x", CmpOp::kGe, 5));
+  EXPECT_FALSE(a == Condition("x", CmpOp::kGt, 5));
+  EXPECT_FALSE(a == Condition("y", CmpOp::kGe, 5));
+  EXPECT_FALSE(a == Condition("x", CmpOp::kGe, 6));
+}
+
+}  // namespace
+}  // namespace expfinder

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "src/engine/query_engine.h"
+#include "src/generator/generators.h"
+#include "src/matching/bounded_simulation.h"
+
+namespace expfinder {
+namespace {
+
+TEST(PlannerTest, EstimatesAndOrdersBySelectivity) {
+  Graph g = gen::BuildFig1Graph();
+  Pattern q = gen::BuildFig1Pattern();
+  EvalPlan plan = Planner(true).Plan(g, q);
+  EXPECT_FALSE(plan.provably_empty);
+  ASSERT_EQ(plan.node_order.size(), 4u);
+  // SD is the most common label (4 nodes) so it should come last-ish; BA/ST
+  // (1 node each) come first.
+  EXPECT_LE(plan.estimated_candidates[plan.node_order[0]],
+            plan.estimated_candidates[plan.node_order[3]]);
+  EXPECT_NE(plan.ToString(q).find("label_index=on"), std::string::npos);
+}
+
+TEST(PlannerTest, DetectsImpossibleQueries) {
+  Graph g = gen::BuildFig1Graph();
+  PatternBuilder b;
+  b.Node("NOPE", "x").Output();
+  EvalPlan plan = Planner(true).Plan(g, b.Build().value());
+  EXPECT_TRUE(plan.provably_empty);
+
+  PatternBuilder b2;
+  b2.Node("SA", "x").Where("unknown_attr", CmpOp::kGe, 1).Output();
+  EXPECT_TRUE(Planner(true).Plan(g, b2.Build().value()).provably_empty);
+}
+
+TEST(PlannerTest, DisabledPlannerScansEverything) {
+  Graph g = gen::BuildFig1Graph();
+  EvalPlan plan = Planner(false).Plan(g, gen::BuildFig1Pattern());
+  EXPECT_FALSE(plan.match_options.use_label_index);
+  EXPECT_FALSE(plan.provably_empty);
+}
+
+TEST(ResultCacheTest, HitMissAndLru) {
+  ResultCache cache(2);
+  auto mk = [] {
+    return std::make_shared<const QueryAnswer>(
+        QueryAnswer{MatchRelation(1), ResultGraph(Graph(), Pattern(), MatchRelation())});
+  };
+  EXPECT_EQ(cache.Get(1, 10), nullptr);
+  cache.Put(1, 10, mk());
+  cache.Put(2, 10, mk());
+  EXPECT_NE(cache.Get(1, 10), nullptr);
+  cache.Put(3, 10, mk());  // evicts fp=2 (LRU)
+  EXPECT_EQ(cache.Get(2, 10), nullptr);
+  EXPECT_NE(cache.Get(1, 10), nullptr);
+  EXPECT_NE(cache.Get(3, 10), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCacheTest, StaleVersionDropped) {
+  ResultCache cache(4);
+  cache.Put(1, 10,
+            std::make_shared<const QueryAnswer>(QueryAnswer{
+                MatchRelation(1), ResultGraph(Graph(), Pattern(), MatchRelation())}));
+  EXPECT_EQ(cache.Get(1, 11), nullptr);
+  EXPECT_EQ(cache.size(), 0u);  // dropped on stale lookup
+  EXPECT_EQ(cache.stale_drops(), 1u);
+}
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = gen::BuildFig1Graph();
+    q_ = gen::BuildFig1Pattern();
+  }
+  Graph g_;
+  Pattern q_;
+};
+
+TEST_F(EngineFixture, EvaluateProducesPaperAnswer) {
+  QueryEngine engine(&g_);
+  auto answer = engine.Evaluate(q_);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_EQ((*answer)->matches.TotalPairs(), 7u);
+  EXPECT_EQ((*answer)->result_graph.NumNodes(), 7u);
+  EXPECT_EQ(engine.stats().direct_evals, 1u);
+}
+
+TEST_F(EngineFixture, CacheHitOnRepeat) {
+  QueryEngine engine(&g_);
+  auto first = engine.Evaluate(q_);
+  ASSERT_TRUE(first.ok());
+  auto second = engine.Evaluate(q_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+  EXPECT_EQ(engine.stats().direct_evals, 1u);
+  EXPECT_EQ(first.value().get(), second.value().get());  // same shared answer
+}
+
+TEST_F(EngineFixture, CacheInvalidatedByUpdates) {
+  QueryEngine engine(&g_);
+  ASSERT_TRUE(engine.Evaluate(q_).ok());
+  auto [src, dst] = gen::Fig1EdgeE1();
+  ASSERT_TRUE(engine.ApplyUpdates({GraphUpdate::Insert(src, dst)}).ok());
+  auto answer = engine.Evaluate(q_);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_EQ((*answer)->matches.TotalPairs(), 8u);  // Fred joined
+}
+
+TEST_F(EngineFixture, CacheDisabledNeverHits) {
+  EngineOptions opts;
+  opts.use_cache = false;
+  QueryEngine engine(&g_, opts);
+  ASSERT_TRUE(engine.Evaluate(q_).ok());
+  ASSERT_TRUE(engine.Evaluate(q_).ok());
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_EQ(engine.stats().direct_evals, 2u);
+}
+
+TEST_F(EngineFixture, CompressionPathMatchesDirect) {
+  EngineOptions opts;
+  opts.use_compression = true;
+  QueryEngine engine(&g_, opts);
+  ASSERT_NE(engine.compressed(), nullptr);
+  auto answer = engine.Evaluate(q_);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(engine.stats().compressed_evals, 1u);
+  EXPECT_EQ((*answer)->matches, ComputeBoundedSimulation(g_, q_));
+}
+
+TEST_F(EngineFixture, IncompatibleQueryFallsBackToDirect) {
+  EngineOptions opts;
+  opts.use_compression = true;
+  QueryEngine engine(&g_, opts);
+  PatternBuilder b;
+  b.Node("SD", "sd").Where("specialty", CmpOp::kEq, "DBA").Output();
+  Pattern q = b.Build().value();
+  ASSERT_TRUE(engine.Evaluate(q).ok());
+  EXPECT_EQ(engine.stats().compressed_evals, 0u);
+  EXPECT_EQ(engine.stats().direct_evals, 1u);
+}
+
+TEST_F(EngineFixture, MaintainedQueryStaysFreshUnderUpdates) {
+  QueryEngine engine(&g_);
+  ASSERT_TRUE(engine.RegisterMaintainedQuery(q_).ok());
+  EXPECT_TRUE(engine.IsMaintained(q_));
+  EXPECT_TRUE(engine.RegisterMaintainedQuery(q_).IsAlreadyExists());
+  auto [src, dst] = gen::Fig1EdgeE1();
+  ASSERT_TRUE(engine.ApplyUpdates({GraphUpdate::Insert(src, dst)}).ok());
+  auto answer = engine.Evaluate(q_);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(engine.stats().maintained_hits, 1u);
+  EXPECT_EQ((*answer)->matches.TotalPairs(), 8u);
+  EXPECT_TRUE((*answer)->matches == ComputeBoundedSimulation(g_, q_));
+}
+
+TEST_F(EngineFixture, TopKThroughEngine) {
+  QueryEngine engine(&g_);
+  auto top = engine.TopK(q_, 1);
+  ASSERT_TRUE(top.ok()) << top.status();
+  ASSERT_EQ(top->size(), 1u);
+  EXPECT_EQ((*top)[0].node, gen::Fig1::kBob);
+  EXPECT_DOUBLE_EQ((*top)[0].score, 1.8);
+}
+
+TEST_F(EngineFixture, InvalidBatchChangesNothing) {
+  QueryEngine engine(&g_);
+  uint64_t version = g_.version();
+  UpdateBatch bad{GraphUpdate::Insert(0, 1),  // duplicate of existing edge?
+                  GraphUpdate::Delete(0, 99)};
+  // (0,1) doesn't exist as edge? Bob->Walt is not an edge; but delete has a
+  // bad endpoint, which must fail validation upfront.
+  EXPECT_FALSE(engine.ApplyUpdates(bad).ok());
+  EXPECT_EQ(g_.version(), version);
+  EXPECT_EQ(engine.stats().batches_applied, 0u);
+}
+
+TEST_F(EngineFixture, PlannerShortCircuitOnImpossibleQuery) {
+  QueryEngine engine(&g_);
+  PatternBuilder b;
+  b.Node("NOPE", "x").Output();
+  auto answer = engine.Evaluate(b.Build().value());
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE((*answer)->matches.IsEmpty());
+  EXPECT_EQ(engine.stats().planner_short_circuits, 1u);
+}
+
+TEST(EngineTest, EndToEndOnCollaborationNetwork) {
+  gen::CollaborationConfig cfg;
+  cfg.num_people = 400;
+  cfg.num_teams = 80;
+  cfg.seed = 12;
+  Graph g = gen::CollaborationNetwork(cfg);
+  EngineOptions opts;
+  opts.use_compression = true;
+  QueryEngine engine(&g, opts);
+  for (int i = 0; i < 3; ++i) {
+    Pattern q = gen::TeamQuery(i);
+    auto answer = engine.Evaluate(q);
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    EXPECT_TRUE((*answer)->matches == ComputeBoundedSimulation(g, q)) << i;
+  }
+  UpdateBatch batch = GenerateUpdateStream(g, 20, 0.5, 13);
+  ASSERT_TRUE(engine.ApplyUpdates(batch).ok());
+  for (int i = 0; i < 3; ++i) {
+    Pattern q = gen::TeamQuery(i);
+    auto answer = engine.Evaluate(q);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_TRUE((*answer)->matches == ComputeBoundedSimulation(g, q))
+        << "post-update " << i;
+  }
+  EXPECT_EQ(engine.stats().batches_applied, 1u);
+  EXPECT_EQ(engine.stats().updates_applied, 20u);
+  EXPECT_FALSE(engine.stats().ToString().empty());
+}
+
+}  // namespace
+}  // namespace expfinder

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "src/generator/generators.h"
+#include "src/matching/bounded_simulation.h"
+#include "src/matching/explain.h"
+
+namespace expfinder {
+namespace {
+
+class ExplainFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = gen::BuildFig1Graph();
+    q_ = gen::BuildFig1Pattern();
+    m_ = ComputeBoundedSimulation(g_, q_);
+  }
+  Graph g_;
+  Pattern q_;
+  MatchRelation m_;
+};
+
+TEST_F(ExplainFixture, BobWitnesses) {
+  auto sa = *q_.FindNode("SA");
+  auto exp = ExplainMatch(g_, q_, m_, sa, gen::Fig1::kBob);
+  ASSERT_TRUE(exp.ok()) << exp.status();
+  ASSERT_EQ(exp->witnesses.size(), 2u);  // SA->SD and SA->BA
+  for (const EdgeWitness& w : exp->witnesses) {
+    const PatternEdge& pe = q_.edges()[w.edge_index];
+    ASSERT_GE(w.path.size(), 2u);
+    EXPECT_EQ(w.path.front(), gen::Fig1::kBob);
+    // The endpoint is a match of the edge target; the length respects the
+    // bound; consecutive nodes are actual edges.
+    EXPECT_TRUE(m_.Contains(pe.dst, w.path.back()));
+    EXPECT_LE(w.path.size() - 1, pe.bound);
+    for (size_t i = 0; i + 1 < w.path.size(); ++i) {
+      EXPECT_TRUE(g_.HasEdge(w.path[i], w.path[i + 1]));
+    }
+  }
+}
+
+TEST_F(ExplainFixture, WitnessPathsAreShortest) {
+  // Bob -> Dan is a 1-hop witness for SA->SD (not the 2-hop Bob->Dan->Pat).
+  auto sa = *q_.FindNode("SA");
+  auto exp = ExplainMatch(g_, q_, m_, sa, gen::Fig1::kBob);
+  ASSERT_TRUE(exp.ok());
+  for (const EdgeWitness& w : exp->witnesses) {
+    const PatternEdge& pe = q_.edges()[w.edge_index];
+    if (q_.node(pe.dst).name == "SD") {
+      EXPECT_EQ(w.path.size(), 2u);  // direct edge
+    }
+    if (q_.node(pe.dst).name == "BA") {
+      EXPECT_EQ(w.path.size(), 4u);  // Jean is exactly 3 hops away
+      EXPECT_EQ(w.path.back(), gen::Fig1::kJean);
+    }
+  }
+}
+
+TEST_F(ExplainFixture, LeafMatchHasNoWitnesses) {
+  auto st = *q_.FindNode("ST");
+  auto exp = ExplainMatch(g_, q_, m_, st, gen::Fig1::kEva);
+  ASSERT_TRUE(exp.ok());
+  EXPECT_TRUE(exp->witnesses.empty());
+}
+
+TEST_F(ExplainFixture, NonMatchIsNotFound) {
+  auto sd = *q_.FindNode("SD");
+  EXPECT_TRUE(ExplainMatch(g_, q_, m_, sd, gen::Fig1::kFred).status().IsNotFound());
+  EXPECT_TRUE(
+      ExplainMatch(g_, q_, m_, 99, gen::Fig1::kBob).status().IsInvalidArgument());
+  EXPECT_TRUE(ExplainMatch(g_, q_, m_, sd, 999).status().IsInvalidArgument());
+}
+
+TEST_F(ExplainFixture, ToStringRendersNamesAndLengths) {
+  auto sa = *q_.FindNode("SA");
+  auto exp = ExplainMatch(g_, q_, m_, sa, gen::Fig1::kWalt);
+  ASSERT_TRUE(exp.ok());
+  std::string text = exp->ToString(g_, q_);
+  EXPECT_NE(text.find("Walt matches SA"), std::string::npos);
+  EXPECT_NE(text.find("Bill"), std::string::npos);  // the via node
+  EXPECT_NE(text.find("(length 2)"), std::string::npos);
+}
+
+TEST(ExplainTest, CycleWitnessForSelfEdge) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("A");
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0).ok());
+  PatternBuilder b;
+  auto a = b.Node("A", "a").Output();
+  b.Edge(a, a, 2);
+  Pattern q = b.Build().value();
+  MatchRelation m = ComputeBoundedSimulation(g, q);
+  ASSERT_TRUE(m.Contains(0, 0));
+  auto exp = ExplainMatch(g, q, m, 0, 0);
+  ASSERT_TRUE(exp.ok()) << exp.status();
+  ASSERT_EQ(exp->witnesses.size(), 1u);
+  // Witness: 0 -> 1 (a match) — nearest target is node 1 itself.
+  EXPECT_EQ(exp->witnesses[0].path.front(), 0u);
+  EXPECT_TRUE(m.Contains(0, exp->witnesses[0].path.back()));
+}
+
+TEST(ExplainTest, RandomInstancesAllMatchesExplainable) {
+  Graph g = gen::CollaborationNetwork({.num_people = 150, .num_teams = 30, .seed = 7});
+  for (int i = 0; i < 3; ++i) {
+    Pattern q = gen::RandomPattern(4, 5, 3, 0.4, 1000 + i);
+    MatchRelation m = ComputeBoundedSimulation(g, q);
+    for (const auto& [u, v] : m.AllPairs()) {
+      auto exp = ExplainMatch(g, q, m, u, v);
+      ASSERT_TRUE(exp.ok()) << exp.status() << " at (" << u << "," << v << ")";
+      ASSERT_EQ(exp->witnesses.size(), q.OutEdges(u).size());
+      for (const EdgeWitness& w : exp->witnesses) {
+        const PatternEdge& pe = q.edges()[w.edge_index];
+        EXPECT_LE(w.path.size() - 1, pe.bound);
+        EXPECT_TRUE(m.Contains(pe.dst, w.path.back()));
+        for (size_t j = 0; j + 1 < w.path.size(); ++j) {
+          EXPECT_TRUE(g.HasEdge(w.path[j], w.path[j + 1]));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace expfinder

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/generator/generators.h"
+#include "src/graph/stats.h"
+
+namespace expfinder {
+namespace {
+
+TEST(ErdosRenyiTest, ExactSizes) {
+  Graph g = gen::ErdosRenyi(100, 400, 1);
+  EXPECT_EQ(g.NumNodes(), 100u);
+  EXPECT_EQ(g.NumEdges(), 400u);
+}
+
+TEST(ErdosRenyiTest, NoSelfLoopsOrDuplicates) {
+  Graph g = gen::ErdosRenyi(50, 300, 2);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      EXPECT_NE(v, w);
+      EXPECT_TRUE(seen.emplace(v, w).second) << "dup edge " << v << "->" << w;
+    }
+  }
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  Graph a = gen::ErdosRenyi(40, 160, 9);
+  Graph b = gen::ErdosRenyi(40, 160, 9);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    EXPECT_EQ(a.OutNeighbors(v), b.OutNeighbors(v));
+    EXPECT_EQ(a.NodeLabelName(v), b.NodeLabelName(v));
+  }
+}
+
+TEST(ErdosRenyiTest, NodesCarryModelAttributes) {
+  Graph g = gen::ErdosRenyi(20, 40, 3);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    ASSERT_NE(g.GetAttr(v, "experience"), nullptr);
+    int64_t exp = g.GetAttr(v, "experience")->AsInt();
+    EXPECT_GE(exp, 0);
+    EXPECT_LE(exp, 15);
+    ASSERT_NE(g.GetAttr(v, "name"), nullptr);
+    ASSERT_NE(g.GetAttr(v, "specialty"), nullptr);
+  }
+}
+
+TEST(PreferentialAttachmentTest, HeavyTailedInDegrees) {
+  Graph g = gen::PreferentialAttachment(2000, 4, 5);
+  EXPECT_EQ(g.NumNodes(), 2000u);
+  GraphStats s = ComputeStats(g, 0);
+  // A hub must emerge: max in-degree far above the mean.
+  EXPECT_GT(s.max_in_degree, 10 * static_cast<size_t>(s.avg_out_degree + 1));
+}
+
+TEST(PreferentialAttachmentTest, ReciprocityTracksParameter) {
+  Graph low = gen::PreferentialAttachment(1500, 4, 6, 0.0);
+  Graph high = gen::PreferentialAttachment(1500, 4, 6, 0.6);
+  GraphStats sl = ComputeStats(low, 0);
+  GraphStats sh = ComputeStats(high, 0);
+  EXPECT_LT(sl.reciprocity, 0.02);
+  EXPECT_GT(sh.reciprocity, 0.3);
+}
+
+TEST(CollaborationNetworkTest, SizesAndConnectivity) {
+  gen::CollaborationConfig cfg;
+  cfg.num_people = 500;
+  cfg.num_teams = 80;
+  cfg.seed = 11;
+  Graph g = gen::CollaborationNetwork(cfg);
+  EXPECT_EQ(g.NumNodes(), 500u);
+  EXPECT_GT(g.NumEdges(), 500u);  // teams produce plenty of collaboration
+  GraphStats s = ComputeStats(g, 0);
+  EXPECT_LT(s.num_sccs, 500u);  // teams create cycles
+}
+
+TEST(CollaborationNetworkTest, Deterministic) {
+  gen::CollaborationConfig cfg;
+  cfg.num_people = 120;
+  cfg.num_teams = 30;
+  cfg.seed = 21;
+  Graph a = gen::CollaborationNetwork(cfg);
+  Graph b = gen::CollaborationNetwork(cfg);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    EXPECT_EQ(a.OutNeighbors(v), b.OutNeighbors(v));
+  }
+}
+
+TEST(TwitterLikeTest, ShapeMatchesConfig) {
+  gen::TwitterLikeConfig cfg;
+  cfg.n = 1200;
+  cfg.out_per_node = 5;
+  cfg.seed = 31;
+  Graph g = gen::TwitterLike(cfg);
+  EXPECT_EQ(g.NumNodes(), 1200u);
+  GraphStats s = ComputeStats(g, 0);
+  EXPECT_GT(s.reciprocity, 0.05);
+  EXPECT_GT(s.max_in_degree, 20u);
+  // Zipf labels: most popular label clearly dominates the rarest.
+  ASSERT_GE(s.label_histogram.size(), 2u);
+  EXPECT_GT(s.label_histogram.front().second, 3 * s.label_histogram.back().second);
+}
+
+TEST(SmallWorldTest, RingPlusRewiring) {
+  Graph g = gen::SmallWorld(200, 3, 0.0, 5);
+  // beta = 0: a pure ring lattice, every node has out-degree exactly k.
+  EXPECT_EQ(g.NumEdges(), 600u);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) EXPECT_EQ(g.OutDegree(v), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 3));
+  EXPECT_TRUE(g.HasEdge(199, 0));
+
+  Graph rewired = gen::SmallWorld(200, 3, 0.5, 5);
+  // Rewiring keeps roughly the same edge count but breaks the lattice.
+  EXPECT_GT(rewired.NumEdges(), 500u);
+  size_t lattice_edges = 0;
+  for (NodeId v = 0; v < rewired.NumNodes(); ++v) {
+    for (size_t j = 1; j <= 3; ++j) {
+      lattice_edges += rewired.HasEdge(v, static_cast<NodeId>((v + j) % 200));
+    }
+  }
+  EXPECT_LT(lattice_edges, 500u);  // many lattice edges replaced
+}
+
+TEST(SmallWorldTest, Deterministic) {
+  Graph a = gen::SmallWorld(100, 2, 0.3, 9);
+  Graph b = gen::SmallWorld(100, 2, 0.3, 9);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    EXPECT_EQ(a.OutNeighbors(v), b.OutNeighbors(v));
+  }
+}
+
+TEST(RmatTest, PowerLawShape) {
+  gen::RmatConfig cfg;
+  cfg.scale = 10;  // 1024 nodes
+  cfg.edge_factor = 8;
+  cfg.seed = 3;
+  Graph g = gen::Rmat(cfg);
+  EXPECT_EQ(g.NumNodes(), 1024u);
+  EXPECT_GT(g.NumEdges(), 7000u);  // near 8192, minus collisions/self-loops
+  GraphStats s = ComputeStats(g, 0);
+  // Skewed quadrants concentrate edges on low node ids: heavy hubs.
+  EXPECT_GT(s.max_out_degree, 50u);
+  EXPECT_GT(s.max_in_degree, 50u);
+}
+
+TEST(RmatTest, Deterministic) {
+  gen::RmatConfig cfg;
+  cfg.scale = 8;
+  cfg.seed = 11;
+  Graph a = gen::Rmat(cfg);
+  Graph b = gen::Rmat(cfg);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    EXPECT_EQ(a.OutNeighbors(v), b.OutNeighbors(v));
+  }
+}
+
+TEST(TwitterLikeTest, LurkersAndFansArePeripheral) {
+  gen::TwitterLikeConfig cfg;
+  cfg.n = 2000;
+  cfg.seed = 13;
+  Graph g = gen::TwitterLike(cfg);
+  size_t sinks = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) sinks += g.OutDegree(v) == 0;
+  // Lurkers (~35%) dominate the sink population.
+  EXPECT_GT(sinks, g.NumNodes() / 5);
+  EXPECT_LT(sinks, g.NumNodes() * 3 / 5);
+}
+
+TEST(CollaborationTest, JuniorsNeverLead) {
+  gen::CollaborationConfig cfg;
+  cfg.num_people = 400;
+  cfg.num_teams = 80;
+  cfg.seed = 17;
+  Graph g = gen::CollaborationNetwork(cfg);
+  size_t sinks = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) sinks += g.OutDegree(v) == 0;
+  EXPECT_GT(sinks, 50u);  // juniors produce a visible sink population
+}
+
+TEST(RandomPatternTest, RespectsShapeParameters) {
+  Pattern p = gen::RandomPattern(5, 6, 3, 0.5, 17);
+  EXPECT_EQ(p.NumNodes(), 5u);
+  EXPECT_LE(p.NumEdges(), 6u);
+  EXPECT_GT(p.NumEdges(), 0u);
+  EXPECT_TRUE(p.output_node().has_value());
+  for (const PatternEdge& e : p.edges()) {
+    EXPECT_GE(e.bound, 1u);
+    EXPECT_LE(e.bound, 3u);
+  }
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(RandomPatternTest, MaxBoundOneGivesSimulationPattern) {
+  Pattern p = gen::RandomPattern(4, 5, 1, 0.3, 23);
+  EXPECT_TRUE(p.IsSimulationPattern());
+}
+
+TEST(Fig1Test, GraphShape) {
+  Graph g = gen::BuildFig1Graph();
+  EXPECT_EQ(g.NumNodes(), 9u);
+  EXPECT_EQ(g.NumEdges(), 12u);
+  EXPECT_EQ(g.DisplayName(gen::Fig1::kBob), "Bob");
+  EXPECT_EQ(g.NodeLabelName(gen::Fig1::kBob), "SA");
+  EXPECT_EQ(g.GetAttr(gen::Fig1::kBob, "experience")->AsInt(), 7);
+  EXPECT_EQ(g.GetAttr(gen::Fig1::kPat, "specialty")->AsString(), "DBA");
+  auto [src, dst] = gen::Fig1EdgeE1();
+  EXPECT_FALSE(g.HasEdge(src, dst));  // e1 excluded initially
+}
+
+TEST(Fig1Test, PatternShape) {
+  Pattern q = gen::BuildFig1Pattern();
+  EXPECT_EQ(q.NumNodes(), 4u);
+  EXPECT_EQ(q.NumEdges(), 4u);
+  ASSERT_TRUE(q.output_node().has_value());
+  EXPECT_EQ(q.node(*q.output_node()).name, "SA");
+  EXPECT_EQ(q.MaxBound(), 3u);
+  EXPECT_FALSE(q.IsSimulationPattern());
+}
+
+}  // namespace
+}  // namespace expfinder

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/graph/csr.h"
+#include "src/graph/graph.h"
+
+namespace expfinder {
+namespace {
+
+Graph Triangle() {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  g.AddNode("C");
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_TRUE(g.AddEdge(2, 0).ok());
+  return g;
+}
+
+TEST(GraphTest, AddNodesAssignsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.AddNode("X"), 0u);
+  EXPECT_EQ(g.AddNode("Y"), 1u);
+  EXPECT_EQ(g.AddNode("X"), 2u);
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphTest, LabelsInternedAndIndexed) {
+  Graph g;
+  g.AddNode("SA");
+  g.AddNode("SD");
+  g.AddNode("SA");
+  EXPECT_EQ(g.NumLabels(), 2u);
+  auto sa = g.FindLabel("SA");
+  ASSERT_TRUE(sa.has_value());
+  EXPECT_EQ(g.NodesWithLabel(*sa), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(g.NodeLabelName(1), "SD");
+  EXPECT_FALSE(g.FindLabel("ST").has_value());
+  EXPECT_TRUE(g.NodesWithLabel(999).empty());
+}
+
+TEST(GraphTest, AddEdgeUpdatesAdjacency) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.OutNeighbors(0), (std::vector<NodeId>{1}));
+  EXPECT_EQ(g.InNeighbors(0), (std::vector<NodeId>{2}));
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.InDegree(1), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(GraphTest, AddEdgeRejectsBadInput) {
+  Graph g = Triangle();
+  EXPECT_TRUE(g.AddEdge(0, 1).IsAlreadyExists());
+  EXPECT_TRUE(g.AddEdge(0, 99).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(99, 0).IsInvalidArgument());
+  EXPECT_EQ(g.NumEdges(), 3u);
+}
+
+TEST(GraphTest, SelfLoopAllowed) {
+  Graph g;
+  g.AddNode("A");
+  EXPECT_TRUE(g.AddEdge(0, 0).ok());
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g = Triangle();
+  EXPECT_TRUE(g.RemoveEdge(0, 1).ok());
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.OutNeighbors(0).empty());
+  EXPECT_TRUE(g.RemoveEdge(0, 1).IsNotFound());
+  EXPECT_TRUE(g.RemoveEdge(0, 42).IsInvalidArgument());
+}
+
+TEST(GraphTest, RemoveThenReAdd) {
+  Graph g = Triangle();
+  ASSERT_TRUE(g.RemoveEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.NumEdges(), 3u);
+}
+
+TEST(GraphTest, AttributesSetGetOverwrite) {
+  Graph g;
+  g.AddNode("A");
+  g.SetAttr(0, "experience", AttrValue(5));
+  g.SetAttr(0, "name", AttrValue("Bob"));
+  ASSERT_NE(g.GetAttr(0, "experience"), nullptr);
+  EXPECT_EQ(g.GetAttr(0, "experience")->AsInt(), 5);
+  g.SetAttr(0, "experience", AttrValue(7));
+  EXPECT_EQ(g.GetAttr(0, "experience")->AsInt(), 7);
+  EXPECT_EQ(g.Attrs(0).size(), 2u);
+  EXPECT_EQ(g.GetAttr(0, "missing"), nullptr);
+}
+
+TEST(GraphTest, AttrKeyInterning) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  g.SetAttr(0, "exp", AttrValue(1));
+  g.SetAttr(1, "exp", AttrValue(2));
+  EXPECT_EQ(g.NumAttrKeys(), 1u);
+  auto key = g.FindAttrKey("exp");
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(g.GetAttr(1, *key)->AsInt(), 2);
+  EXPECT_EQ(g.AttrKeyName(*key), "exp");
+}
+
+TEST(GraphTest, DisplayNameUsesNameAttr) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  g.SetAttr(0, "name", AttrValue("Alice"));
+  EXPECT_EQ(g.DisplayName(0), "Alice");
+  EXPECT_EQ(g.DisplayName(1), "v1");
+}
+
+TEST(GraphTest, VersionBumpsOnMutation) {
+  Graph g;
+  uint64_t v0 = g.version();
+  g.AddNode("A");
+  uint64_t v1 = g.version();
+  EXPECT_GT(v1, v0);
+  g.AddNode("B");
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  uint64_t v2 = g.version();
+  EXPECT_GT(v2, v1);
+  g.SetAttr(0, "x", AttrValue(1));
+  EXPECT_GT(g.version(), v2);
+  uint64_t v3 = g.version();
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  EXPECT_GT(g.version(), v3);
+}
+
+TEST(GraphTest, FailedMutationsDoNotBumpVersion) {
+  Graph g = Triangle();
+  uint64_t v = g.version();
+  EXPECT_FALSE(g.AddEdge(0, 1).ok());
+  EXPECT_FALSE(g.RemoveEdge(0, 2).ok());
+  EXPECT_EQ(g.version(), v);
+}
+
+TEST(CsrTest, MirrorsGraphTopology) {
+  Graph g = Triangle();
+  g.AddNode("D");
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  Csr csr(g);
+  EXPECT_EQ(csr.NumNodes(), g.NumNodes());
+  EXPECT_EQ(csr.NumEdges(), g.NumEdges());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    std::vector<NodeId> out(csr.Out(v).begin(), csr.Out(v).end());
+    std::vector<NodeId> expected = g.OutNeighbors(v);
+    std::sort(out.begin(), out.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(out, expected) << "node " << v;
+    std::vector<NodeId> in(csr.In(v).begin(), csr.In(v).end());
+    std::vector<NodeId> expected_in = g.InNeighbors(v);
+    std::sort(in.begin(), in.end());
+    std::sort(expected_in.begin(), expected_in.end());
+    EXPECT_EQ(in, expected_in) << "node " << v;
+    EXPECT_EQ(csr.OutDegree(v), g.OutDegree(v));
+    EXPECT_EQ(csr.InDegree(v), g.InDegree(v));
+  }
+}
+
+TEST(CsrTest, EmptyGraph) {
+  Graph g;
+  Csr csr(g);
+  EXPECT_EQ(csr.NumNodes(), 0u);
+  EXPECT_EQ(csr.NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace expfinder

@@ -1,0 +1,151 @@
+// Node-growth support: the incremental states, compressed graph and engine
+// must stay consistent when people join the network.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/query_engine.h"
+#include "src/generator/generators.h"
+#include "src/incremental/inc_bounded.h"
+#include "src/incremental/inc_simulation.h"
+#include "src/matching/bounded_simulation.h"
+#include "src/matching/dual_simulation.h"
+#include "src/matching/simulation.h"
+
+namespace expfinder {
+namespace {
+
+TEST(GrowthTest, IncrementalSimulationAcceptsNewNodes) {
+  Graph g = gen::ErdosRenyi(40, 160, 2);
+  Pattern q = gen::RandomPattern(3, 3, 1, 0.3, 12);
+  IncrementalSimulation inc(&g, q);
+  for (int round = 0; round < 3; ++round) {
+    NodeId v = g.AddNode("SD");
+    g.SetAttr(v, "experience", AttrValue(7));
+    inc.OnNodeAdded(v);
+    ASSERT_TRUE(inc.Snapshot() == ComputeSimulation(g, q)) << "round " << round;
+    // Connect the newcomer and keep checking.
+    UpdateBatch batch{GraphUpdate::Insert(v, static_cast<NodeId>(round)),
+                      GraphUpdate::Insert(static_cast<NodeId>(round + 5), v)};
+    ASSERT_TRUE(inc.ApplyBatch(batch).ok());
+    ASSERT_TRUE(inc.Snapshot() == ComputeSimulation(g, q)) << "round " << round;
+  }
+}
+
+TEST(GrowthTest, IncrementalBoundedAcceptsNewNodes) {
+  Graph g = gen::CollaborationNetwork({.num_people = 80, .num_teams = 20, .seed = 4});
+  Pattern q = gen::TeamQuery(0);
+  IncrementalBoundedSimulation inc(&g, q);
+  for (int round = 0; round < 3; ++round) {
+    NodeId v = g.AddNode(round % 2 ? "SA" : "ST");
+    g.SetAttr(v, "experience", AttrValue(6));
+    inc.OnNodeAdded(v);
+    ASSERT_TRUE(inc.Snapshot() == ComputeBoundedSimulation(g, q)) << round;
+    UpdateBatch batch{GraphUpdate::Insert(v, static_cast<NodeId>(round * 3)),
+                      GraphUpdate::Insert(static_cast<NodeId>(round * 7 + 1), v)};
+    ASSERT_TRUE(inc.ApplyBatch(batch).ok());
+    ASSERT_TRUE(inc.Snapshot() == ComputeBoundedSimulation(g, q)) << round;
+  }
+}
+
+TEST(GrowthTest, IsolatedNewcomerMatchesLeafPatternNodesOnly) {
+  Graph g = gen::BuildFig1Graph();
+  Pattern q = gen::BuildFig1Pattern();
+  IncrementalBoundedSimulation inc(&g, q);
+  NodeId tester = g.AddNode("ST");
+  g.SetAttr(tester, "experience", AttrValue(4));
+  inc.OnNodeAdded(tester);
+  auto st = *q.FindNode("ST");
+  auto sd = *q.FindNode("SD");
+  // ST has no out-edges in Q: the isolated tester matches immediately.
+  EXPECT_TRUE(inc.Snapshot().Contains(st, tester));
+  EXPECT_FALSE(inc.Snapshot().Contains(sd, tester));
+  EXPECT_TRUE(inc.Snapshot() == ComputeBoundedSimulation(g, q));
+}
+
+TEST(GrowthTest, EngineAddNodeKeepsEverythingConsistent) {
+  Graph g = gen::CollaborationNetwork({.num_people = 120, .num_teams = 25, .seed = 6});
+  EngineOptions opts;
+  opts.use_compression = true;
+  QueryEngine engine(&g, opts);
+  Pattern q = gen::TeamQuery(0);
+  ASSERT_TRUE(engine.RegisterMaintainedQuery(q).ok());
+  ASSERT_TRUE(engine.Evaluate(q).ok());
+
+  auto added = engine.AddNode("SA", {{"experience", AttrValue(9)},
+                                     {"name", AttrValue("Newcomer")}});
+  ASSERT_TRUE(added.ok()) << added.status();
+  NodeId v = added.value();
+  EXPECT_EQ(g.DisplayName(v), "Newcomer");
+
+  // Maintained query, compression and direct evaluation all agree.
+  auto fresh = engine.Evaluate(q);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE((*fresh)->matches == ComputeBoundedSimulation(g, q));
+  ASSERT_NE(engine.compressed(), nullptr);
+  EXPECT_EQ(engine.compressed()->partition().block_of.size(), g.NumNodes());
+
+  // Wire the newcomer in and check again through updates.
+  ASSERT_TRUE(engine.ApplyUpdates({GraphUpdate::Insert(v, 0),
+                                   GraphUpdate::Insert(v, 1)}).ok());
+  auto after = engine.Evaluate(q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE((*after)->matches == ComputeBoundedSimulation(g, q));
+}
+
+TEST(GrowthTest, EngineMaintainedDualQuery) {
+  Graph g = gen::CollaborationNetwork({.num_people = 100, .num_teams = 20, .seed = 8});
+  QueryEngine engine(&g);
+  Pattern q = gen::TeamQuery(0);
+  ASSERT_TRUE(engine.RegisterMaintainedQuery(q, MatchSemantics::kDualSimulation).ok());
+  EXPECT_TRUE(engine.IsMaintained(q, MatchSemantics::kDualSimulation));
+  EXPECT_FALSE(engine.IsMaintained(q, MatchSemantics::kBoundedSimulation));
+  // The same pattern can additionally be maintained under bounded semantics.
+  ASSERT_TRUE(engine.RegisterMaintainedQuery(q).ok());
+
+  UpdateBatch stream = GenerateUpdateStream(g, 30, 0.5, 12);
+  for (size_t i = 0; i < stream.size(); i += 10) {
+    UpdateBatch batch(stream.begin() + i, stream.begin() + i + 10);
+    ASSERT_TRUE(engine.ApplyUpdates(batch).ok());
+    auto dual = engine.Evaluate(q, MatchSemantics::kDualSimulation);
+    auto bounded = engine.Evaluate(q, MatchSemantics::kBoundedSimulation);
+    ASSERT_TRUE(dual.ok());
+    ASSERT_TRUE(bounded.ok());
+    ASSERT_TRUE((*dual)->matches == ComputeDualSimulation(g, q)) << i;
+    ASSERT_TRUE((*bounded)->matches == ComputeBoundedSimulation(g, q)) << i;
+  }
+  EXPECT_GE(engine.stats().maintained_hits, 6u);
+}
+
+TEST(GrowthTest, EngineDualSemantics) {
+  Graph g = gen::BuildFig1Graph();
+  NodeId tom = g.AddNode("ST");
+  g.SetAttr(tom, "experience", AttrValue(3));
+  QueryEngine engine(&g);
+  Pattern q = gen::BuildFig1Pattern();
+  auto bounded = engine.Evaluate(q, MatchSemantics::kBoundedSimulation);
+  auto dual = engine.Evaluate(q, MatchSemantics::kDualSimulation);
+  ASSERT_TRUE(bounded.ok());
+  ASSERT_TRUE(dual.ok());
+  auto st = *q.FindNode("ST");
+  EXPECT_TRUE((*bounded)->matches.Contains(st, tom));
+  EXPECT_FALSE((*dual)->matches.Contains(st, tom));
+  // The two semantics cache independently.
+  auto bounded2 = engine.Evaluate(q, MatchSemantics::kBoundedSimulation);
+  ASSERT_TRUE(bounded2.ok());
+  EXPECT_TRUE((*bounded2)->matches.Contains(st, tom));
+  EXPECT_GE(engine.stats().cache_hits, 1u);
+}
+
+TEST(GrowthTest, OnNodeAddedValidatesPreconditions) {
+  Graph g = gen::BuildFig1Graph();
+  Pattern q = gen::BuildFig1Pattern();
+  IncrementalBoundedSimulation inc(&g, q);
+  NodeId v = g.AddNode("ST");
+  NodeId w = g.AddNode("ST");
+  // Registering the wrong (non-latest-contiguous) node dies.
+  EXPECT_DEATH(inc.OnNodeAdded(w), "OnNodeAdded");
+  (void)v;
+}
+
+}  // namespace
+}  // namespace expfinder

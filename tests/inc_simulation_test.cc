@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "src/generator/generators.h"
+#include "src/incremental/inc_simulation.h"
+#include "src/matching/simulation.h"
+
+namespace expfinder {
+namespace {
+
+TEST(UpdateTest, ToStringAndApply) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  GraphUpdate ins = GraphUpdate::Insert(0, 1);
+  EXPECT_EQ(ins.ToString(), "+(0,1)");
+  EXPECT_TRUE(ApplyUpdate(&g, ins).ok());
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  GraphUpdate del = GraphUpdate::Delete(0, 1);
+  EXPECT_EQ(del.ToString(), "-(0,1)");
+  EXPECT_TRUE(ApplyUpdate(&g, del).ok());
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_TRUE(ApplyUpdate(&g, del).IsNotFound());
+}
+
+TEST(UpdateTest, GeneratedStreamIsSequentiallyApplicable) {
+  Graph g = gen::ErdosRenyi(40, 160, 3);
+  for (double frac : {0.0, 0.3, 0.5, 1.0}) {
+    Graph copy = g;
+    UpdateBatch batch = GenerateUpdateStream(g, 200, frac, 99);
+    ASSERT_EQ(batch.size(), 200u);
+    EXPECT_TRUE(ApplyBatch(&copy, batch).ok()) << "fraction " << frac;
+  }
+}
+
+TEST(UpdateTest, InsertFractionRespected) {
+  Graph g = gen::ErdosRenyi(50, 400, 5);
+  UpdateBatch batch = GenerateUpdateStream(g, 400, 0.75, 7);
+  size_t inserts = 0;
+  for (const auto& u : batch) inserts += u.kind == GraphUpdate::Kind::kInsertEdge;
+  EXPECT_NEAR(static_cast<double>(inserts) / batch.size(), 0.75, 0.08);
+}
+
+TEST(IncSimulationTest, RequiresSimulationPattern) {
+  Graph g = gen::BuildFig1Graph();
+  EXPECT_DEATH(IncrementalSimulation(&g, gen::BuildFig1Pattern()), "bounds");
+}
+
+TEST(IncSimulationTest, InitialStateMatchesBatch) {
+  Graph g = gen::CollaborationNetwork({.num_people = 150, .num_teams = 30, .seed = 4});
+  Pattern q = gen::RandomPattern(4, 5, 1, 0.4, 42);
+  IncrementalSimulation inc(&g, q);
+  EXPECT_TRUE(inc.Snapshot() == ComputeSimulation(g, q));
+}
+
+TEST(IncSimulationTest, InsertEnablesMatchChain) {
+  // Pattern a[A]->b[B]; data A0 B1 disconnected, then insert the edge.
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  PatternBuilder b;
+  auto a = b.Node("A", "a").Output();
+  auto bb = b.Node("B", "b");
+  b.Edge(a, bb);
+  Pattern q = b.Build().value();
+  IncrementalSimulation inc(&g, q);
+  EXPECT_TRUE(inc.Snapshot().IsEmpty());
+  auto delta = inc.ApplyBatch({GraphUpdate::Insert(0, 1)});
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(inc.Snapshot() == ComputeSimulation(g, q));
+  EXPECT_FALSE(inc.Snapshot().IsEmpty());
+}
+
+TEST(IncSimulationTest, CyclicMutualDependencyRestoredTogether) {
+  // The killer case for naive bottom-up insertion: pattern u->u self loop,
+  // data chain 0 -> 1; inserting 1 -> 0 creates the support cycle, and both
+  // nodes must (re)enter the relation together.
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("A");
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  PatternBuilder b;
+  auto a = b.Node("A", "a").Output();
+  b.Edge(a, a);
+  Pattern q = b.Build().value();
+  IncrementalSimulation inc(&g, q);
+  EXPECT_TRUE(inc.Snapshot().IsEmpty());
+  auto delta = inc.ApplyBatch({GraphUpdate::Insert(1, 0)});
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->added.size(), 2u);
+  EXPECT_TRUE(inc.Snapshot() == ComputeSimulation(g, q));
+  EXPECT_EQ(inc.Snapshot().MatchesOf(0), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(IncSimulationTest, DeleteCascadesRemovals) {
+  // Chain A->B->C with pattern a->b->c: deleting the last edge kills all.
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  g.AddNode("C");
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  PatternBuilder b;
+  auto a = b.Node("A", "a").Output();
+  auto bb = b.Node("B", "b");
+  auto c = b.Node("C", "c");
+  b.Edge(a, bb).Edge(bb, c);
+  Pattern q = b.Build().value();
+  IncrementalSimulation inc(&g, q);
+  EXPECT_FALSE(inc.Snapshot().IsEmpty());
+  auto delta = inc.ApplyBatch({GraphUpdate::Delete(1, 2)});
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(inc.Snapshot().IsEmpty());
+  EXPECT_TRUE(inc.Snapshot() == ComputeSimulation(g, q));
+  // Internal cascade removed both (b,1)-support and (a,0).
+  EXPECT_GE(delta->removed.size(), 2u);
+}
+
+TEST(IncSimulationTest, NetDeltaCancelsInsertThenDelete) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  PatternBuilder b;
+  auto a = b.Node("A", "a").Output();
+  auto bb = b.Node("B", "b");
+  b.Edge(a, bb);
+  Pattern q = b.Build().value();
+  IncrementalSimulation inc(&g, q);
+  auto delta = inc.ApplyBatch(
+      {GraphUpdate::Insert(0, 1), GraphUpdate::Delete(0, 1)});
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->Empty()) << "added=" << delta->added.size()
+                              << " removed=" << delta->removed.size();
+  EXPECT_TRUE(inc.Snapshot().IsEmpty());
+}
+
+TEST(IncSimulationTest, InvalidBatchFailsCleanly) {
+  Graph g = gen::ErdosRenyi(20, 40, 1);
+  Pattern q = gen::RandomPattern(3, 3, 1, 0.2, 5);
+  IncrementalSimulation inc(&g, q);
+  // Delete a non-existent edge: the underlying graph rejects it.
+  NodeId a = 0, b = 1;
+  while (g.HasEdge(a, b)) b = (b + 1) % 20;
+  auto delta = inc.ApplyBatch({GraphUpdate::Delete(a, b)});
+  EXPECT_FALSE(delta.ok());
+}
+
+struct StreamParam {
+  uint64_t seed;
+  double insert_fraction;
+  size_t steps;
+  size_t batch_size;
+};
+
+class IncSimulationStreamSweep : public ::testing::TestWithParam<StreamParam> {};
+
+// The central property: after arbitrary update streams (mixed inserts and
+// deletes, cyclic patterns), the maintained relation equals recomputation.
+TEST_P(IncSimulationStreamSweep, AlwaysEqualsBatchRecomputation) {
+  const StreamParam p = GetParam();
+  Graph g = gen::ErdosRenyi(60, 300, p.seed);
+  Pattern q = gen::RandomPattern(4, 6, 1, 0.4, p.seed * 7 + 1);
+  IncrementalSimulation inc(&g, q);
+  UpdateBatch stream = GenerateUpdateStream(g, p.steps * p.batch_size,
+                                            p.insert_fraction, p.seed * 13 + 2);
+  for (size_t step = 0; step < p.steps; ++step) {
+    UpdateBatch batch(stream.begin() + step * p.batch_size,
+                      stream.begin() + (step + 1) * p.batch_size);
+    auto delta = inc.ApplyBatch(batch);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    ASSERT_TRUE(inc.Snapshot() == ComputeSimulation(g, q))
+        << "diverged at step " << step << " seed " << p.seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, IncSimulationStreamSweep,
+    ::testing::Values(StreamParam{1, 0.5, 20, 1},    // unit updates
+                      StreamParam{2, 0.8, 15, 1},    // insert heavy
+                      StreamParam{3, 0.2, 15, 1},    // delete heavy
+                      StreamParam{4, 0.5, 10, 8},    // small batches
+                      StreamParam{5, 0.5, 5, 40},    // large batches
+                      StreamParam{6, 1.0, 10, 5},    // inserts only
+                      StreamParam{7, 0.0, 10, 5}));  // deletes only
+
+}  // namespace
+}  // namespace expfinder

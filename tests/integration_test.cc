@@ -1,0 +1,107 @@
+// Cross-module scenario: the full ExpFinder workflow on a synthetic
+// collaboration network — generate, persist, query through the engine with
+// compression + cache + maintained queries, stream updates, rank experts,
+// and export the result for the "GUI".
+
+#include <gtest/gtest.h>
+
+#include "src/engine/query_engine.h"
+#include "src/generator/generators.h"
+#include "src/matching/bounded_simulation.h"
+#include "src/storage/graph_store.h"
+#include "src/viz/dot_export.h"
+
+namespace expfinder {
+namespace {
+
+TEST(IntegrationTest, FullExpertSearchWorkflow) {
+  // 1. Dataset.
+  gen::CollaborationConfig cfg;
+  cfg.num_people = 500;
+  cfg.num_teams = 100;
+  cfg.seed = 2013;
+  Graph g = gen::CollaborationNetwork(cfg);
+
+  // 2. Persist and reload through the file store.
+  auto store = GraphStore::Open(::testing::TempDir() + "/integration_store");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->PutGraph("collab", g).ok());
+  auto reloaded = store->GetGraph("collab");
+  ASSERT_TRUE(reloaded.ok());
+  Graph work = std::move(reloaded).value();
+  ASSERT_EQ(work.NumNodes(), g.NumNodes());
+
+  // 3. Engine with every module enabled.
+  EngineOptions opts;
+  opts.use_compression = true;
+  QueryEngine engine(&work, opts);
+  Pattern q = gen::TeamQuery(0);
+  ASSERT_TRUE(engine.RegisterMaintainedQuery(q).ok());
+
+  auto baseline = engine.Evaluate(q);
+  ASSERT_TRUE(baseline.ok());
+  MatchRelation expected = ComputeBoundedSimulation(work, q);
+  EXPECT_TRUE((*baseline)->matches == expected);
+
+  // 4. Stream updates through the engine; maintained query stays exact.
+  UpdateBatch stream = GenerateUpdateStream(work, 50, 0.5, 99);
+  for (size_t i = 0; i < stream.size(); i += 10) {
+    UpdateBatch batch(stream.begin() + i, stream.begin() + i + 10);
+    ASSERT_TRUE(engine.ApplyUpdates(batch).ok()) << "batch at " << i;
+    auto fresh = engine.Evaluate(q);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_TRUE((*fresh)->matches == ComputeBoundedSimulation(work, q))
+        << "batch at " << i;
+  }
+  EXPECT_EQ(engine.stats().maintained_hits, 5u + 1u);
+
+  // 5. Rank the experts and export for visualization.
+  auto top = engine.TopK(q, 5);
+  ASSERT_TRUE(top.ok());
+  if (!top->empty()) {
+    for (size_t i = 1; i < top->size(); ++i) {
+      EXPECT_LE((*top)[i - 1].score, (*top)[i].score);
+    }
+    auto answer = engine.Evaluate(q);
+    ASSERT_TRUE(answer.ok());
+    std::string dot =
+        ResultGraphToDot((*answer)->result_graph, work, q, {(*top)[0].node});
+    EXPECT_NE(dot.find("color=red"), std::string::npos);
+  }
+
+  // 6. Persist the final matches.
+  auto final_answer = engine.Evaluate(q);
+  ASSERT_TRUE(final_answer.ok());
+  ASSERT_TRUE(store->PutMatches("team0", (*final_answer)->matches).ok());
+  auto back = store->GetMatches("team0");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == (*final_answer)->matches);
+}
+
+TEST(IntegrationTest, CompressedAndDirectEnginesAgreeUnderChurn) {
+  Graph g1 = gen::TwitterLike({.n = 400, .out_per_node = 4, .seed = 8});
+  Graph g2 = g1;
+  EngineOptions with, without;
+  with.use_compression = true;
+  without.use_compression = false;
+  QueryEngine compressed_engine(&g1, with);
+  QueryEngine direct_engine(&g2, without);
+  UpdateBatch stream = GenerateUpdateStream(g1, 30, 0.5, 77);
+  for (size_t i = 0; i < stream.size(); i += 10) {
+    UpdateBatch batch(stream.begin() + i, stream.begin() + i + 10);
+    ASSERT_TRUE(compressed_engine.ApplyUpdates(batch).ok());
+    ASSERT_TRUE(direct_engine.ApplyUpdates(batch).ok());
+    for (int j = 0; j < 2; ++j) {
+      Pattern q = gen::RandomPattern(4, 4, 3, 0.5, i * 31 + j);
+      auto a = compressed_engine.Evaluate(q);
+      auto b = direct_engine.Evaluate(q);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_TRUE((*a)->matches == (*b)->matches) << "step " << i << " q " << j;
+    }
+  }
+  EXPECT_GT(compressed_engine.stats().compressed_evals, 0u);
+}
+
+}  // namespace
+}  // namespace expfinder

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/random.h"
+
+namespace expfinder {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit with overwhelming probability
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBool(0.2);
+  EXPECT_NEAR(hits / 10000.0, 0.2, 0.03);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(rng.NextBool(0.0));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(23);
+  const uint64_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.NextZipf(n, 1.2);
+    ASSERT_LT(v, n);
+    ++counts[v];
+  }
+  // Rank 0 must dominate the tail decisively.
+  EXPECT_GT(counts[0], counts[50] * 3);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(29);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.NextZipf(1, 1.0), 0u);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  for (uint64_t k : {0ULL, 1ULL, 5ULL, 50ULL, 100ULL}) {
+    auto sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<uint64_t> s(sample.begin(), sample.end());
+    EXPECT_EQ(s.size(), k);
+    for (uint64_t v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(RngTest, SampleFullPopulation) {
+  Rng rng(41);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<uint64_t> s(sample.begin(), sample.end());
+  EXPECT_EQ(s.size(), 10u);
+}
+
+class RngSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSweep, BoundedUniformity) {
+  Rng rng(GetParam());
+  const uint64_t bound = 16;
+  std::vector<int> counts(bound, 0);
+  const int draws = 16000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.NextBounded(bound)];
+  for (uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(counts[b], draws / static_cast<int>(bound), 250)
+        << "bucket " << b << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSweep, ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace expfinder

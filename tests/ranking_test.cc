@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/generator/generators.h"
+#include "src/matching/bounded_simulation.h"
+#include "src/ranking/metrics.h"
+#include "src/ranking/social_impact.h"
+#include "src/ranking/topk.h"
+
+namespace expfinder {
+namespace {
+
+// Helper: result graph of the Fig.1 query.
+struct Fig1Setup {
+  Graph g = gen::BuildFig1Graph();
+  Pattern q = gen::BuildFig1Pattern();
+  MatchRelation m = ComputeBoundedSimulation(g, q);
+  ResultGraph gr{g, q, m};
+};
+
+TEST(SocialImpactTest, PaperExample2Arithmetic) {
+  Fig1Setup s;
+  EXPECT_DOUBLE_EQ(SocialImpactScore(s.gr, *s.gr.PositionOf(gen::Fig1::kBob)),
+                   9.0 / 5.0);
+  EXPECT_DOUBLE_EQ(SocialImpactScore(s.gr, *s.gr.PositionOf(gen::Fig1::kWalt)),
+                   7.0 / 3.0);
+}
+
+TEST(SocialImpactTest, AncestorsCountToo) {
+  // Eva is everyone's sink: her ancestors contribute dist(u, v).
+  Fig1Setup s;
+  double eva = SocialImpactScore(s.gr, *s.gr.PositionOf(gen::Fig1::kEva));
+  // Ancestors of Eva in Gr: Dan(1), Mat(2), Pat(1), Jean(1), Bob(2), Walt(3).
+  EXPECT_DOUBLE_EQ(eva, (1 + 2 + 1 + 1 + 2 + 3) / 6.0);
+}
+
+TEST(SocialImpactTest, IsolatedMatchRanksLast) {
+  // A pattern with a single output node and no edges: every match is
+  // isolated in Gr, so scores are infinite but ranking still works.
+  Graph g = gen::BuildFig1Graph();
+  PatternBuilder b;
+  b.Node("SA", "sa").Output();
+  Pattern q = b.Build().value();
+  MatchRelation m = ComputeBoundedSimulation(g, q);
+  ResultGraph gr(g, q, m);
+  auto ranked = RankAllMatches(gr, q);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 2u);
+  EXPECT_TRUE(std::isinf((*ranked)[0].score));
+  // Ties break by node id.
+  EXPECT_EQ((*ranked)[0].node, gen::Fig1::kBob);
+  EXPECT_EQ((*ranked)[1].node, gen::Fig1::kWalt);
+}
+
+TEST(RankAllMatchesTest, SortedAscending) {
+  Fig1Setup s;
+  auto ranked = RankAllMatches(s.gr, s.q);
+  ASSERT_TRUE(ranked.ok());
+  for (size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_LE((*ranked)[i - 1].score, (*ranked)[i].score);
+  }
+}
+
+TEST(RankAllMatchesTest, RequiresOutputNode) {
+  Fig1Setup s;
+  Pattern no_output;
+  PatternNode n;
+  n.name = "sa";
+  n.label = "SA";
+  ASSERT_TRUE(no_output.AddNode(n).ok());
+  ResultGraph gr(s.g, no_output, MatchRelation(1));
+  EXPECT_TRUE(RankAllMatches(gr, no_output).status().IsInvalidArgument());
+}
+
+TEST(TopKTest, AgreesWithFullRankingPrefix) {
+  gen::CollaborationConfig cfg;
+  cfg.num_people = 300;
+  cfg.num_teams = 60;
+  cfg.seed = 77;
+  Graph g = gen::CollaborationNetwork(cfg);
+  Pattern q = gen::TeamQuery(0);
+  MatchRelation m = ComputeBoundedSimulation(g, q);
+  if (m.IsEmpty()) GTEST_SKIP() << "instance without matches";
+  ResultGraph gr(g, q, m);
+  auto all = RankAllMatches(gr, q);
+  ASSERT_TRUE(all.ok());
+  for (size_t k : {size_t{1}, size_t{3}, size_t{10}, all->size() + 5}) {
+    auto top = TopKMatches(gr, q, k);
+    ASSERT_TRUE(top.ok());
+    ASSERT_EQ(top->size(), std::min(k, all->size()));
+    for (size_t i = 0; i < top->size(); ++i) {
+      EXPECT_EQ((*top)[i].node, (*all)[i].node) << "k=" << k << " i=" << i;
+      EXPECT_DOUBLE_EQ((*top)[i].score, (*all)[i].score);
+    }
+  }
+}
+
+TEST(TopKTest, KZeroReturnsNothing) {
+  Fig1Setup s;
+  auto top = TopKMatches(s.gr, s.q, 0);
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(top->empty());
+}
+
+TEST(MetricsTest, NamesRoundTrip) {
+  for (RankingMetric m :
+       {RankingMetric::kSocialImpact, RankingMetric::kCloseness,
+        RankingMetric::kDegree, RankingMetric::kPageRank}) {
+    auto parsed = ParseRankingMetric(RankingMetricName(m));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(ParseRankingMetric("bogus").has_value());
+}
+
+TEST(MetricsTest, PageRankSumsToOne) {
+  Fig1Setup s;
+  auto pr = ResultGraphPageRank(s.gr);
+  double sum = 0;
+  for (double v : pr) {
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MetricsTest, PageRankFavorsTheSink) {
+  // Eva receives edges from everyone; she must hold the highest PageRank.
+  Fig1Setup s;
+  auto pr = ResultGraphPageRank(s.gr);
+  uint32_t eva = *s.gr.PositionOf(gen::Fig1::kEva);
+  for (uint32_t v = 0; v < s.gr.NumNodes(); ++v) {
+    if (v != eva) EXPECT_GT(pr[eva], pr[v]) << v;
+  }
+}
+
+TEST(MetricsTest, DegreeMetricPrefersBob) {
+  Fig1Setup s;
+  double bob = MetricScore(s.gr, *s.gr.PositionOf(gen::Fig1::kBob),
+                           RankingMetric::kDegree);
+  double walt = MetricScore(s.gr, *s.gr.PositionOf(gen::Fig1::kWalt),
+                            RankingMetric::kDegree);
+  EXPECT_LT(bob, walt);  // smaller (more negative) = better
+}
+
+TEST(MetricsTest, ClosenessPrefersBobOverWalt) {
+  Fig1Setup s;
+  double bob = MetricScore(s.gr, *s.gr.PositionOf(gen::Fig1::kBob),
+                           RankingMetric::kCloseness);
+  double walt = MetricScore(s.gr, *s.gr.PositionOf(gen::Fig1::kWalt),
+                            RankingMetric::kCloseness);
+  EXPECT_LT(bob, walt);
+}
+
+TEST(MetricsTest, TopKWithEveryMetricReturnsBob) {
+  Fig1Setup s;
+  for (RankingMetric metric :
+       {RankingMetric::kSocialImpact, RankingMetric::kCloseness,
+        RankingMetric::kDegree, RankingMetric::kPageRank}) {
+    auto top = TopKMatchesWith(s.gr, s.q, 1, metric);
+    ASSERT_TRUE(top.ok()) << RankingMetricName(metric);
+    ASSERT_EQ(top->size(), 1u);
+    EXPECT_EQ((*top)[0].node, gen::Fig1::kBob) << RankingMetricName(metric);
+  }
+}
+
+}  // namespace
+}  // namespace expfinder

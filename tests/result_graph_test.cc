@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "src/generator/generators.h"
+#include "src/graph/shortest_paths.h"
+#include "src/matching/bounded_simulation.h"
+#include "src/matching/result_graph.h"
+
+namespace expfinder {
+namespace {
+
+TEST(ResultGraphTest, EmptyRelationYieldsEmptyGraph) {
+  Graph g = gen::BuildFig1Graph();
+  Pattern q = gen::BuildFig1Pattern();
+  MatchRelation empty(q.NumNodes());
+  ResultGraph gr(g, q, empty);
+  EXPECT_EQ(gr.NumNodes(), 0u);
+  EXPECT_EQ(gr.NumEdges(), 0u);
+}
+
+TEST(ResultGraphTest, Fig1EdgesCarryShortestDistances) {
+  Graph g = gen::BuildFig1Graph();
+  Pattern q = gen::BuildFig1Pattern();
+  MatchRelation m = ComputeBoundedSimulation(g, q);
+  ResultGraph gr(g, q, m);
+
+  auto weight = [&](NodeId a, NodeId b) -> double {
+    auto pa = gr.PositionOf(a);
+    auto pb = gr.PositionOf(b);
+    EXPECT_TRUE(pa && pb);
+    for (const auto& [dst, w] : gr.Out()[*pa]) {
+      if (dst == *pb) return w;
+    }
+    return -1.0;
+  };
+  using gen::Fig1;
+  EXPECT_DOUBLE_EQ(weight(Fig1::kBob, Fig1::kDan), 1.0);
+  EXPECT_DOUBLE_EQ(weight(Fig1::kBob, Fig1::kMat), 1.0);
+  EXPECT_DOUBLE_EQ(weight(Fig1::kBob, Fig1::kPat), 2.0);
+  EXPECT_DOUBLE_EQ(weight(Fig1::kBob, Fig1::kJean), 3.0);
+  EXPECT_DOUBLE_EQ(weight(Fig1::kWalt, Fig1::kPat), 2.0);
+  EXPECT_DOUBLE_EQ(weight(Fig1::kWalt, Fig1::kJean), 2.0);
+  EXPECT_DOUBLE_EQ(weight(Fig1::kDan, Fig1::kEva), 1.0);
+  EXPECT_DOUBLE_EQ(weight(Fig1::kMat, Fig1::kEva), 2.0);
+  EXPECT_DOUBLE_EQ(weight(Fig1::kPat, Fig1::kEva), 1.0);
+  EXPECT_DOUBLE_EQ(weight(Fig1::kJean, Fig1::kEva), 1.0);
+  // No result edge from Bob to Eva: SA has no pattern edge to ST.
+  EXPECT_DOUBLE_EQ(weight(Fig1::kBob, Fig1::kEva), -1.0);
+}
+
+TEST(ResultGraphTest, MatchListsMapToPositions) {
+  Graph g = gen::BuildFig1Graph();
+  Pattern q = gen::BuildFig1Pattern();
+  MatchRelation m = ComputeBoundedSimulation(g, q);
+  ResultGraph gr(g, q, m);
+  auto sa = *q.FindNode("SA");
+  ASSERT_EQ(gr.MatchesOf(sa).size(), 2u);
+  for (uint32_t pos : gr.MatchesOf(sa)) {
+    NodeId v = gr.DataNode(pos);
+    EXPECT_TRUE(v == gen::Fig1::kBob || v == gen::Fig1::kWalt);
+  }
+  EXPECT_FALSE(gr.PositionOf(gen::Fig1::kBill).has_value());
+}
+
+TEST(ResultGraphTest, InAdjacencyMirrorsOut) {
+  Graph g = gen::CollaborationNetwork(
+      {.num_people = 200, .num_teams = 40, .seed = 5});
+  Pattern q = gen::RandomPattern(4, 4, 2, 0.3, 55);
+  MatchRelation m = ComputeBoundedSimulation(g, q);
+  ResultGraph gr(g, q, m);
+  size_t out_total = 0, in_total = 0;
+  for (uint32_t v = 0; v < gr.NumNodes(); ++v) {
+    out_total += gr.Out()[v].size();
+    in_total += gr.In()[v].size();
+    for (const auto& [w, weight] : gr.Out()[v]) {
+      bool found = false;
+      for (const auto& [src, wback] : gr.In()[w]) {
+        if (src == v && wback == weight) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << v << "->" << w;
+    }
+  }
+  EXPECT_EQ(out_total, in_total);
+  EXPECT_EQ(out_total, gr.NumEdges());
+}
+
+TEST(ResultGraphTest, EdgeWeightsRespectBoundsAndDistances) {
+  Graph g = gen::ErdosRenyi(60, 240, 9);
+  Pattern q = gen::RandomPattern(4, 5, 3, 0.3, 66);
+  MatchRelation m = ComputeBoundedSimulation(g, q);
+  ResultGraph gr(g, q, m);
+  DistanceMatrix dist(g, q.MaxBound());
+  Distance max_bound = q.MaxBound();
+  for (uint32_t a = 0; a < gr.NumNodes(); ++a) {
+    for (const auto& [bpos, w] : gr.Out()[a]) {
+      NodeId va = gr.DataNode(a);
+      NodeId vb = gr.DataNode(bpos);
+      EXPECT_GE(w, 1.0);
+      EXPECT_LE(w, static_cast<double>(max_bound));
+      EXPECT_EQ(static_cast<Distance>(w), dist.At(va, vb)) << va << "->" << vb;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace expfinder

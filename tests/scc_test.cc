@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/generator/generators.h"
+#include "src/graph/bfs.h"
+#include "src/graph/scc.h"
+
+namespace expfinder {
+namespace {
+
+TEST(SccTest, SingletonComponents) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_NE(scc.component[0], scc.component[1]);
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.AddNode("N");
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+TEST(SccTest, TwoCyclesBridged) {
+  Graph g;
+  for (int i = 0; i < 6; ++i) g.AddNode("N");
+  // Cycle A: 0-1-2, cycle B: 3-4-5, bridge 2 -> 3.
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4).ok());
+  ASSERT_TRUE(g.AddEdge(4, 5).ok());
+  ASSERT_TRUE(g.AddEdge(5, 3).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[0], scc.component[2]);
+  EXPECT_EQ(scc.component[3], scc.component[5]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+}
+
+TEST(SccTest, SelfLoopSingleton) {
+  Graph g;
+  g.AddNode("A");
+  ASSERT_TRUE(g.AddEdge(0, 0).ok());
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+TEST(SccTest, EmptyGraph) {
+  Graph g;
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 0u);
+}
+
+TEST(SccTest, CondensationIsAcyclicAndDeduped) {
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddNode("N");
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  SccResult scc = ComputeScc(g);
+  ASSERT_EQ(scc.num_components, 3u);
+  auto cond = Condensation(g, scc);
+  // The {0,1} component has exactly one (deduped) edge to {2}.
+  uint32_t c01 = scc.component[0];
+  EXPECT_EQ(cond[c01].size(), 1u);
+  // No self loops in the condensation.
+  for (uint32_t c = 0; c < scc.num_components; ++c) {
+    for (uint32_t d : cond[c]) EXPECT_NE(c, d);
+  }
+}
+
+class SccRandomSweep : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: u, v share a component iff mutually reachable.
+TEST_P(SccRandomSweep, ComponentsMatchMutualReachability) {
+  Graph g = gen::ErdosRenyi(40, 140, GetParam());
+  SccResult scc = ComputeScc(g);
+  for (NodeId u = 0; u < g.NumNodes(); u += 3) {
+    for (NodeId v = u + 1; v < g.NumNodes(); v += 5) {
+      bool mutual = Reachable(g, u, v) && Reachable(g, v, u);
+      EXPECT_EQ(scc.component[u] == scc.component[v], mutual) << u << "," << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SccRandomSweep, ::testing::Values(5, 23, 77, 101));
+
+}  // namespace
+}  // namespace expfinder

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "src/generator/generators.h"
+#include "src/matching/simulation.h"
+
+namespace expfinder {
+namespace {
+
+// Data: A0 -> B0, A1 (no edge). Pattern: a[A] -> b[B], output a.
+TEST(SimulationTest, EdgeRequirementPrunes) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  g.AddNode("A");
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  PatternBuilder b;
+  auto a = b.Node("A", "a").Output();
+  auto bb = b.Node("B", "b");
+  b.Edge(a, bb);
+  Pattern q = b.Build().value();
+
+  MatchRelation m = ComputeSimulation(g, q);
+  EXPECT_EQ(m.MatchesOf(0), (std::vector<NodeId>{0}));
+  EXPECT_EQ(m.MatchesOf(1), (std::vector<NodeId>{1}));
+  EXPECT_FALSE(m.Contains(0, 2));
+}
+
+TEST(SimulationTest, EmptyWhenAnyNodeUnmatched) {
+  Graph g;
+  g.AddNode("A");
+  PatternBuilder b;
+  auto a = b.Node("A", "a").Output();
+  auto c = b.Node("C", "c");
+  b.Edge(a, c);
+  Pattern q = b.Build().value();
+  MatchRelation m = ComputeSimulation(g, q);
+  EXPECT_TRUE(m.IsEmpty());
+  EXPECT_TRUE(m.MatchesOf(0).empty());
+}
+
+TEST(SimulationTest, CyclicPatternOnCyclicData) {
+  // Data: 0 <-> 1 (A-B cycle) and chain 2 -> 3 (A -> B, no back edge).
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  g.AddNode("A");
+  g.AddNode("B");
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  PatternBuilder b;
+  auto a = b.Node("A", "a").Output();
+  auto bb = b.Node("B", "b");
+  b.Edge(a, bb).Edge(bb, a);
+  Pattern q = b.Build().value();
+
+  MatchRelation m = ComputeSimulation(g, q);
+  EXPECT_EQ(m.MatchesOf(0), (std::vector<NodeId>{0}));
+  EXPECT_EQ(m.MatchesOf(1), (std::vector<NodeId>{1}));
+}
+
+TEST(SimulationTest, SelfLoopPattern) {
+  Graph g;
+  g.AddNode("A");  // self loop
+  g.AddNode("A");  // no loop
+  ASSERT_TRUE(g.AddEdge(0, 0).ok());
+  PatternBuilder b;
+  auto a = b.Node("A", "a").Output();
+  b.Edge(a, a);
+  Pattern q = b.Build().value();
+  MatchRelation m = ComputeSimulation(g, q);
+  EXPECT_EQ(m.MatchesOf(0), (std::vector<NodeId>{0}));
+}
+
+TEST(SimulationTest, ConditionsRestrictCandidates) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("A");
+  g.SetAttr(0, "experience", AttrValue(7));
+  g.SetAttr(1, "experience", AttrValue(3));
+  PatternBuilder b;
+  b.Node("A", "a").Where("experience", CmpOp::kGe, 5).Output();
+  Pattern q = b.Build().value();
+  MatchRelation m = ComputeSimulation(g, q);
+  EXPECT_EQ(m.MatchesOf(0), (std::vector<NodeId>{0}));
+}
+
+TEST(SimulationTest, WildcardLabelMatchesEverything) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  PatternBuilder b;
+  b.Node("", "any").Output();
+  Pattern q = b.Build().value();
+  MatchRelation m = ComputeSimulation(g, q);
+  EXPECT_EQ(m.MatchesOf(0).size(), 2u);
+}
+
+TEST(SimulationTest, UnknownLabelYieldsEmpty) {
+  Graph g;
+  g.AddNode("A");
+  PatternBuilder b;
+  b.Node("Z", "z").Output();
+  Pattern q = b.Build().value();
+  EXPECT_TRUE(ComputeSimulation(g, q).IsEmpty());
+}
+
+TEST(SimulationTest, RejectsBoundedPattern) {
+  Graph g = gen::BuildFig1Graph();
+  Pattern q = gen::BuildFig1Pattern();
+  EXPECT_DEATH(ComputeSimulation(g, q), "bounds");
+}
+
+TEST(SimulationTest, LabelIndexOffMatchesOn) {
+  Graph g = gen::CollaborationNetwork({});
+  for (int i = 0; i < 3; ++i) {
+    Pattern q = gen::TeamQuery(i).IsSimulationPattern()
+                    ? gen::TeamQuery(i)
+                    : gen::RandomPattern(4, 4, 1, 0.5, 100 + i);
+    MatchOptions on, off;
+    off.use_label_index = false;
+    EXPECT_TRUE(ComputeSimulation(g, q, on) == ComputeSimulation(g, q, off)) << i;
+  }
+}
+
+struct SweepParam {
+  uint64_t seed;
+  size_t n, m;
+  size_t qn, qm;
+};
+
+class SimulationSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SimulationSweep, CountingMatchesNaiveOracle) {
+  const SweepParam p = GetParam();
+  Graph g = gen::ErdosRenyi(p.n, p.m, p.seed);
+  for (int i = 0; i < 5; ++i) {
+    Pattern q = gen::RandomPattern(p.qn, p.qm, 1, 0.4, p.seed * 31 + i);
+    MatchRelation fast = ComputeSimulation(g, q);
+    MatchRelation naive = ComputeSimulationNaive(g, q);
+    EXPECT_TRUE(fast == naive) << "pattern " << i << "\n" << q.ToText();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, SimulationSweep,
+    ::testing::Values(SweepParam{1, 30, 90, 3, 3}, SweepParam{2, 50, 250, 4, 5},
+                      SweepParam{3, 80, 240, 5, 7}, SweepParam{4, 120, 600, 4, 6},
+                      SweepParam{5, 60, 420, 6, 9}, SweepParam{6, 25, 50, 3, 2}));
+
+}  // namespace
+}  // namespace expfinder

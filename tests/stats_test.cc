@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "src/generator/generators.h"
+#include "src/graph/stats.h"
+
+namespace expfinder {
+namespace {
+
+TEST(StatsTest, EmptyGraph) {
+  Graph g;
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 0u);
+  EXPECT_EQ(s.num_edges, 0u);
+  EXPECT_EQ(s.num_sccs, 0u);
+}
+
+TEST(StatsTest, Fig1Basics) {
+  Graph g = gen::BuildFig1Graph();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 9u);
+  EXPECT_EQ(s.num_edges, 12u);
+  EXPECT_DOUBLE_EQ(s.avg_out_degree, 12.0 / 9.0);
+  EXPECT_EQ(s.reciprocity, 0.0);  // Fig.1 is acyclic
+  EXPECT_EQ(s.num_sccs, 9u);      // acyclic => all singletons
+  EXPECT_EQ(s.largest_scc, 1u);
+  // Longest shortest path: Walt -> Bill -> Pat -> Jean -> Eva would be 4,
+  // but Pat -> Eva shortcut exists; the diameter estimate is at least 3
+  // (Bob -> Jean).
+  EXPECT_GE(s.estimated_diameter, 3u);
+}
+
+TEST(StatsTest, LabelHistogramSortedDescending) {
+  Graph g = gen::BuildFig1Graph();
+  GraphStats s = ComputeStats(g);
+  ASSERT_FALSE(s.label_histogram.empty());
+  EXPECT_EQ(s.label_histogram[0].first, "SD");  // Mat, Dan, Pat, Fred
+  EXPECT_EQ(s.label_histogram[0].second, 4u);
+  for (size_t i = 1; i < s.label_histogram.size(); ++i) {
+    EXPECT_GE(s.label_histogram[i - 1].second, s.label_histogram[i].second);
+  }
+}
+
+TEST(StatsTest, ReciprocityOfMutualPair) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  g.AddNode("C");
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  GraphStats s = ComputeStats(g);
+  EXPECT_NEAR(s.reciprocity, 2.0 / 3.0, 1e-9);
+}
+
+TEST(StatsTest, MaxDegrees) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddNode("N");
+  for (NodeId v = 1; v < 5; ++v) ASSERT_TRUE(g.AddEdge(0, v).ok());
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.max_out_degree, 4u);
+  EXPECT_EQ(s.max_in_degree, 1u);
+}
+
+TEST(StatsTest, FormatMentionsEverySection) {
+  GraphStats s = ComputeStats(gen::BuildFig1Graph());
+  std::string text = FormatStats(s);
+  for (const char* token : {"nodes:", "edges:", "reciprocity:", "SCCs:", "labels:"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+}  // namespace
+}  // namespace expfinder

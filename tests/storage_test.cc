@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/generator/generators.h"
+#include "src/matching/bounded_simulation.h"
+#include "src/storage/graph_store.h"
+
+namespace expfinder {
+namespace {
+
+class StoreFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/store_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    auto store = GraphStore::Open(dir_);
+    ASSERT_TRUE(store.ok()) << store.status();
+    store_ = std::make_unique<GraphStore>(std::move(store).value());
+  }
+  std::string dir_;
+  std::unique_ptr<GraphStore> store_;
+};
+
+TEST_F(StoreFixture, GraphRoundTrip) {
+  Graph g = gen::BuildFig1Graph();
+  ASSERT_TRUE(store_->PutGraph("fig1", g).ok());
+  auto loaded = store_->GetGraph("fig1");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->NumNodes(), g.NumNodes());
+  EXPECT_EQ(loaded->NumEdges(), g.NumEdges());
+  EXPECT_EQ(loaded->DisplayName(gen::Fig1::kBob), "Bob");
+}
+
+TEST_F(StoreFixture, PatternRoundTrip) {
+  Pattern q = gen::BuildFig1Pattern();
+  ASSERT_TRUE(store_->PutPattern("fig1q", q).ok());
+  auto loaded = store_->GetPattern("fig1q");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->Fingerprint(), q.Fingerprint());
+}
+
+TEST_F(StoreFixture, MatchesRoundTrip) {
+  Graph g = gen::BuildFig1Graph();
+  Pattern q = gen::BuildFig1Pattern();
+  MatchRelation m = ComputeBoundedSimulation(g, q);
+  ASSERT_TRUE(store_->PutMatches("fig1m", m).ok());
+  auto loaded = store_->GetMatches("fig1m");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded.value() == m);
+}
+
+TEST_F(StoreFixture, ListAndRemove) {
+  Graph g = gen::BuildFig1Graph();
+  ASSERT_TRUE(store_->PutGraph("a", g).ok());
+  ASSERT_TRUE(store_->PutGraph("b", g).ok());
+  ASSERT_TRUE(store_->PutPattern("p", gen::BuildFig1Pattern()).ok());
+  EXPECT_EQ(store_->List("graph"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(store_->List("pattern"), (std::vector<std::string>{"p"}));
+  EXPECT_TRUE(store_->Remove("a", "graph").ok());
+  EXPECT_EQ(store_->List("graph"), (std::vector<std::string>{"b"}));
+  EXPECT_TRUE(store_->Remove("a", "graph").IsNotFound());
+}
+
+TEST_F(StoreFixture, MissingObjectIsNotFound) {
+  EXPECT_TRUE(store_->GetGraph("ghost").status().IsNotFound());
+  EXPECT_TRUE(store_->GetPattern("ghost").status().IsNotFound());
+  EXPECT_TRUE(store_->GetMatches("ghost").status().IsNotFound());
+}
+
+TEST_F(StoreFixture, CorruptionDetectedByChecksum) {
+  Graph g = gen::BuildFig1Graph();
+  ASSERT_TRUE(store_->PutGraph("fig1", g).ok());
+  // Flip a byte in the stored body.
+  std::string path = dir_ + "/fig1.graph";
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  content[content.size() - 2] ^= 1;
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  out.close();
+  EXPECT_TRUE(store_->GetGraph("fig1").status().IsCorruption());
+}
+
+TEST_F(StoreFixture, MissingChecksumHeaderRejected) {
+  std::ofstream out(dir_ + "/raw.graph");
+  out << "node 0 A\n";
+  out.close();
+  EXPECT_TRUE(store_->GetGraph("raw").status().IsCorruption());
+}
+
+TEST_F(StoreFixture, OverwriteReplacesContent) {
+  Graph g1 = gen::BuildFig1Graph();
+  ASSERT_TRUE(store_->PutGraph("g", g1).ok());
+  Graph g2 = gen::ErdosRenyi(10, 20, 1);
+  ASSERT_TRUE(store_->PutGraph("g", g2).ok());
+  auto loaded = store_->GetGraph("g");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumNodes(), 10u);
+}
+
+TEST(MatchRelationSerializationTest, RoundTripIncludingEmptyLists) {
+  MatchRelation m(3);
+  m.SetMatches(0, {1, 5, 9});
+  m.SetMatches(2, {0});
+  auto parsed = ParseMatchRelation(SerializeMatchRelation(m));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed.value() == m);
+}
+
+TEST(MatchRelationSerializationTest, RejectsMalformed) {
+  EXPECT_TRUE(ParseMatchRelation("garbage\n").status().IsCorruption());
+  EXPECT_TRUE(ParseMatchRelation("match 0 1\n").status().IsCorruption());
+  EXPECT_TRUE(
+      ParseMatchRelation("patternnodes 1\nmatch 5 0\n").status().IsCorruption());
+  EXPECT_TRUE(
+      ParseMatchRelation("patternnodes 1\nmatch 0 3 1\n").status().IsCorruption());
+  EXPECT_TRUE(ParseMatchRelation("").status().IsCorruption());
+}
+
+TEST(GraphStoreTest, OpenRejectsFilePath) {
+  std::string file = ::testing::TempDir() + "/not_a_dir";
+  std::ofstream(file) << "x";
+  EXPECT_FALSE(GraphStore::Open(file).ok());
+}
+
+}  // namespace
+}  // namespace expfinder

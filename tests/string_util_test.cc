@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "src/util/string_util.h"
+
+namespace expfinder {
+namespace {
+
+TEST(SplitTest, Basic) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto parts = Split(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("inner space kept"), "inner space kept");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("pattern v1", "pattern"));
+  EXPECT_FALSE(StartsWith("pat", "pattern"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(EqualsIgnoreCaseTest, Basic) {
+  EXPECT_TRUE(EqualsIgnoreCase("HeLLo", "hello"));
+  EXPECT_FALSE(EqualsIgnoreCase("hello", "hell"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(ToLowerTest, Basic) { EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123"); }
+
+TEST(ParseInt64Test, ValidInputs) {
+  int64_t v;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(ParseInt64("  13 ", &v));
+  EXPECT_EQ(v, 13);
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+}
+
+TEST(ParseInt64Test, InvalidInputs) {
+  int64_t v;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+  EXPECT_FALSE(ParseInt64("999999999999999999999999", &v));
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  double v;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_TRUE(ParseDouble("7", &v));
+  EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(ParseDoubleTest, InvalidInputs) {
+  double v;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("x", &v));
+  EXPECT_FALSE(ParseDouble("1.5.6", &v));
+}
+
+TEST(EscapeQuotedTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(EscapeQuoted("plain"), "plain");
+  EXPECT_EQ(EscapeQuoted("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeQuoted("a\\b"), "a\\\\b");
+}
+
+TEST(Fnv1aTest, StableAndDiscriminating) {
+  EXPECT_EQ(Fnv1a("hello"), Fnv1a("hello"));
+  EXPECT_NE(Fnv1a("hello"), Fnv1a("hellp"));
+  EXPECT_NE(Fnv1a(""), Fnv1a(" "));
+  EXPECT_NE(Fnv1a("x", 1), Fnv1a("x", 2));
+}
+
+}  // namespace
+}  // namespace expfinder

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/generator/generators.h"
+#include "src/matching/bounded_simulation.h"
+#include "src/matching/vf2.h"
+
+namespace expfinder {
+namespace {
+
+TEST(Vf2Test, TriangleInTriangle) {
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.AddNode("N");
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  PatternBuilder b;
+  auto x = b.Node("N", "x").Output();
+  auto y = b.Node("N", "y");
+  auto z = b.Node("N", "z");
+  b.Edge(x, y).Edge(y, z).Edge(z, x);
+  Pattern q = b.Build().value();
+
+  IsoResult res = FindIsomorphicEmbeddings(g, q);
+  EXPECT_EQ(res.embeddings.size(), 3u);  // three rotations
+  EXPECT_FALSE(res.truncated);
+  for (const auto& emb : res.embeddings) {
+    std::set<NodeId> used(emb.begin(), emb.end());
+    EXPECT_EQ(used.size(), 3u);  // injective
+  }
+}
+
+TEST(Vf2Test, NoEmbeddingWhenEdgeMissing) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  PatternBuilder b;
+  auto a = b.Node("A", "a").Output();
+  auto bb = b.Node("B", "b");
+  b.Edge(a, bb);
+  Pattern q = b.Build().value();
+  EXPECT_TRUE(FindIsomorphicEmbeddings(g, q).embeddings.empty());
+}
+
+TEST(Vf2Test, InjectivityDistinguishesFromSimulation) {
+  // Pattern needs two distinct B's; data has one B (with a self-sim-friendly
+  // structure). Simulation matches, isomorphism cannot.
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  PatternBuilder b;
+  auto a = b.Node("A", "a").Output();
+  auto b1 = b.Node("B", "b1");
+  auto b2 = b.Node("B", "b2");
+  b.Edge(a, b1).Edge(a, b2);
+  Pattern q = b.Build().value();
+
+  EXPECT_TRUE(FindIsomorphicEmbeddings(g, q).embeddings.empty());
+  EXPECT_FALSE(ComputeBoundedSimulation(g, q).IsEmpty());
+}
+
+TEST(Vf2Test, RespectsConditions) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("A");
+  g.SetAttr(0, "experience", AttrValue(9));
+  g.SetAttr(1, "experience", AttrValue(1));
+  PatternBuilder b;
+  b.Node("A", "a").Where("experience", CmpOp::kGe, 5).Output();
+  Pattern q = b.Build().value();
+  IsoResult res = FindIsomorphicEmbeddings(g, q);
+  ASSERT_EQ(res.embeddings.size(), 1u);
+  EXPECT_EQ(res.embeddings[0][0], 0u);
+}
+
+TEST(Vf2Test, TruncationAtMaxEmbeddings) {
+  Graph g;
+  for (int i = 0; i < 10; ++i) g.AddNode("N");
+  PatternBuilder b;
+  b.Node("N", "x").Output();
+  Pattern q = b.Build().value();
+  IsoOptions opts;
+  opts.max_embeddings = 4;
+  IsoResult res = FindIsomorphicEmbeddings(g, q, opts);
+  EXPECT_EQ(res.embeddings.size(), 4u);
+  EXPECT_TRUE(res.truncated);
+}
+
+TEST(Vf2Test, EveryEmbeddingIsContainedInBoundedSimulation) {
+  // Theory: an isomorphic embedding is itself a valid (bounded) simulation
+  // relation, hence contained in the maximum M(Q,G).
+  Graph g = gen::ErdosRenyi(30, 150, 5);
+  for (int i = 0; i < 5; ++i) {
+    Pattern q = gen::RandomPattern(3, 3, 1, 0.3, 800 + i);
+    IsoResult iso = FindIsomorphicEmbeddings(g, q);
+    if (iso.embeddings.empty()) continue;
+    MatchRelation m = ComputeBoundedSimulation(g, q);
+    ASSERT_FALSE(m.IsEmpty());
+    for (const auto& emb : iso.embeddings) {
+      for (PatternNodeId u = 0; u < emb.size(); ++u) {
+        EXPECT_TRUE(m.Contains(u, emb[u])) << "(" << u << "," << emb[u] << ")";
+      }
+    }
+  }
+}
+
+TEST(Vf2Test, IsoMatchRelationProjection) {
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.AddNode("N");
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  PatternBuilder b;
+  auto x = b.Node("N", "x").Output();
+  auto y = b.Node("N", "y");
+  b.Edge(x, y);
+  Pattern q = b.Build().value();
+  IsoResult iso = FindIsomorphicEmbeddings(g, q);
+  EXPECT_EQ(iso.embeddings.size(), 2u);
+  MatchRelation m = IsoMatchRelation(iso, q, g.NumNodes());
+  EXPECT_EQ(m.MatchesOf(0), (std::vector<NodeId>{0}));
+  EXPECT_EQ(m.MatchesOf(1), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Vf2Test, Fig1HasNoIsoButBoundedSimMatches) {
+  // The paper's point (§I): the Fig. 1 query has edge-to-path requirements
+  // no single-edge embedding satisfies, yet bounded simulation matches.
+  Graph g = gen::BuildFig1Graph();
+  Pattern q = gen::BuildFig1Pattern();
+  IsoResult iso = FindIsomorphicEmbeddings(g, q);
+  EXPECT_TRUE(iso.embeddings.empty());
+  EXPECT_FALSE(ComputeBoundedSimulation(g, q).IsEmpty());
+}
+
+}  // namespace
+}  // namespace expfinder

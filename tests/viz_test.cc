@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "src/generator/generators.h"
+#include "src/matching/bounded_simulation.h"
+#include "src/viz/dot_export.h"
+#include "src/viz/table_render.h"
+
+namespace expfinder {
+namespace {
+
+TEST(DotExportTest, GraphContainsNodesAndEdges) {
+  Graph g = gen::BuildFig1Graph();
+  std::string dot = GraphToDot(g);
+  EXPECT_NE(dot.find("digraph G"), std::string::npos);
+  EXPECT_NE(dot.find("Bob"), std::string::npos);
+  EXPECT_NE(dot.find("experience=7"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.find("truncated"), std::string::npos);
+}
+
+TEST(DotExportTest, TruncationNote) {
+  Graph g = gen::ErdosRenyi(50, 100, 1);
+  DotOptions opts;
+  opts.max_nodes = 10;
+  std::string dot = GraphToDot(g, opts);
+  EXPECT_NE(dot.find("truncated to the first 10"), std::string::npos);
+  EXPECT_EQ(dot.find("n49 ["), std::string::npos);
+}
+
+TEST(DotExportTest, AttrsCanBeSuppressed) {
+  Graph g = gen::BuildFig1Graph();
+  DotOptions opts;
+  opts.include_attrs = false;
+  std::string dot = GraphToDot(g, opts);
+  EXPECT_EQ(dot.find("experience="), std::string::npos);
+}
+
+TEST(DotExportTest, PatternShowsBoundsAndOutput) {
+  std::string dot = PatternToDot(gen::BuildFig1Pattern());
+  EXPECT_NE(dot.find("digraph Q"), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);  // output node
+  EXPECT_NE(dot.find("label=\"3\""), std::string::npos);    // SA->BA bound
+  EXPECT_NE(dot.find("experience >= 5"), std::string::npos);
+}
+
+TEST(DotExportTest, UnboundedEdgeRendersStar) {
+  PatternBuilder b;
+  auto a = b.Node("A", "a").Output();
+  auto c = b.Node("B", "b");
+  b.Edge(a, c, kUnboundedEdge);
+  std::string dot = PatternToDot(b.Build().value());
+  EXPECT_NE(dot.find("label=\"*\""), std::string::npos);
+}
+
+TEST(DotExportTest, ResultGraphHighlightsTopMatch) {
+  Graph g = gen::BuildFig1Graph();
+  Pattern q = gen::BuildFig1Pattern();
+  MatchRelation m = ComputeBoundedSimulation(g, q);
+  ResultGraph gr(g, q, m);
+  std::string dot = ResultGraphToDot(gr, g, q, {gen::Fig1::kBob});
+  EXPECT_NE(dot.find("digraph Gr"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  EXPECT_NE(dot.find("[SA]"), std::string::npos);  // role annotation
+  EXPECT_NE(dot.find("Eva"), std::string::npos);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "22"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+  EXPECT_NE(out.find("|------"), std::string::npos);
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Int(-42), "-42");
+}
+
+}  // namespace
+}  // namespace expfinder
