@@ -9,13 +9,19 @@
 #include <iostream>
 #include <string>
 
+#include "examples/example_args.h"
 #include "src/expfinder.h"
 
 using namespace expfinder;
 
+namespace {
+constexpr char kUsage[] = "usage: compressed_search [n] [seed]\n";
+}
+
 int main(int argc, char** argv) {
-  size_t n = argc > 1 ? std::stoul(argv[1]) : 20000;
-  uint64_t seed = argc > 2 ? std::stoull(argv[2]) : 1;
+  auto args = examples::PositionalUintsOrExit(argc, argv, kUsage, {20000, 1});
+  size_t n = args[0];
+  uint64_t seed = args[1];
 
   gen::CollaborationConfig cfg;
   cfg.num_people = n;

@@ -9,14 +9,21 @@
 #include <iostream>
 #include <string>
 
+#include "examples/example_args.h"
 #include "src/expfinder.h"
 
 using namespace expfinder;
 
+namespace {
+constexpr char kUsage[] = "usage: dynamic_network [n] [num_batches] [batch_size]\n";
+}
+
 int main(int argc, char** argv) {
-  size_t n = argc > 1 ? std::stoul(argv[1]) : 20000;
-  size_t num_batches = argc > 2 ? std::stoul(argv[2]) : 10;
-  size_t batch_size = argc > 3 ? std::stoul(argv[3]) : 50;
+  auto args =
+      examples::PositionalUintsOrExit(argc, argv, kUsage, {20000, 10, 50});
+  size_t n = args[0];
+  size_t num_batches = args[1];
+  size_t batch_size = args[2];
 
   gen::TwitterLikeConfig cfg;
   cfg.n = n;

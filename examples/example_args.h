@@ -1,0 +1,75 @@
+// Minimal argv helpers shared by the example binaries: exception-free
+// numeric parsing (std::stoul aborts the process on junk like "--help") and
+// a uniform -h/--help convention.
+
+#ifndef EXPFINDER_EXAMPLES_EXAMPLE_ARGS_H_
+#define EXPFINDER_EXAMPLES_EXAMPLE_ARGS_H_
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace expfinder::examples {
+
+/// True when any argument is -h or --help.
+inline bool WantsHelp(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a == "-h" || a == "--help") return true;
+  }
+  return false;
+}
+
+/// Whole-string unsigned parse; nullopt on empty input or trailing garbage.
+inline std::optional<uint64_t> ParseUint(std::string_view s) {
+  uint64_t value = 0;
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+/// Positional argument `index` as unsigned; `fallback` when absent, nullopt
+/// when present but malformed.
+inline std::optional<uint64_t> UintArg(int argc, char** argv, int index,
+                                       uint64_t fallback) {
+  if (index >= argc) return fallback;
+  return ParseUint(argv[index]);
+}
+
+/// The standard example prologue: -h/--help prints `usage` to stdout and
+/// exits 0; a malformed or extra positional prints it to stderr and exits 2;
+/// otherwise returns one value per entry of `defaults` (absent args take
+/// their default).
+inline std::vector<uint64_t> PositionalUintsOrExit(
+    int argc, char** argv, const char* usage,
+    std::initializer_list<uint64_t> defaults) {
+  if (WantsHelp(argc, argv)) {
+    std::fputs(usage, stdout);
+    std::exit(0);
+  }
+  if (static_cast<size_t>(argc) - 1 > defaults.size()) {
+    std::fputs(usage, stderr);
+    std::exit(2);
+  }
+  std::vector<uint64_t> values;
+  int index = 1;
+  for (uint64_t fallback : defaults) {
+    auto v = UintArg(argc, argv, index++, fallback);
+    if (!v) {
+      std::fputs(usage, stderr);
+      std::exit(2);
+    }
+    values.push_back(*v);
+  }
+  return values;
+}
+
+}  // namespace expfinder::examples
+
+#endif  // EXPFINDER_EXAMPLES_EXAMPLE_ARGS_H_

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "examples/example_args.h"
 #include "src/expfinder.h"
 
 using namespace expfinder;
@@ -30,9 +31,13 @@ int Fail(const Status& st) {
   return 1;
 }
 
+void PrintUsage(std::ostream& out) {
+  out << "usage: expfinder_manager <store-dir> "
+         "<generate|list|info|show|query|compress|update|export> ...\n";
+}
+
 int Usage() {
-  std::cerr << "usage: expfinder_manager <store-dir> "
-               "<generate|list|info|show|query|compress|update|export> ...\n";
+  PrintUsage(std::cerr);
   return 2;
 }
 
@@ -40,8 +45,12 @@ int CmdGenerate(GraphStore* store, const std::vector<std::string>& args) {
   if (args.size() < 3) return Usage();
   const std::string& name = args[0];
   const std::string& kind = args[1];
-  size_t n = std::stoul(args[2]);
-  uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 42;
+  auto n_arg = examples::ParseUint(args[2]);
+  auto seed_arg =
+      args.size() > 3 ? examples::ParseUint(args[3]) : std::optional<uint64_t>(42);
+  if (!n_arg || !seed_arg) return Usage();
+  size_t n = *n_arg;
+  uint64_t seed = *seed_arg;
   Graph g;
   if (kind == "collab") {
     gen::CollaborationConfig cfg;
@@ -68,7 +77,7 @@ int CmdGenerate(GraphStore* store, const std::vector<std::string>& args) {
 }
 
 int CmdList(GraphStore* store) {
-  for (const std::string& kind : {"graph", "pattern", "matches"}) {
+  for (const char* kind : {"graph", "pattern", "matches"}) {
     std::cout << kind << ":\n";
     for (const std::string& name : store->List(kind)) {
       std::cout << "  " << name << "\n";
@@ -110,7 +119,12 @@ int CmdQuery(GraphStore* store, const std::vector<std::string>& args) {
   if (!g.ok()) return Fail(g.status());
   auto q = LoadPatternFile(args[1]);
   if (!q.ok()) return Fail(q.status());
-  size_t k = args.size() > 2 ? std::stoul(args[2]) : 5;
+  size_t k = 5;
+  if (args.size() > 2) {
+    auto k_arg = examples::ParseUint(args[2]);
+    if (!k_arg) return Usage();
+    k = *k_arg;
+  }
 
   Graph graph = std::move(g).value();
   QueryEngine engine(&graph);
@@ -161,10 +175,14 @@ int CmdUpdate(GraphStore* store, const std::vector<std::string>& args) {
     if (spec.size() < 4 || (spec[0] != '+' && spec[0] != '-')) return Usage();
     size_t comma = spec.find(',');
     if (comma == std::string::npos) return Usage();
-    NodeId a = static_cast<NodeId>(std::stoul(spec.substr(1, comma - 1)));
-    NodeId b = static_cast<NodeId>(std::stoul(spec.substr(comma + 1)));
-    batch.push_back(spec[0] == '+' ? GraphUpdate::Insert(a, b)
-                                   : GraphUpdate::Delete(a, b));
+    auto a = examples::ParseUint(std::string_view(spec).substr(1, comma - 1));
+    auto b = examples::ParseUint(std::string_view(spec).substr(comma + 1));
+    if (!a || !b) return Usage();
+    batch.push_back(spec[0] == '+'
+                        ? GraphUpdate::Insert(static_cast<NodeId>(*a),
+                                              static_cast<NodeId>(*b))
+                        : GraphUpdate::Delete(static_cast<NodeId>(*a),
+                                              static_cast<NodeId>(*b)));
   }
   if (Status st = ApplyBatch(&graph, batch); !st.ok()) return Fail(st);
   if (Status st = store->PutGraph(args[0], graph); !st.ok()) return Fail(st);
@@ -187,6 +205,10 @@ int CmdExport(GraphStore* store, const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (examples::WantsHelp(argc, argv)) {
+    PrintUsage(std::cout);
+    return 0;
+  }
   if (argc < 3) return Usage();
   auto store = GraphStore::Open(argv[1]);
   if (!store.ok()) return Fail(store.status());
@@ -196,7 +218,9 @@ int main(int argc, char** argv) {
   if (cmd == "list") return CmdList(&*store);
   if (cmd == "info" && args.size() == 1) return CmdInfo(&*store, args[0]);
   if (cmd == "show" && args.size() == 2) {
-    return CmdShow(&*store, args[0], static_cast<NodeId>(std::stoul(args[1])));
+    auto v = examples::ParseUint(args[1]);
+    if (!v) return Usage();
+    return CmdShow(&*store, args[0], static_cast<NodeId>(*v));
   }
   if (cmd == "query") return CmdQuery(&*store, args);
   if (cmd == "compress" && args.size() == 1) return CmdCompress(&*store, args[0]);

@@ -8,11 +8,15 @@
 #include <cstdio>
 #include <iostream>
 
+#include "examples/example_args.h"
 #include "src/expfinder.h"
 
 using namespace expfinder;
 
-int main() {
+int main(int argc, char** argv) {
+  (void)examples::PositionalUintsOrExit(argc, argv,
+                                        "usage: quickstart (no arguments)\n", {});
+
   // --- The data graph of Fig. 1(b) and the query of Fig. 1(a) -------------
   Graph g = gen::BuildFig1Graph();
   Pattern q = gen::BuildFig1Pattern();

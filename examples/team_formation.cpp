@@ -10,13 +10,19 @@
 #include <iostream>
 #include <string>
 
+#include "examples/example_args.h"
 #include "src/expfinder.h"
 
 using namespace expfinder;
 
+namespace {
+constexpr char kUsage[] = "usage: team_formation [num_people] [seed]\n";
+}
+
 int main(int argc, char** argv) {
-  size_t num_people = argc > 1 ? std::stoul(argv[1]) : 5000;
-  uint64_t seed = argc > 2 ? std::stoull(argv[2]) : 2013;
+  auto args = examples::PositionalUintsOrExit(argc, argv, kUsage, {5000, 2013});
+  size_t num_people = args[0];
+  uint64_t seed = args[1];
 
   gen::CollaborationConfig cfg;
   cfg.num_people = num_people;

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run every test suite from a clean (or
+# incremental) build directory. This is the exact command sequence recorded
+# in ROADMAP.md; CI runs this script verbatim.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . "$@"
+cmake --build build -j
+cd build && ctest --output-on-failure -j"$(nproc)"

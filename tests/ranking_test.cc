@@ -65,10 +65,7 @@ TEST(RankAllMatchesTest, SortedAscending) {
 TEST(RankAllMatchesTest, RequiresOutputNode) {
   Fig1Setup s;
   Pattern no_output;
-  PatternNode n;
-  n.name = "sa";
-  n.label = "SA";
-  ASSERT_TRUE(no_output.AddNode(n).ok());
+  ASSERT_TRUE(no_output.AddNode({"sa", "SA", {}}).ok());
   ResultGraph gr(s.g, no_output, MatchRelation(1));
   EXPECT_TRUE(RankAllMatches(gr, no_output).status().IsInvalidArgument());
 }
@@ -131,7 +128,9 @@ TEST(MetricsTest, PageRankFavorsTheSink) {
   auto pr = ResultGraphPageRank(s.gr);
   uint32_t eva = *s.gr.PositionOf(gen::Fig1::kEva);
   for (uint32_t v = 0; v < s.gr.NumNodes(); ++v) {
-    if (v != eva) EXPECT_GT(pr[eva], pr[v]) << v;
+    if (v != eva) {
+      EXPECT_GT(pr[eva], pr[v]) << v;
+    }
   }
 }
 

@@ -124,8 +124,11 @@ TEST(LoggingTest, CheckFailureAborts) {
 
 TEST(TimerTest, MeasuresElapsed) {
   Timer t;
+  // Busy-work the optimizer cannot elide: reading and rewriting a volatile
+  // each iteration (plain assignment — compound assignment to a volatile is
+  // deprecated in C++20).
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.ElapsedSeconds(), 0.0);
   EXPECT_GE(t.ElapsedMicros(), 0);
   double before = t.ElapsedMillis();
