@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Benchmark-trajectory harness: builds the Google-Benchmark binaries with
+# -DEXPFINDER_BUILD_BENCH=ON, runs the matching and engine suites with JSON
+# output, and appends one labelled entry per suite to BENCH_matching.json /
+# BENCH_engine.json at the repo root. Successive PRs run this to extend the
+# trajectory, so every optimization lands with comparable before/after
+# numbers on the same machine.
+#
+# Usage: scripts/bench.sh [extra cmake args...]
+# Env:
+#   BENCH_LABEL     trajectory entry label (default: git short sha;
+#                   re-using a label replaces that entry)
+#   BENCH_MIN_TIME  per-benchmark min time in seconds, e.g. 0.01 for a
+#                   smoke run (default: 0.2; plain double — older Google
+#                   Benchmark releases reject the "s"-suffixed form)
+#   BENCH_FILTER    --benchmark_filter regex (default: run everything)
+#   BENCH_BUILD_DIR build directory (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BENCH_BUILD_DIR:-build}
+LABEL=${BENCH_LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabelled)}
+MIN_TIME=${BENCH_MIN_TIME:-0.2}
+FILTER=${BENCH_FILTER:-}
+
+cmake -B "$BUILD_DIR" -S . -DEXPFINDER_BUILD_BENCH=ON "$@"
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_matching bench_engine
+
+for suite in matching engine; do
+  bin="$BUILD_DIR/bench/bench_$suite"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (is the Google Benchmark library installed?)" >&2
+    exit 2
+  fi
+  out=$(mktemp)
+  args=(--benchmark_out="$out" --benchmark_out_format=json
+        --benchmark_min_time="$MIN_TIME")
+  if [[ -n "$FILTER" ]]; then
+    args+=(--benchmark_filter="$FILTER")
+  fi
+  echo "=== bench_$suite (label: $LABEL, min_time: $MIN_TIME) ==="
+  "$bin" "${args[@]}" >/dev/null
+  python3 scripts/bench_append.py "BENCH_$suite.json" "$LABEL" "$out"
+  rm -f "$out"
+done

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Appends one labelled entry to a BENCH_*.json perf-trajectory file.
+
+Usage: bench_append.py TRAJECTORY_FILE LABEL GOOGLE_BENCHMARK_JSON
+
+The trajectory file holds {"entries": [...]}, one entry per recorded run:
+  {"label": ..., "date": ..., "host": {...}, "benchmarks":
+      [{"name": ..., "real_time_ms": ..., "cpu_time_ms": ..., "iterations": ...}]}
+
+Entries with the same label are replaced (re-running a label refreshes its
+numbers instead of piling up duplicates). After appending, the deltas
+against the previous entry are printed so a before/after comparison is one
+`scripts/bench.sh` away.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    trajectory_path, label, run_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+    with open(run_path) as f:
+        run = json.load(f)
+    ctx = run.get("context", {})
+    entry = {
+        "label": label,
+        "date": ctx.get("date", ""),
+        "host": {
+            "num_cpus": ctx.get("num_cpus"),
+            "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+            "build_type": ctx.get("library_build_type"),
+        },
+        "benchmarks": [
+            {
+                "name": b["name"],
+                "real_time_ms": round(b["real_time"] / 1e6, 4),
+                "cpu_time_ms": round(b["cpu_time"] / 1e6, 4),
+                "iterations": b["iterations"],
+            }
+            for b in run.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"
+        ],
+    }
+
+    try:
+        with open(trajectory_path) as f:
+            trajectory = json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        trajectory = {"entries": []}
+
+    entries = [e for e in trajectory.get("entries", []) if e.get("label") != label]
+    previous = entries[-1] if entries else None
+    entries.append(entry)
+    trajectory["entries"] = entries
+
+    with open(trajectory_path, "w") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+
+    print(f"{trajectory_path}: recorded '{label}' ({len(entry['benchmarks'])} benchmarks)")
+    if previous is not None:
+        prev_times = {b["name"]: b["real_time_ms"] for b in previous["benchmarks"]}
+        for b in entry["benchmarks"]:
+            if b["name"] in prev_times and b["real_time_ms"] > 0:
+                speedup = prev_times[b["name"]] / b["real_time_ms"]
+                print(
+                    f"  {b['name']:45s} {prev_times[b['name']]:10.3f} -> "
+                    f"{b['real_time_ms']:10.3f} ms  ({speedup:.2f}x vs '{previous['label']}')"
+                )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

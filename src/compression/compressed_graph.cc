@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/compression/sim_equivalence.h"
+#include "src/util/dense_bitset.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -123,14 +124,36 @@ bool CompressedGraph::IsCompatible(const Pattern& q) const {
 }
 
 MatchRelation CompressedGraph::Decompress(const MatchRelation& compressed) const {
+  // Large expansions: mark members in a flat bit row, then emit in one
+  // ascending word scan — replaces concatenate-and-sort, whose O(k log k)
+  // dominated decompression for low-selectivity queries. Small expansions
+  // (k far below n) keep the sort path: zeroing an n-bit row would cost
+  // more than sorting the handful of ids it finds.
   MatchRelation out(compressed.NumPatternNodes());
+  DenseBitset marks;  // allocated on first dense row, one row, reused
   for (PatternNodeId u = 0; u < compressed.NumPatternNodes(); ++u) {
+    size_t expanded_size = 0;
+    for (NodeId cls : compressed.MatchesOf(u)) expanded_size += members_[cls].size();
     std::vector<NodeId> expanded;
-    for (NodeId cls : compressed.MatchesOf(u)) {
-      const auto& members = members_[cls];
-      expanded.insert(expanded.end(), members.begin(), members.end());
+    expanded.reserve(expanded_size);
+    if (expanded_size * 32 < source_nodes_) {
+      for (NodeId cls : compressed.MatchesOf(u)) {
+        const auto& members = members_[cls];
+        expanded.insert(expanded.end(), members.begin(), members.end());
+      }
+      std::sort(expanded.begin(), expanded.end());
+    } else {
+      if (marks.NumCols() != source_nodes_) {
+        marks = DenseBitset(1, source_nodes_);
+      } else {
+        marks.ClearAll();
+      }
+      for (NodeId cls : compressed.MatchesOf(u)) {
+        for (NodeId v : members_[cls]) marks.Set(0, v);
+      }
+      marks.ForEachInRow(0,
+                         [&](size_t v) { expanded.push_back(static_cast<NodeId>(v)); });
     }
-    std::sort(expanded.begin(), expanded.end());
     out.SetMatches(u, std::move(expanded));
   }
   return out;

@@ -45,9 +45,10 @@ Status ValidateBatch(const Graph& g, const UpdateBatch& batch) {
   return Status::OK();
 }
 
-MatchRelation RunMatcher(const Graph& g, const Pattern& q, const MatchOptions& opts) {
-  if (q.IsSimulationPattern()) return ComputeSimulation(g, q, opts);
-  return ComputeBoundedSimulation(g, q, opts);
+MatchRelation RunMatcher(const Graph& g, const Pattern& q, const MatchOptions& opts,
+                         MatchContext* ctx) {
+  if (q.IsSimulationPattern()) return ComputeSimulation(g, q, opts, ctx);
+  return ComputeBoundedSimulation(g, q, opts, ctx);
 }
 
 /// Cache key combining the pattern fingerprint with the semantics.
@@ -66,7 +67,7 @@ std::string EngineStats::ToString() const {
      << " compressed_evals=" << compressed_evals << " direct_evals=" << direct_evals
      << " planner_short_circuits=" << planner_short_circuits
      << " batches=" << batches_applied << " updates=" << updates_applied
-     << " last_eval_ms=" << last_eval_ms;
+     << " csr_builds=" << csr_builds << " last_eval_ms=" << last_eval_ms;
   return os.str();
 }
 
@@ -102,27 +103,29 @@ const CompressedGraph* QueryEngine::compressed() const {
 
 Result<MatchRelation> QueryEngine::EvaluateUncached(const Pattern& q,
                                                     MatchSemantics semantics,
-                                                    bool* used_compression) {
-  *used_compression = false;
+                                                    EvalPath* path) {
+  *path = EvalPath::kDirect;
   EvalPlan plan = planner_.Plan(*g_, q);
+  plan.match_options.num_threads = options_.match_threads;
   if (plan.provably_empty) {
-    ++stats_.planner_short_circuits;
+    *path = EvalPath::kPlannerShortCircuit;
     return MatchRelation(q.NumNodes());
   }
   if (semantics == MatchSemantics::kDualSimulation) {
     // The forward-bisimulation quotient does not preserve parent
     // constraints, so dual queries always run directly on G.
-    return ComputeDualSimulation(*g_, q, plan.match_options);
+    return ComputeDualSimulation(*g_, q, plan.match_options, &match_ctx_);
   }
   if (options_.use_compression && compression_ != nullptr) {
     const CompressedGraph& cg = compression_->current();
     if (cg.source_version() == g_->version() && cg.IsCompatible(q)) {
-      *used_compression = true;
-      MatchRelation compressed = RunMatcher(cg.gc(), q, plan.match_options);
+      *path = EvalPath::kCompressed;
+      MatchRelation compressed = RunMatcher(cg.gc(), q, plan.match_options,
+                                            &compressed_ctx_);
       return cg.Decompress(compressed);
     }
   }
-  return RunMatcher(*g_, q, plan.match_options);
+  return RunMatcher(*g_, q, plan.match_options, &match_ctx_);
 }
 
 Result<std::shared_ptr<const QueryAnswer>> QueryEngine::Evaluate(
@@ -141,26 +144,36 @@ Result<std::shared_ptr<const QueryAnswer>> QueryEngine::Evaluate(
   }
 
   MatchRelation matches;
-  bool used_compression = false;
   auto it = maintained_.find(key);
   if (it != maintained_.end()) {
+    // Maintained queries are their own serving path: they bypass
+    // EvaluateUncached, so they must not fall through to the
+    // direct/compressed classification below.
     ++stats_.maintained_hits;
     matches = it->second.Snapshot();
   } else {
-    auto res = EvaluateUncached(q, semantics, &used_compression);
+    EvalPath path = EvalPath::kDirect;
+    auto res = EvaluateUncached(q, semantics, &path);
     if (!res.ok()) return res.status();
     matches = std::move(res).value();
-    if (used_compression) {
-      ++stats_.compressed_evals;
-    } else {
-      ++stats_.direct_evals;
+    switch (path) {
+      case EvalPath::kPlannerShortCircuit:
+        ++stats_.planner_short_circuits;
+        break;
+      case EvalPath::kCompressed:
+        ++stats_.compressed_evals;
+        break;
+      case EvalPath::kDirect:
+        ++stats_.direct_evals;
+        break;
     }
   }
 
-  ResultGraph rg(*g_, q, matches);
+  ResultGraph rg(*g_, q, matches, &match_ctx_);
   auto answer =
       std::make_shared<QueryAnswer>(QueryAnswer{std::move(matches), std::move(rg)});
   if (options_.use_cache) cache_.Put(key, g_->version(), answer);
+  stats_.csr_builds = match_ctx_.snapshot_builds() + compressed_ctx_.snapshot_builds();
   stats_.last_eval_ms = timer.ElapsedMillis();
   return std::shared_ptr<const QueryAnswer>(answer);
 }

@@ -22,6 +22,7 @@
 #include "src/incremental/inc_bounded.h"
 #include "src/incremental/inc_dual.h"
 #include "src/incremental/inc_simulation.h"
+#include "src/matching/match_context.h"
 #include "src/ranking/topk.h"
 
 namespace expfinder {
@@ -48,9 +49,20 @@ struct EngineOptions {
   bool maintain_compression = true;
   /// Candidate initialization via label index + selectivity ordering.
   bool use_planner = true;
+  /// Worker threads for the matchers' parallel seeding phase
+  /// (0 = hardware_concurrency, 1 = serial; results are identical either
+  /// way — see MatchOptions::num_threads).
+  uint32_t match_threads = 0;
 };
 
 /// \brief Execution telemetry (cumulative + last query breakdown).
+///
+/// Every query is classified into exactly one serving path, so
+///   queries == cache_hits + maintained_hits + planner_short_circuits +
+///              compressed_evals + direct_evals
+/// holds at all times (planner short circuits used to be double-counted as
+/// direct evals; maintained hits bypass EvaluateUncached entirely but still
+/// set last_eval_ms).
 struct EngineStats {
   size_t queries = 0;
   size_t cache_hits = 0;
@@ -60,7 +72,16 @@ struct EngineStats {
   size_t planner_short_circuits = 0;
   size_t batches_applied = 0;
   size_t updates_applied = 0;
+  /// CSR snapshot (re)builds across the engine's match contexts. Steady
+  /// state (repeated queries, no updates) must not grow this.
+  size_t csr_builds = 0;
   double last_eval_ms = 0.0;
+
+  /// Sum of the per-path counters; equals `queries` by construction.
+  size_t ClassifiedQueries() const {
+    return cache_hits + maintained_hits + planner_short_circuits +
+           compressed_evals + direct_evals;
+  }
 
   std::string ToString() const;
 };
@@ -140,8 +161,11 @@ class QueryEngine {
     }
   };
 
+  /// How EvaluateUncached produced its relation (one counter each).
+  enum class EvalPath { kPlannerShortCircuit, kCompressed, kDirect };
+
   Result<MatchRelation> EvaluateUncached(const Pattern& q, MatchSemantics semantics,
-                                         bool* used_compression);
+                                         EvalPath* path);
 
   Graph* g_;
   EngineOptions options_;
@@ -149,6 +173,13 @@ class QueryEngine {
   ResultCache cache_;
   std::unique_ptr<MaintainedCompression> compression_;
   std::unordered_map<uint64_t, Maintained> maintained_;
+  /// Scratch + versioned CSR snapshot for evaluations over *g_ (matchers
+  /// and ResultGraph construction share it, so a steady-state query builds
+  /// no per-query CSR at all).
+  MatchContext match_ctx_;
+  /// Separate context for evaluations over the compressed graph, so
+  /// alternating direct/compressed queries don't thrash one snapshot slot.
+  MatchContext compressed_ctx_;
   EngineStats stats_;
 };
 

@@ -10,11 +10,13 @@
 #define EXPFINDER_EXPFINDER_H_
 
 // Utilities.
+#include "src/util/dense_bitset.h"
 #include "src/util/logging.h"
 #include "src/util/random.h"
 #include "src/util/result.h"
 #include "src/util/status.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
 // Graph substrate.
@@ -41,6 +43,7 @@
 #include "src/matching/candidates.h"
 #include "src/matching/dual_simulation.h"
 #include "src/matching/explain.h"
+#include "src/matching/match_context.h"
 #include "src/matching/match_relation.h"
 #include "src/matching/result_graph.h"
 #include "src/matching/simulation.h"

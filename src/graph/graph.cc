@@ -1,6 +1,7 @@
 #include "src/graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/util/logging.h"
 
@@ -8,6 +9,11 @@ namespace expfinder {
 
 namespace {
 const std::vector<NodeId> kEmptyNodes;
+}
+
+uint64_t Graph::NextUid() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 NodeId Graph::AddNode(std::string_view label) {

@@ -70,6 +70,9 @@ class Graph {
   }
   size_t NumLabels() const { return label_interner_.size(); }
   /// All nodes with the given label (the candidate index used by planners).
+  /// Invariant: ascending node ids — AddNode appends monotonically
+  /// increasing ids and entries are never reordered. Candidate
+  /// initialization relies on this to skip re-sorting.
   const std::vector<NodeId>& NodesWithLabel(LabelId id) const;
 
   // --- Attributes ---------------------------------------------------------
@@ -102,7 +105,17 @@ class Graph {
   /// Bumped on every mutation (node/edge/attr change); used by caches.
   uint64_t version() const { return version_; }
 
+  /// Process-unique construction identity. Every default-constructed Graph
+  /// draws a fresh uid; copies/moves carry their source's uid. Snapshot
+  /// caches key on (address, uid, version): the version counter alone is
+  /// ambiguous for a Graph destroyed and re-constructed at the same address
+  /// (e.g. the compressed graph rebuilt in place), because the counter
+  /// restarts and can land on the same value — the fresh uid disambiguates.
+  uint64_t uid() const { return uid_; }
+
  private:
+  static uint64_t NextUid();
+
   StringInterner label_interner_;
   StringInterner attr_interner_;
   std::vector<LabelId> labels_;                      // per node
@@ -112,6 +125,7 @@ class Graph {
   std::vector<std::vector<NodeId>> label_index_;     // label id -> nodes
   size_t num_edges_ = 0;
   uint64_t version_ = 0;
+  uint64_t uid_ = NextUid();
 };
 
 }  // namespace expfinder

@@ -14,7 +14,7 @@ IncrementalBoundedSimulation::IncrementalBoundedSimulation(Graph* g, Pattern q,
   cand_ = ComputeCandidates(*g_, q_, options);
   mat_ = cand_.bitmap;
   cnt_.assign(q_.NumEdges(), std::vector<int32_t>(n, 0));
-  restore_mark_.assign(q_.NumNodes(), std::vector<char>(n, 0));
+  restore_mark_ = DenseBitset(q_.NumNodes(), n);
   buf_.EnsureSize(n);
   seed_bitmap_.assign(n, 0);
 
@@ -55,7 +55,7 @@ void IncrementalBoundedSimulation::RecomputeCounters(PatternNodeId u, NodeId v) 
                            [&](NodeId w, Distance d) {
                              for (uint32_t e : out_edges) {
                                const PatternEdge& pe = q_.edges()[e];
-                               if (d <= pe.bound && mat_[pe.dst][w]) ++cnt_[e][v];
+                               if (d <= pe.bound && mat_.Test(pe.dst, w)) ++cnt_[e][v];
                              }
                            });
 }
@@ -74,17 +74,17 @@ void IncrementalBoundedSimulation::RunRemovalFixpoint(
   while (!worklist_.empty()) {
     auto [u, v] = worklist_.back();
     worklist_.pop_back();
-    if (!mat_[u][v]) continue;
-    mat_[u][v] = 0;
-    if (restore_mark_[u][v]) {
-      restore_mark_[u][v] = 0;
+    if (!mat_.Test(u, v)) continue;
+    mat_.Reset(u, v);
+    if (restore_mark_.Test(u, v)) {
+      restore_mark_.Reset(u, v);
     } else {
       delta->removed.emplace_back(u, v);
     }
     for (uint32_t e : q_.InEdges(u)) {
       const PatternEdge& pe = q_.edges()[e];
       auto& counters = cnt_[e];
-      const auto& src_mat = mat_[pe.src];
+      const auto src_mat = mat_.Row(pe.src);
       BoundedBfsNonEmpty<false>(*g_, v, pe.bound, &buf_, [&](NodeId w, Distance) {
         if (--counters[w] == 0 && src_mat[w]) {
           worklist_.emplace_back(pe.src, w);
@@ -93,9 +93,9 @@ void IncrementalBoundedSimulation::RunRemovalFixpoint(
     }
   }
   for (const auto& [u, v] : restored) {
-    if (restore_mark_[u][v]) {
-      if (mat_[u][v]) delta->added.emplace_back(u, v);
-      restore_mark_[u][v] = 0;
+    if (restore_mark_.Test(u, v)) {
+      if (mat_.Test(u, v)) delta->added.emplace_back(u, v);
+      restore_mark_.Reset(u, v);
     }
   }
 }
@@ -130,8 +130,8 @@ MatchDelta IncrementalBoundedSimulation::PostUpdate(const UpdateBatch& batch) {
   if (any_insert) {
     std::vector<std::pair<PatternNodeId, NodeId>> stack;
     auto try_restore = [&](PatternNodeId u, NodeId v) {
-      if (!cand_.bitmap[u][v] || mat_[u][v] || restore_mark_[u][v]) return;
-      restore_mark_[u][v] = 1;
+      if (!cand_.bitmap.Test(u, v) || mat_.Test(u, v) || restore_mark_.Test(u, v)) return;
+      restore_mark_.Set(u, v);
       stack.emplace_back(u, v);
     };
     for (NodeId v : seed_nodes_) {
@@ -147,14 +147,14 @@ MatchDelta IncrementalBoundedSimulation::PostUpdate(const UpdateBatch& batch) {
                                   [&](NodeId w, Distance) { try_restore(pe.src, w); });
       }
     }
-    for (const auto& [u, v] : restored) mat_[u][v] = 1;
+    for (const auto& [u, v] : restored) mat_.Set(u, v);
   }
 
   // Recompute counters of every pair whose window changed (seeds) or whose
   // membership was optimistically restored.
   for (NodeId v : seed_nodes_) {
     for (PatternNodeId u = 0; u < nq; ++u) {
-      if (cand_.bitmap[u][v]) RecomputeCounters(u, v);
+      if (cand_.bitmap.Test(u, v)) RecomputeCounters(u, v);
     }
   }
   for (const auto& [u, v] : restored) {
@@ -166,8 +166,8 @@ MatchDelta IncrementalBoundedSimulation::PostUpdate(const UpdateBatch& batch) {
     for (uint32_t e : q_.InEdges(u)) {
       const PatternEdge& pe = q_.edges()[e];
       auto& counters = cnt_[e];
-      const auto& src_cand = cand_.bitmap[pe.src];
-      const auto& src_restored = restore_mark_[pe.src];
+      const auto src_cand = cand_.bitmap.Row(pe.src);
+      const auto src_restored = restore_mark_.Row(pe.src);
       BoundedBfsNonEmpty<false>(*g_, v, pe.bound, &buf_, [&](NodeId w, Distance) {
         if (src_cand[w] && !seed_bitmap_[w] && !src_restored[w]) ++counters[w];
       });
@@ -177,7 +177,7 @@ MatchDelta IncrementalBoundedSimulation::PostUpdate(const UpdateBatch& batch) {
   // Schedule every touched member with a dead counter, then cascade.
   for (NodeId v : seed_nodes_) {
     for (PatternNodeId u = 0; u < nq; ++u) {
-      if (mat_[u][v]) AddToWorklistIfDead(u, v);
+      if (mat_.Test(u, v)) AddToWorklistIfDead(u, v);
     }
   }
   for (const auto& [u, v] : restored) AddToWorklistIfDead(u, v);
@@ -192,16 +192,20 @@ MatchDelta IncrementalBoundedSimulation::PostUpdate(const UpdateBatch& batch) {
 }
 
 void IncrementalBoundedSimulation::OnNodeAdded(NodeId v) {
-  EF_CHECK(g_->IsValidNode(v) && v == mat_[0].size())
+  EF_CHECK(g_->IsValidNode(v) && v == mat_.NumCols())
       << "OnNodeAdded must follow Graph::AddNode immediately";
   EF_CHECK(g_->OutDegree(v) == 0 && g_->InDegree(v) == 0)
       << "new node must be connected via ApplyBatch after registration";
+  cand_.bitmap.AddColumn();
+  mat_.AddColumn();
+  restore_mark_.AddColumn();
   for (PatternNodeId u = 0; u < q_.NumNodes(); ++u) {
     bool is_cand = q_.node(u).Matches(*g_, v);
-    cand_.bitmap[u].push_back(is_cand ? 1 : 0);
-    if (is_cand) cand_.list[u].push_back(v);
-    mat_[u].push_back(is_cand && q_.OutEdges(u).empty() ? 1 : 0);
-    restore_mark_[u].push_back(0);
+    if (is_cand) {
+      cand_.bitmap.Set(u, v);
+      cand_.list[u].push_back(v);
+      if (q_.OutEdges(u).empty()) mat_.Set(u, v);
+    }
   }
   for (auto& counters : cnt_) counters.push_back(0);
   seed_bitmap_.push_back(0);

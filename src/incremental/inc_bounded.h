@@ -79,9 +79,9 @@ class IncrementalBoundedSimulation {
   Pattern q_;
   Distance seed_depth_ = 0;  // maxBound - 1, saturating
   CandidateSets cand_;
-  std::vector<std::vector<char>> mat_;
-  std::vector<std::vector<int32_t>> cnt_;        // per pattern edge
-  std::vector<std::vector<char>> restore_mark_;  // per pattern node, reused
+  DenseBitset mat_;
+  std::vector<std::vector<int32_t>> cnt_;  // per pattern edge
+  DenseBitset restore_mark_;               // per pattern node, reused
   std::vector<std::pair<PatternNodeId, NodeId>> worklist_;
   BfsBuffers buf_;
 

@@ -15,7 +15,7 @@ IncrementalDualSimulation::IncrementalDualSimulation(Graph* g, Pattern q,
   mat_ = cand_.bitmap;
   fwd_.assign(q_.NumEdges(), std::vector<int32_t>(n, 0));
   bwd_.assign(q_.NumEdges(), std::vector<int32_t>(n, 0));
-  restore_mark_.assign(q_.NumNodes(), std::vector<char>(n, 0));
+  restore_mark_ = DenseBitset(q_.NumNodes(), n);
   buf_.EnsureSize(n);
   seed_bitmap_.assign(n, 0);
 
@@ -80,7 +80,7 @@ void IncrementalDualSimulation::RecomputeCounters(PatternNodeId u, NodeId v) {
     BoundedBfsNonEmpty<true>(*g_, v, out_depth, &buf_, [&](NodeId w, Distance d) {
       for (uint32_t e : out_edges) {
         const PatternEdge& pe = q_.edges()[e];
-        if (d <= pe.bound && mat_[pe.dst][w]) ++fwd_[e][v];
+        if (d <= pe.bound && mat_.Test(pe.dst, w)) ++fwd_[e][v];
       }
     });
   }
@@ -89,7 +89,7 @@ void IncrementalDualSimulation::RecomputeCounters(PatternNodeId u, NodeId v) {
     BoundedBfsNonEmpty<false>(*g_, v, in_depth, &buf_, [&](NodeId w, Distance d) {
       for (uint32_t e : in_edges) {
         const PatternEdge& pe = q_.edges()[e];
-        if (d <= pe.bound && mat_[pe.src][w]) ++bwd_[e][v];
+        if (d <= pe.bound && mat_.Test(pe.src, w)) ++bwd_[e][v];
       }
     });
   }
@@ -100,10 +100,10 @@ void IncrementalDualSimulation::RunRemovalFixpoint(
   while (!worklist_.empty()) {
     auto [u, v] = worklist_.back();
     worklist_.pop_back();
-    if (!mat_[u][v]) continue;
-    mat_[u][v] = 0;
-    if (restore_mark_[u][v]) {
-      restore_mark_[u][v] = 0;
+    if (!mat_.Test(u, v)) continue;
+    mat_.Reset(u, v);
+    if (restore_mark_.Test(u, v)) {
+      restore_mark_.Reset(u, v);
     } else {
       delta->removed.emplace_back(u, v);
     }
@@ -111,7 +111,7 @@ void IncrementalDualSimulation::RunRemovalFixpoint(
     for (uint32_t e : q_.InEdges(u)) {
       const PatternEdge& pe = q_.edges()[e];
       auto& counters = fwd_[e];
-      const auto& src_mat = mat_[pe.src];
+      const auto src_mat = mat_.Row(pe.src);
       BoundedBfsNonEmpty<false>(*g_, v, pe.bound, &buf_, [&](NodeId w, Distance) {
         if (--counters[w] == 0 && src_mat[w]) worklist_.emplace_back(pe.src, w);
       });
@@ -120,16 +120,16 @@ void IncrementalDualSimulation::RunRemovalFixpoint(
     for (uint32_t e : q_.OutEdges(u)) {
       const PatternEdge& pe = q_.edges()[e];
       auto& counters = bwd_[e];
-      const auto& dst_mat = mat_[pe.dst];
+      const auto dst_mat = mat_.Row(pe.dst);
       BoundedBfsNonEmpty<true>(*g_, v, pe.bound, &buf_, [&](NodeId w, Distance) {
         if (--counters[w] == 0 && dst_mat[w]) worklist_.emplace_back(pe.dst, w);
       });
     }
   }
   for (const auto& [u, v] : restored) {
-    if (restore_mark_[u][v]) {
-      if (mat_[u][v]) delta->added.emplace_back(u, v);
-      restore_mark_[u][v] = 0;
+    if (restore_mark_.Test(u, v)) {
+      if (mat_.Test(u, v)) delta->added.emplace_back(u, v);
+      restore_mark_.Reset(u, v);
     }
   }
 }
@@ -157,8 +157,8 @@ MatchDelta IncrementalDualSimulation::PostUpdate(const UpdateBatch& batch) {
   if (any_insert) {
     std::vector<std::pair<PatternNodeId, NodeId>> stack;
     auto try_restore = [&](PatternNodeId u, NodeId v) {
-      if (!cand_.bitmap[u][v] || mat_[u][v] || restore_mark_[u][v]) return;
-      restore_mark_[u][v] = 1;
+      if (!cand_.bitmap.Test(u, v) || mat_.Test(u, v) || restore_mark_.Test(u, v)) return;
+      restore_mark_.Set(u, v);
       stack.emplace_back(u, v);
     };
     for (NodeId v : seed_nodes_) {
@@ -179,13 +179,13 @@ MatchDelta IncrementalDualSimulation::PostUpdate(const UpdateBatch& batch) {
                                  [&](NodeId w, Distance) { try_restore(pe.dst, w); });
       }
     }
-    for (const auto& [u, v] : restored) mat_[u][v] = 1;
+    for (const auto& [u, v] : restored) mat_.Set(u, v);
   }
 
   // Exact recomputation for changed windows and restored pairs.
   for (NodeId v : seed_nodes_) {
     for (PatternNodeId u = 0; u < nq; ++u) {
-      if (cand_.bitmap[u][v]) RecomputeCounters(u, v);
+      if (cand_.bitmap.Test(u, v)) RecomputeCounters(u, v);
     }
   }
   for (const auto& [u, v] : restored) {
@@ -194,28 +194,28 @@ MatchDelta IncrementalDualSimulation::PostUpdate(const UpdateBatch& batch) {
   // Patch unmarked pairs: each restored pair adds support inside both kinds
   // of unchanged windows.
   auto marked = [&](PatternNodeId u, NodeId v) {
-    return seed_bitmap_[v] || restore_mark_[u][v];
+    return seed_bitmap_[v] || restore_mark_.Test(u, v);
   };
   for (const auto& [u, v] : restored) {
     for (uint32_t e : q_.InEdges(u)) {
       const PatternEdge& pe = q_.edges()[e];
       auto& counters = fwd_[e];
       BoundedBfsNonEmpty<false>(*g_, v, pe.bound, &buf_, [&](NodeId w, Distance) {
-        if (cand_.bitmap[pe.src][w] && !marked(pe.src, w)) ++counters[w];
+        if (cand_.bitmap.Test(pe.src, w) && !marked(pe.src, w)) ++counters[w];
       });
     }
     for (uint32_t e : q_.OutEdges(u)) {
       const PatternEdge& pe = q_.edges()[e];
       auto& counters = bwd_[e];
       BoundedBfsNonEmpty<true>(*g_, v, pe.bound, &buf_, [&](NodeId w, Distance) {
-        if (cand_.bitmap[pe.dst][w] && !marked(pe.dst, w)) ++counters[w];
+        if (cand_.bitmap.Test(pe.dst, w) && !marked(pe.dst, w)) ++counters[w];
       });
     }
   }
 
   for (NodeId v : seed_nodes_) {
     for (PatternNodeId u = 0; u < nq; ++u) {
-      if (mat_[u][v] && Dead(u, v)) worklist_.emplace_back(u, v);
+      if (mat_.Test(u, v) && Dead(u, v)) worklist_.emplace_back(u, v);
     }
   }
   for (const auto& [u, v] : restored) {
@@ -242,19 +242,22 @@ Result<MatchDelta> IncrementalDualSimulation::ApplyBatch(const UpdateBatch& batc
 }
 
 void IncrementalDualSimulation::OnNodeAdded(NodeId v) {
-  EF_CHECK(g_->IsValidNode(v) && v == mat_[0].size())
+  EF_CHECK(g_->IsValidNode(v) && v == mat_.NumCols())
       << "OnNodeAdded must follow Graph::AddNode immediately";
   EF_CHECK(g_->OutDegree(v) == 0 && g_->InDegree(v) == 0)
       << "new node must be connected via ApplyBatch after registration";
+  cand_.bitmap.AddColumn();
+  mat_.AddColumn();
+  restore_mark_.AddColumn();
   for (PatternNodeId u = 0; u < q_.NumNodes(); ++u) {
     bool is_cand = q_.node(u).Matches(*g_, v);
-    cand_.bitmap[u].push_back(is_cand ? 1 : 0);
-    if (is_cand) cand_.list[u].push_back(v);
-    // Dual semantics: an isolated node satisfies neither out- nor in-edge
-    // constraints, so it only matches fully unconstrained pattern nodes.
-    bool isolated_ok = q_.OutEdges(u).empty() && q_.InEdges(u).empty();
-    mat_[u].push_back(is_cand && isolated_ok ? 1 : 0);
-    restore_mark_[u].push_back(0);
+    if (is_cand) {
+      cand_.bitmap.Set(u, v);
+      cand_.list[u].push_back(v);
+      // Dual semantics: an isolated node satisfies neither out- nor in-edge
+      // constraints, so it only matches fully unconstrained pattern nodes.
+      if (q_.OutEdges(u).empty() && q_.InEdges(u).empty()) mat_.Set(u, v);
+    }
   }
   for (auto& counters : fwd_) counters.push_back(0);
   for (auto& counters : bwd_) counters.push_back(0);

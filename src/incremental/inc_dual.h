@@ -61,10 +61,10 @@ class IncrementalDualSimulation {
   Pattern q_;
   Distance seed_depth_ = 0;  // maxBound - 1, saturating
   CandidateSets cand_;
-  std::vector<std::vector<char>> mat_;
-  std::vector<std::vector<int32_t>> fwd_;        // per pattern edge, src side
-  std::vector<std::vector<int32_t>> bwd_;        // per pattern edge, dst side
-  std::vector<std::vector<char>> restore_mark_;  // per pattern node
+  DenseBitset mat_;
+  std::vector<std::vector<int32_t>> fwd_;  // per pattern edge, src side
+  std::vector<std::vector<int32_t>> bwd_;  // per pattern edge, dst side
+  DenseBitset restore_mark_;               // per pattern node
   std::vector<std::pair<PatternNodeId, NodeId>> worklist_;
   BfsBuffers buf_;
   std::vector<char> seed_bitmap_;

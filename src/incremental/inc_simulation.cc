@@ -14,11 +14,11 @@ IncrementalSimulation::IncrementalSimulation(Graph* g, Pattern q,
   cand_ = ComputeCandidates(*g_, q_, options);
   mat_ = cand_.bitmap;
   cnt_.assign(q_.NumEdges(), std::vector<int32_t>(n, 0));
-  restore_mark_.assign(q_.NumNodes(), std::vector<char>(n, 0));
+  restore_mark_ = DenseBitset(q_.NumNodes(), n);
   // Initial fixpoint, identical to ComputeSimulation but retaining state.
   for (uint32_t e = 0; e < q_.NumEdges(); ++e) {
     const PatternEdge& pe = q_.edges()[e];
-    const auto& dst_mat = mat_[pe.dst];
+    const auto dst_mat = mat_.Row(pe.dst);
     for (NodeId v : cand_.list[pe.src]) {
       int32_t c = 0;
       for (NodeId w : g_->OutNeighbors(v)) c += dst_mat[w];
@@ -48,17 +48,17 @@ void IncrementalSimulation::RunRemovalFixpoint(
   while (!worklist_.empty()) {
     auto [u, v] = worklist_.back();
     worklist_.pop_back();
-    if (!mat_[u][v]) continue;
-    mat_[u][v] = 0;
-    if (restore_mark_[u][v]) {
-      restore_mark_[u][v] = 0;  // restored then pruned: no net change
+    if (!mat_.Test(u, v)) continue;
+    mat_.Reset(u, v);
+    if (restore_mark_.Test(u, v)) {
+      restore_mark_.Reset(u, v);  // restored then pruned: no net change
     } else {
       delta->removed.emplace_back(u, v);
     }
     for (uint32_t e : q_.InEdges(u)) {
       const PatternEdge& pe = q_.edges()[e];
       auto& counters = cnt_[e];
-      const auto& src_mat = mat_[pe.src];
+      const auto src_mat = mat_.Row(pe.src);
       for (NodeId w : g_->InNeighbors(v)) {
         if (--counters[w] == 0 && src_mat[w]) {
           worklist_.emplace_back(pe.src, w);
@@ -68,9 +68,9 @@ void IncrementalSimulation::RunRemovalFixpoint(
   }
   // Whatever survived of the restore set is a net addition; clear the marks.
   for (const auto& [u, v] : restored) {
-    if (restore_mark_[u][v]) {
-      if (mat_[u][v]) delta->added.emplace_back(u, v);
-      restore_mark_[u][v] = 0;
+    if (restore_mark_.Test(u, v)) {
+      if (mat_.Test(u, v)) delta->added.emplace_back(u, v);
+      restore_mark_.Reset(u, v);
     }
   }
 }
@@ -91,10 +91,10 @@ MatchDelta IncrementalSimulation::PostUpdate(const UpdateBatch& batch) {
     int sign = upd.kind == GraphUpdate::Kind::kInsertEdge ? +1 : -1;
     any_insert |= sign > 0;
     for (PatternNodeId u = 0; u < nq; ++u) {
-      if (!cand_.bitmap[u][upd.src]) continue;
+      if (!cand_.bitmap.Test(u, upd.src)) continue;
       for (uint32_t e : q_.OutEdges(u)) {
         const PatternEdge& pe = q_.edges()[e];
-        if (mat_[pe.dst][upd.dst]) cnt_[e][upd.src] += sign;
+        if (mat_.Test(pe.dst, upd.dst)) cnt_[e][upd.src] += sign;
       }
     }
   }
@@ -105,8 +105,8 @@ MatchDelta IncrementalSimulation::PostUpdate(const UpdateBatch& batch) {
   if (any_insert) {
     std::vector<std::pair<PatternNodeId, NodeId>> stack;
     auto try_restore = [&](PatternNodeId u, NodeId v) {
-      if (!cand_.bitmap[u][v] || mat_[u][v] || restore_mark_[u][v]) return;
-      restore_mark_[u][v] = 1;
+      if (!cand_.bitmap.Test(u, v) || mat_.Test(u, v) || restore_mark_.Test(u, v)) return;
+      restore_mark_.Set(u, v);
       stack.emplace_back(u, v);
     };
     for (const GraphUpdate& upd : batch) {
@@ -117,7 +117,7 @@ MatchDelta IncrementalSimulation::PostUpdate(const UpdateBatch& batch) {
       for (PatternNodeId u = 0; u < nq; ++u) {
         bool relevant = false;
         for (uint32_t e : q_.OutEdges(u)) {
-          if (cand_.bitmap[q_.edges()[e].dst][upd.dst]) {
+          if (cand_.bitmap.Test(q_.edges()[e].dst, upd.dst)) {
             relevant = true;
             break;
           }
@@ -136,19 +136,19 @@ MatchDelta IncrementalSimulation::PostUpdate(const UpdateBatch& batch) {
     }
     // Enter all restored pairs into mat_, then recompute their counters and
     // bump the counters of unaffected in-neighbors.
-    for (const auto& [u, v] : restored) mat_[u][v] = 1;
+    for (const auto& [u, v] : restored) mat_.Set(u, v);
     for (const auto& [u, v] : restored) {
       for (uint32_t e : q_.OutEdges(u)) {
         const PatternEdge& pe = q_.edges()[e];
-        const auto& dst_mat = mat_[pe.dst];
+        const auto dst_mat = mat_.Row(pe.dst);
         int32_t c = 0;
         for (NodeId w : g_->OutNeighbors(v)) c += dst_mat[w];
         cnt_[e][v] = c;
       }
       for (uint32_t e : q_.InEdges(u)) {
         PatternNodeId usrc = q_.edges()[e].src;
-        const auto& src_cand = cand_.bitmap[usrc];
-        const auto& src_restored = restore_mark_[usrc];
+        const auto src_cand = cand_.bitmap.Row(usrc);
+        const auto src_restored = restore_mark_.Row(usrc);
         auto& counters = cnt_[e];
         for (NodeId w : g_->InNeighbors(v)) {
           if (src_cand[w] && !src_restored[w]) ++counters[w];
@@ -162,7 +162,7 @@ MatchDelta IncrementalSimulation::PostUpdate(const UpdateBatch& batch) {
   for (const GraphUpdate& upd : batch) {
     if (upd.kind != GraphUpdate::Kind::kDeleteEdge) continue;
     for (PatternNodeId u = 0; u < nq; ++u) {
-      if (mat_[u][upd.src]) AddToWorklistIfDead(u, upd.src);
+      if (mat_.Test(u, upd.src)) AddToWorklistIfDead(u, upd.src);
     }
   }
   last_affected_ = restored.size() + batch.size();
@@ -177,18 +177,22 @@ Result<MatchDelta> IncrementalSimulation::ApplyBatch(const UpdateBatch& batch) {
 }
 
 void IncrementalSimulation::OnNodeAdded(NodeId v) {
-  EF_CHECK(g_->IsValidNode(v) && v == mat_[0].size())
+  EF_CHECK(g_->IsValidNode(v) && v == mat_.NumCols())
       << "OnNodeAdded must follow Graph::AddNode immediately";
   EF_CHECK(g_->OutDegree(v) == 0 && g_->InDegree(v) == 0)
       << "new node must be connected via ApplyBatch after registration";
+  cand_.bitmap.AddColumn();
+  mat_.AddColumn();
+  restore_mark_.AddColumn();
   for (PatternNodeId u = 0; u < q_.NumNodes(); ++u) {
     bool is_cand = q_.node(u).Matches(*g_, v);
-    cand_.bitmap[u].push_back(is_cand ? 1 : 0);
-    if (is_cand) cand_.list[u].push_back(v);
-    // An isolated node supports no out-edge constraint, so it only matches
-    // pattern nodes without outgoing edges.
-    mat_[u].push_back(is_cand && q_.OutEdges(u).empty() ? 1 : 0);
-    restore_mark_[u].push_back(0);
+    if (is_cand) {
+      cand_.bitmap.Set(u, v);
+      cand_.list[u].push_back(v);
+      // An isolated node supports no out-edge constraint, so it only matches
+      // pattern nodes without outgoing edges.
+      if (q_.OutEdges(u).empty()) mat_.Set(u, v);
+    }
   }
   for (auto& counters : cnt_) counters.push_back(0);
 }

@@ -74,9 +74,9 @@ class IncrementalSimulation {
   Graph* g_;
   Pattern q_;
   CandidateSets cand_;
-  std::vector<std::vector<char>> mat_;
-  std::vector<std::vector<int32_t>> cnt_;        // per pattern edge
-  std::vector<std::vector<char>> restore_mark_;  // per pattern node, reused
+  DenseBitset mat_;
+  std::vector<std::vector<int32_t>> cnt_;  // per pattern edge
+  DenseBitset restore_mark_;               // per pattern node, reused
   std::vector<std::pair<PatternNodeId, NodeId>> worklist_;
   size_t last_affected_ = 0;
 };

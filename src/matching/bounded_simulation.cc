@@ -5,57 +5,86 @@
 #include "src/graph/bfs.h"
 #include "src/graph/csr.h"
 #include "src/graph/shortest_paths.h"
+#include "src/matching/match_context.h"
 #include "src/util/logging.h"
 
 namespace expfinder {
 
 MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
-                                       const MatchOptions& options) {
+                                       const MatchOptions& options, MatchContext* ctx) {
   const size_t n = g.NumNodes();
   const size_t ne = q.NumEdges();
 
   CandidateSets cand = ComputeCandidates(g, q, options);
-  std::vector<std::vector<char>> mat = cand.bitmap;
-  std::vector<std::vector<int32_t>> cnt(ne);
-  for (auto& c : cnt) c.assign(n, 0);
+  DenseBitset mat = cand.bitmap;
+  auto& cnt = ctx->Counters(0, ne, n);
 
-  Csr csr(g);
-  BfsBuffers buf;
-  buf.EnsureSize(n);
+  const Csr& csr = ctx->SnapshotFor(g);
   std::deque<std::pair<PatternNodeId, NodeId>> worklist;
 
   // Seed: one forward bounded BFS per candidate of each pattern node with
   // out-edges, counting current (candidate) members of each target per edge.
+  //
+  // This phase is embarrassingly parallel: mat is read-only, cnt[e][v] is
+  // written only for the BFS source v, and each worker owns a disjoint
+  // contiguous slice of cand.list[u]. Per-worker dead lists are appended in
+  // worker order afterwards, so the worklist — and therefore the whole
+  // fixpoint — is bit-for-bit identical to the serial pass.
   for (PatternNodeId u = 0; u < q.NumNodes(); ++u) {
     const auto& out_edges = q.OutEdges(u);
     if (out_edges.empty()) continue;
     Distance depth = q.MaxOutBound(u);
-    for (NodeId v : cand.list[u]) {
-      BoundedBfsNonEmpty<true>(csr, v, depth, &buf, [&](NodeId w, Distance d) {
+    const auto& list = cand.list[u];
+    auto seed_slice = [&](size_t worker, size_t begin, size_t end,
+                          std::vector<NodeId>* dead) {
+      BfsBuffers& buf = ctx->Buffers(worker);
+      for (size_t i = begin; i < end; ++i) {
+        NodeId v = list[i];
+        BoundedBfsNonEmpty<true>(csr, v, depth, &buf, [&](NodeId w, Distance d) {
+          for (uint32_t e : out_edges) {
+            const PatternEdge& pe = q.edges()[e];
+            if (d <= pe.bound && mat.Test(pe.dst, w)) ++cnt[e][v];
+          }
+        });
         for (uint32_t e : out_edges) {
-          const PatternEdge& pe = q.edges()[e];
-          if (d <= pe.bound && mat[pe.dst][w]) ++cnt[e][v];
+          if (cnt[e][v] == 0) {
+            dead->push_back(v);
+            break;
+          }
         }
-      });
-      for (uint32_t e : out_edges) {
-        if (cnt[e][v] == 0) {
-          worklist.emplace_back(u, v);
-          break;
-        }
+      }
+    };
+    const size_t workers = ctx->SeedWorkers(options.num_threads, list.size());
+    ctx->EnsureBuffers(workers, n);
+    if (workers <= 1) {
+      std::vector<NodeId> dead;
+      seed_slice(0, 0, list.size(), &dead);
+      for (NodeId v : dead) worklist.emplace_back(u, v);
+    } else {
+      std::vector<std::vector<NodeId>> dead(workers);
+      ctx->Pool(workers).ParallelChunks(
+          list.size(), workers, [&](size_t worker, size_t begin, size_t end) {
+            seed_slice(worker, begin, end, &dead[worker]);
+          });
+      for (const auto& part : dead) {
+        for (NodeId v : part) worklist.emplace_back(u, v);
       }
     }
   }
 
+  // Refinement stays sequential: the cascade order defines the worklist
+  // contents, and determinism is part of the matcher's contract.
+  BfsBuffers& buf = ctx->Buffers(0);
   while (!worklist.empty()) {
     auto [u, v] = worklist.front();
     worklist.pop_front();
-    if (!mat[u][v]) continue;
-    mat[u][v] = 0;
+    if (!mat.Test(u, v)) continue;
+    mat.Reset(u, v);
     // Every node that could see v within bound(e) loses one supporter.
     for (uint32_t e : q.InEdges(u)) {
       const PatternEdge& pe = q.edges()[e];
       auto& counters = cnt[e];
-      const auto& src_mat = mat[pe.src];
+      const auto src_mat = mat.Row(pe.src);
       BoundedBfsNonEmpty<false>(csr, v, pe.bound, &buf, [&](NodeId w, Distance) {
         if (--counters[w] == 0 && src_mat[w]) {
           worklist.emplace_back(pe.src, w);
@@ -66,6 +95,12 @@ MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
   return MatchRelation::FromBitmaps(mat);
 }
 
+MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
+                                       const MatchOptions& options) {
+  MatchContext ctx;
+  return ComputeBoundedSimulation(g, q, options, &ctx);
+}
+
 MatchRelation ComputeBoundedSimulationNaive(const Graph& g, const Pattern& q) {
   const size_t n = g.NumNodes();
   const size_t nq = q.NumNodes();
@@ -74,23 +109,23 @@ MatchRelation ComputeBoundedSimulationNaive(const Graph& g, const Pattern& q) {
                              : q.MaxBound());
 
   CandidateSets cand = ComputeCandidates(g, q);
-  std::vector<std::vector<char>> mat = cand.bitmap;
+  DenseBitset mat = cand.bitmap;
 
   bool changed = true;
   while (changed) {
     changed = false;
     for (PatternNodeId u = 0; u < nq; ++u) {
       for (NodeId v = 0; v < n; ++v) {
-        if (!mat[u][v]) continue;
+        if (!mat.Test(u, v)) continue;
         for (uint32_t e : q.OutEdges(u)) {
           const PatternEdge& pe = q.edges()[e];
           bool supported = false;
           for (NodeId w = 0; w < n && !supported; ++w) {
-            supported = mat[pe.dst][w] && dist.At(v, w) != kUnreachable &&
+            supported = mat.Test(pe.dst, w) && dist.At(v, w) != kUnreachable &&
                         dist.At(v, w) <= pe.bound;
           }
           if (!supported) {
-            mat[u][v] = 0;
+            mat.Reset(u, v);
             changed = true;
             break;
           }

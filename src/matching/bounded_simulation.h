@@ -22,8 +22,16 @@
 
 namespace expfinder {
 
+class MatchContext;
+
 /// Computes M(Q,G) under bounded-simulation semantics. Handles any bounds
-/// (including kUnboundedEdge = reachability).
+/// (including kUnboundedEdge = reachability). The ctx overload reuses the
+/// context's versioned CSR snapshot, BFS buffers and counter arrays across
+/// calls, and fans the seeding phase out over options.num_threads workers
+/// (deterministic: identical results for every thread count). The
+/// ctx-less overload constructs a fresh context per call.
+MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
+                                       const MatchOptions& options, MatchContext* ctx);
 MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
                                        const MatchOptions& options = {});
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/logging.h"
+
 namespace expfinder {
 
 namespace {
@@ -52,20 +54,23 @@ CandidateSets ComputeCandidates(const Graph& g, const Pattern& q,
   const size_t n = g.NumNodes();
   const size_t nq = q.NumNodes();
   CandidateSets out;
-  out.bitmap.assign(nq, std::vector<char>(n, 0));
+  out.bitmap = DenseBitset(nq, n);
   out.list.resize(nq);
   for (PatternNodeId u = 0; u < nq; ++u) {
     CompiledNode c = Compile(g, q.node(u));
     if (c.impossible) continue;
     auto consider = [&](NodeId v) {
       if (Satisfies(g, v, c)) {
-        out.bitmap[u][v] = 1;
+        out.bitmap.Set(u, v);
         out.list[u].push_back(v);
       }
     };
     if (options.use_label_index && !c.label_wildcard) {
+      // Graph::AddNode appends each new (dense, increasing) node id to its
+      // label's index list, so NodesWithLabel is already ascending and the
+      // candidate list inherits that order — no per-query re-sort needed.
       for (NodeId v : g.NodesWithLabel(c.label)) consider(v);
-      std::sort(out.list[u].begin(), out.list[u].end());
+      EF_DCHECK(std::is_sorted(out.list[u].begin(), out.list[u].end()));
     } else {
       for (NodeId v = 0; v < n; ++v) consider(v);
     }

@@ -9,10 +9,12 @@
 #ifndef EXPFINDER_MATCHING_CANDIDATES_H_
 #define EXPFINDER_MATCHING_CANDIDATES_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/graph/graph.h"
 #include "src/query/pattern.h"
+#include "src/util/dense_bitset.h"
 
 namespace expfinder {
 
@@ -21,13 +23,18 @@ struct MatchOptions {
   /// Initialize candidates from the graph's label index instead of scanning
   /// every node (the planner's main lever; see bench_ablation).
   bool use_label_index = true;
+  /// Worker threads for the matchers' parallelizable seeding phase.
+  /// 0 = hardware_concurrency (capped so each worker gets meaningful work);
+  /// 1 forces the serial path; N > 1 is honoured as-is. The result is
+  /// bit-for-bit identical for every thread count.
+  uint32_t num_threads = 0;
 };
 
 /// \brief Per-pattern-node candidate sets in both bitmap and list form.
 struct CandidateSets {
-  /// bitmap[u][v] != 0 iff data node v satisfies pattern node u's label and
-  /// conditions.
-  std::vector<std::vector<char>> bitmap;
+  /// Test(u, v) iff data node v satisfies pattern node u's label and
+  /// conditions (nq x n flat bit matrix).
+  DenseBitset bitmap;
   /// The same sets as sorted id lists.
   std::vector<std::vector<NodeId>> list;
 };

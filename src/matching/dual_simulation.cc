@@ -5,27 +5,25 @@
 #include "src/graph/bfs.h"
 #include "src/graph/csr.h"
 #include "src/graph/shortest_paths.h"
+#include "src/matching/match_context.h"
 #include "src/util/logging.h"
 
 namespace expfinder {
 
 MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
-                                    const MatchOptions& options) {
+                                    const MatchOptions& options, MatchContext* ctx) {
   const size_t n = g.NumNodes();
   const size_t ne = q.NumEdges();
 
   CandidateSets cand = ComputeCandidates(g, q, options);
-  std::vector<std::vector<char>> mat = cand.bitmap;
+  DenseBitset mat = cand.bitmap;
   // Two counter families per pattern edge e = (u,u'):
   //   fwd[e][v]  = |{v' in mat(u') : 0 < dist(v,v')  <= bound}|  (v cand of u)
   //   bwd[e][v'] = |{v  in mat(u)  : 0 < dist(v,v')  <= bound}|  (v' cand of u')
-  std::vector<std::vector<int32_t>> fwd(ne), bwd(ne);
-  for (auto& c : fwd) c.assign(n, 0);
-  for (auto& c : bwd) c.assign(n, 0);
+  auto& fwd = ctx->Counters(0, ne, n);
+  auto& bwd = ctx->Counters(1, ne, n);
 
-  Csr csr(g);
-  BfsBuffers buf;
-  buf.EnsureSize(n);
+  const Csr& csr = ctx->SnapshotFor(g);
   std::deque<std::pair<PatternNodeId, NodeId>> worklist;
 
   auto dead = [&](PatternNodeId u, NodeId v) {
@@ -45,41 +43,68 @@ MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
     return best;
   };
 
-  // Seed both counter families.
+  // Seed both counter families. Parallel like the bounded matcher: mat is
+  // read-only, both BFS sweeps for candidate v write only fwd/bwd[...][v],
+  // and per-worker dead lists concatenated in worker order reproduce the
+  // serial worklist exactly.
   for (PatternNodeId u = 0; u < q.NumNodes(); ++u) {
     Distance out_depth = q.MaxOutBound(u);
     Distance in_depth = max_in_bound(u);
-    for (NodeId v : cand.list[u]) {
-      if (out_depth > 0) {
-        BoundedBfsNonEmpty<true>(csr, v, out_depth, &buf, [&](NodeId w, Distance d) {
-          for (uint32_t e : q.OutEdges(u)) {
-            const PatternEdge& pe = q.edges()[e];
-            if (d <= pe.bound && mat[pe.dst][w]) ++fwd[e][v];
-          }
-        });
+    const auto& list = cand.list[u];
+    auto seed_slice = [&](size_t worker, size_t begin, size_t end,
+                          std::vector<NodeId>* dead_out) {
+      BfsBuffers& buf = ctx->Buffers(worker);
+      for (size_t i = begin; i < end; ++i) {
+        NodeId v = list[i];
+        if (out_depth > 0) {
+          BoundedBfsNonEmpty<true>(csr, v, out_depth, &buf, [&](NodeId w, Distance d) {
+            for (uint32_t e : q.OutEdges(u)) {
+              const PatternEdge& pe = q.edges()[e];
+              if (d <= pe.bound && mat.Test(pe.dst, w)) ++fwd[e][v];
+            }
+          });
+        }
+        if (in_depth > 0) {
+          BoundedBfsNonEmpty<false>(csr, v, in_depth, &buf, [&](NodeId w, Distance d) {
+            for (uint32_t e : q.InEdges(u)) {
+              const PatternEdge& pe = q.edges()[e];
+              if (d <= pe.bound && mat.Test(pe.src, w)) ++bwd[e][v];
+            }
+          });
+        }
+        if (dead(u, v)) dead_out->push_back(v);
       }
-      if (in_depth > 0) {
-        BoundedBfsNonEmpty<false>(csr, v, in_depth, &buf, [&](NodeId w, Distance d) {
-          for (uint32_t e : q.InEdges(u)) {
-            const PatternEdge& pe = q.edges()[e];
-            if (d <= pe.bound && mat[pe.src][w]) ++bwd[e][v];
-          }
-        });
+    };
+    const size_t workers = ctx->SeedWorkers(options.num_threads, list.size());
+    ctx->EnsureBuffers(workers, n);
+    if (workers <= 1) {
+      std::vector<NodeId> dead_list;
+      seed_slice(0, 0, list.size(), &dead_list);
+      for (NodeId v : dead_list) worklist.emplace_back(u, v);
+    } else {
+      std::vector<std::vector<NodeId>> dead_lists(workers);
+      ctx->Pool(workers).ParallelChunks(
+          list.size(), workers, [&](size_t worker, size_t begin, size_t end) {
+            seed_slice(worker, begin, end, &dead_lists[worker]);
+          });
+      for (const auto& part : dead_lists) {
+        for (NodeId v : part) worklist.emplace_back(u, v);
       }
-      if (dead(u, v)) worklist.emplace_back(u, v);
     }
   }
 
+  // Sequential refinement (see bounded_simulation.cc for the rationale).
+  BfsBuffers& buf = ctx->Buffers(0);
   while (!worklist.empty()) {
     auto [u, v] = worklist.front();
     worklist.pop_front();
-    if (!mat[u][v]) continue;
-    mat[u][v] = 0;
+    if (!mat.Test(u, v)) continue;
+    mat.Reset(u, v);
     // Ancestors lose forward support...
     for (uint32_t e : q.InEdges(u)) {
       const PatternEdge& pe = q.edges()[e];
       auto& counters = fwd[e];
-      const auto& src_mat = mat[pe.src];
+      const auto src_mat = mat.Row(pe.src);
       BoundedBfsNonEmpty<false>(csr, v, pe.bound, &buf, [&](NodeId w, Distance) {
         if (--counters[w] == 0 && src_mat[w]) {
           worklist.emplace_back(pe.src, w);
@@ -90,7 +115,7 @@ MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
     for (uint32_t e : q.OutEdges(u)) {
       const PatternEdge& pe = q.edges()[e];
       auto& counters = bwd[e];
-      const auto& dst_mat = mat[pe.dst];
+      const auto dst_mat = mat.Row(pe.dst);
       BoundedBfsNonEmpty<true>(csr, v, pe.bound, &buf, [&](NodeId w, Distance) {
         if (--counters[w] == 0 && dst_mat[w]) {
           worklist.emplace_back(pe.dst, w);
@@ -101,6 +126,12 @@ MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
   return MatchRelation::FromBitmaps(mat);
 }
 
+MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
+                                    const MatchOptions& options) {
+  MatchContext ctx;
+  return ComputeDualSimulation(g, q, options, &ctx);
+}
+
 MatchRelation ComputeDualSimulationNaive(const Graph& g, const Pattern& q) {
   const size_t n = g.NumNodes();
   const size_t nq = q.NumNodes();
@@ -108,20 +139,20 @@ MatchRelation ComputeDualSimulationNaive(const Graph& g, const Pattern& q) {
                              ? static_cast<Distance>(n)
                              : q.MaxBound());
   CandidateSets cand = ComputeCandidates(g, q);
-  std::vector<std::vector<char>> mat = cand.bitmap;
+  DenseBitset mat = cand.bitmap;
 
   bool changed = true;
   while (changed) {
     changed = false;
     for (PatternNodeId u = 0; u < nq; ++u) {
       for (NodeId v = 0; v < n; ++v) {
-        if (!mat[u][v]) continue;
+        if (!mat.Test(u, v)) continue;
         bool ok = true;
         for (uint32_t e : q.OutEdges(u) /* child constraints */) {
           const PatternEdge& pe = q.edges()[e];
           bool supported = false;
           for (NodeId w = 0; w < n && !supported; ++w) {
-            supported = mat[pe.dst][w] && dist.At(v, w) != kUnreachable &&
+            supported = mat.Test(pe.dst, w) && dist.At(v, w) != kUnreachable &&
                         dist.At(v, w) <= pe.bound;
           }
           if (!supported) {
@@ -134,13 +165,13 @@ MatchRelation ComputeDualSimulationNaive(const Graph& g, const Pattern& q) {
           const PatternEdge& pe = q.edges()[e];
           bool supported = false;
           for (NodeId w = 0; w < n && !supported; ++w) {
-            supported = mat[pe.src][w] && dist.At(w, v) != kUnreachable &&
+            supported = mat.Test(pe.src, w) && dist.At(w, v) != kUnreachable &&
                         dist.At(w, v) <= pe.bound;
           }
           if (!supported) ok = false;
         }
         if (!ok) {
-          mat[u][v] = 0;
+          mat.Reset(u, v);
           changed = true;
         }
       }

@@ -28,8 +28,15 @@
 
 namespace expfinder {
 
+class MatchContext;
+
 /// Computes M(Q,G) under bounded dual-simulation semantics (any bounds,
-/// cyclic patterns, kUnboundedEdge supported).
+/// cyclic patterns, kUnboundedEdge supported). The ctx overload reuses the
+/// context's versioned CSR snapshot, BFS buffers and both counter families
+/// across calls, and parallelizes the seeding phase deterministically over
+/// options.num_threads workers.
+MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
+                                    const MatchOptions& options, MatchContext* ctx);
 MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
                                     const MatchOptions& options = {});
 

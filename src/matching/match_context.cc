@@ -1,0 +1,59 @@
+#include "src/matching/match_context.h"
+
+#include <algorithm>
+
+namespace expfinder {
+
+namespace {
+/// Below this many seeding units per worker, fan-out overhead beats the win.
+constexpr size_t kMinSeedItemsPerWorker = 128;
+}  // namespace
+
+const Csr& MatchContext::SnapshotFor(const Graph& g) {
+  if (csr_ == nullptr || snapshot_graph_ != &g || snapshot_uid_ != g.uid() ||
+      snapshot_version_ != g.version()) {
+    csr_ = std::make_unique<Csr>(g);
+    snapshot_graph_ = &g;
+    snapshot_uid_ = g.uid();
+    snapshot_version_ = g.version();
+    ++snapshot_builds_;
+  }
+  return *csr_;
+}
+
+void MatchContext::InvalidateSnapshot() {
+  csr_.reset();
+  snapshot_graph_ = nullptr;
+}
+
+void MatchContext::EnsureBuffers(size_t num_workers, size_t n) {
+  while (buffers_.size() < num_workers) buffers_.emplace_back();
+  for (size_t i = 0; i < num_workers; ++i) buffers_[i].EnsureSize(n);
+}
+
+std::vector<std::vector<int32_t>>& MatchContext::Counters(size_t pool_index,
+                                                          size_t count, size_t n) {
+  auto& pool = counters_[pool_index];
+  if (pool.size() < count) pool.resize(count);
+  for (size_t i = 0; i < count; ++i) pool[i].assign(n, 0);
+  return pool;
+}
+
+ThreadPool& MatchContext::Pool(size_t num_workers) {
+  if (pool_ == nullptr || pool_->num_workers() < num_workers) {
+    pool_ = std::make_unique<ThreadPool>(num_workers);
+  }
+  return *pool_;
+}
+
+size_t MatchContext::SeedWorkers(uint32_t requested, size_t work_items) const {
+  if (work_items == 0) return 1;
+  size_t threads = ThreadPool::ResolveThreads(requested);
+  if (requested == 0) {
+    // Auto mode: don't spin up workers for tiny candidate lists.
+    threads = std::min(threads, std::max<size_t>(1, work_items / kMinSeedItemsPerWorker));
+  }
+  return std::max<size_t>(1, std::min(threads, work_items));
+}
+
+}  // namespace expfinder

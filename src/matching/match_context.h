@@ -1,0 +1,106 @@
+// Per-engine scratch state reused across queries — the amortization layer
+// of the matching hot path.
+//
+// Every batch matcher used to pay three avoidable constant-factor costs on
+// *each* call: an O(n+m) Csr snapshot of the (usually unchanged) graph,
+// fresh BFS scratch buffers, and fresh per-pattern-edge counter arrays. A
+// MatchContext owns all three and hands them out for reuse:
+//
+//   * SnapshotFor(g) returns a Csr rebuilt only when the graph identity or
+//     its version() changed since the last call — in the query engine's
+//     steady state (no updates between queries) the snapshot is built once
+//     and shared by the matchers *and* ResultGraph construction.
+//   * EnsureBuffers/Buffers provide one BfsBuffers per parallel seeding
+//     worker (worker 0 doubles as the serial-path buffer).
+//   * Counters provides the per-edge int32 counter arrays (two independent
+//     pools, because dual simulation needs a forward and a backward family).
+//   * Pool lazily owns the ThreadPool used for parallel seeding.
+//
+// A MatchContext is single-owner state: it must not be shared between
+// threads, and at most one matcher may run against it at a time (the
+// matchers themselves fan out internally via Pool()). Stateless callers can
+// simply construct a fresh MatchContext per call — that is exactly the old
+// behaviour — which is what the thin compatibility overloads of the
+// matchers do.
+
+#ifndef EXPFINDER_MATCHING_MATCH_CONTEXT_H_
+#define EXPFINDER_MATCHING_MATCH_CONTEXT_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/graph/bfs.h"
+#include "src/graph/csr.h"
+#include "src/graph/graph.h"
+#include "src/util/thread_pool.h"
+
+namespace expfinder {
+
+/// \brief Versioned CSR snapshot cache + reusable matcher scratch.
+class MatchContext {
+ public:
+  MatchContext() = default;
+  MatchContext(const MatchContext&) = delete;
+  MatchContext& operator=(const MatchContext&) = delete;
+
+  /// The CSR snapshot of `g`, rebuilt only when the cached snapshot was
+  /// taken from a different graph — keyed on (address, Graph::uid(),
+  /// version()); the uid catches a Graph re-constructed in place whose
+  /// restarted version counter collides with the cached one. The reference
+  /// stays valid until the next SnapshotFor with a changed graph.
+  const Csr& SnapshotFor(const Graph& g);
+
+  /// Drops the cached snapshot (next SnapshotFor rebuilds).
+  void InvalidateSnapshot();
+
+  /// How many times a snapshot has been (re)built — the steady-state
+  /// regression signal: repeated queries on an unmutated graph must not
+  /// increase this.
+  size_t snapshot_builds() const { return snapshot_builds_; }
+
+  /// Makes workers [0, num_workers) usable, each sized for n nodes. Must be
+  /// called before Buffers() — in particular before fanning out, since
+  /// growing the worker list from inside workers would race.
+  void EnsureBuffers(size_t num_workers, size_t n);
+
+  /// Scratch buffers of `worker` (EnsureBuffers must have covered it).
+  BfsBuffers& Buffers(size_t worker) { return buffers_[worker]; }
+
+  /// Reusable counter arrays: `count` arrays of `n` zeroed int32s.
+  /// `pool_index` selects an independent family (0 and 1), so dual
+  /// simulation can hold its forward and backward counters simultaneously.
+  std::vector<std::vector<int32_t>>& Counters(size_t pool_index, size_t count, size_t n);
+
+  /// The seeding thread pool. Grow-only: an existing pool with at least
+  /// `num_workers` workers is reused as-is (dispatch with an explicit
+  /// active count via ParallelChunks); a larger request replaces it. This
+  /// keeps the per-query path free of thread spawn/join churn even when
+  /// candidate-list sizes (and therefore SeedWorkers) vary per pattern node.
+  ThreadPool& Pool(size_t num_workers);
+
+  /// Worker count for a seeding phase over `work_items` units.
+  /// requested == 1 forces the serial path; requested == 0 resolves to
+  /// hardware_concurrency and is additionally capped so each worker gets a
+  /// meaningful amount of work; an explicit requested > 1 is honoured (only
+  /// capped by work_items) so tests can force the parallel path on small
+  /// inputs.
+  size_t SeedWorkers(uint32_t requested, size_t work_items) const;
+
+ private:
+  const Graph* snapshot_graph_ = nullptr;
+  uint64_t snapshot_uid_ = 0;
+  uint64_t snapshot_version_ = 0;
+  std::unique_ptr<Csr> csr_;
+  size_t snapshot_builds_ = 0;
+
+  std::deque<BfsBuffers> buffers_;  // deque: stable addresses across growth
+  std::array<std::vector<std::vector<int32_t>>, 2> counters_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_MATCHING_MATCH_CONTEXT_H_

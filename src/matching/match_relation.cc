@@ -7,18 +7,19 @@
 
 namespace expfinder {
 
-MatchRelation MatchRelation::FromBitmaps(const std::vector<std::vector<char>>& in_mat) {
-  MatchRelation m(in_mat.size());
-  bool any_empty = false;
-  for (size_t u = 0; u < in_mat.size(); ++u) {
-    std::vector<NodeId> list;
-    for (NodeId v = 0; v < in_mat[u].size(); ++v) {
-      if (in_mat[u][v]) list.push_back(v);
+MatchRelation MatchRelation::FromBitmaps(const DenseBitset& in_mat) {
+  MatchRelation m(in_mat.NumRows());
+  for (size_t u = 0; u < in_mat.NumRows(); ++u) {
+    if (in_mat.CountRow(u) == 0) {
+      // Some pattern node has no match: the whole relation is empty.
+      return m;
     }
-    any_empty |= list.empty();
-    m.matches_[u] = std::move(list);
   }
-  if (any_empty) m.Clear();
+  for (size_t u = 0; u < in_mat.NumRows(); ++u) {
+    std::vector<NodeId>& list = m.matches_[u];
+    list.reserve(in_mat.CountRow(u));
+    in_mat.ForEachInRow(u, [&](size_t v) { list.push_back(static_cast<NodeId>(v)); });
+  }
   return m;
 }
 

@@ -18,6 +18,7 @@
 #include "src/graph/graph.h"
 #include "src/graph/types.h"
 #include "src/query/pattern.h"
+#include "src/util/dense_bitset.h"
 
 namespace expfinder {
 
@@ -28,9 +29,10 @@ class MatchRelation {
   MatchRelation() = default;
   explicit MatchRelation(size_t num_pattern_nodes) : matches_(num_pattern_nodes) {}
 
-  /// Builds from per-pattern-node membership bitmaps, applying the
-  /// all-or-nothing normalization described above.
-  static MatchRelation FromBitmaps(const std::vector<std::vector<char>>& in_mat);
+  /// Builds from a pattern-node x data-node membership bit matrix, applying
+  /// the all-or-nothing normalization described above. Word-wise popcounts
+  /// pre-size the lists and detect empty rows before any decoding.
+  static MatchRelation FromBitmaps(const DenseBitset& in_mat);
 
   size_t NumPatternNodes() const { return matches_.size(); }
 

@@ -1,13 +1,17 @@
 #include "src/matching/result_graph.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/graph/bfs.h"
 #include "src/graph/csr.h"
+#include "src/matching/match_context.h"
+#include "src/util/dense_bitset.h"
 
 namespace expfinder {
 
-ResultGraph::ResultGraph(const Graph& g, const Pattern& q, const MatchRelation& m) {
+ResultGraph::ResultGraph(const Graph& g, const Pattern& q, const MatchRelation& m,
+                         MatchContext* ctx) {
   // Union of matched data nodes, sorted and deduplicated.
   for (PatternNodeId u = 0; u < m.NumPatternNodes(); ++u) {
     const auto& list = m.MatchesOf(u);
@@ -27,44 +31,71 @@ ResultGraph::ResultGraph(const Graph& g, const Pattern& q, const MatchRelation& 
   in_.resize(nodes_.size());
   if (nodes_.empty() || q.NumEdges() == 0) return;
 
+  // Context-provided snapshot/buffers when available; otherwise local (the
+  // standalone construction path used by tests and one-off callers).
+  std::optional<Csr> local_csr;
+  BfsBuffers local_buf;
+  const Csr* csr;
+  BfsBuffers* buf;
+  if (ctx != nullptr) {
+    csr = &ctx->SnapshotFor(g);
+    ctx->EnsureBuffers(1, g.NumNodes());
+    buf = &ctx->Buffers(0);
+  } else {
+    local_csr.emplace(g);
+    csr = &*local_csr;
+    local_buf.EnsureSize(g.NumNodes());
+    buf = &local_buf;
+  }
+
+  // O(1) membership tests for the BFS inner loop (binary-searching the match
+  // lists per visited node dominated construction time on large graphs).
+  DenseBitset member(q.NumNodes(), g.NumNodes());
+  for (PatternNodeId u = 0; u < m.NumPatternNodes(); ++u) {
+    for (NodeId v : m.MatchesOf(u)) member.Set(u, v);
+  }
+
   // For every source match, one bounded BFS up to the node's largest
-  // out-bound discovers all shortest distances to potential targets; edges
-  // are emitted per pattern edge when the target matches. Duplicate (v,v')
-  // derivations keep the minimum weight via a first-wins map (BFS yields
-  // shortest distances, identical for all derivations).
-  Csr csr(g);
-  BfsBuffers buf;
-  buf.EnsureSize(g.NumNodes());
-  std::unordered_map<uint64_t, double> edge_weight;
-  auto key = [](uint32_t a, uint32_t b) {
-    return (static_cast<uint64_t>(a) << 32) | b;
+  // out-bound discovers all shortest distances to potential targets; an edge
+  // is recorded when any pattern edge admits the visited target. Every
+  // derivation of the same (v, v') carries the identical weight — the BFS
+  // visits each target once at its shortest nonempty distance — so
+  // duplicates (same source matching several pattern nodes) are eliminated
+  // by one sort+unique pass instead of a per-visit hash probe.
+  struct RawEdge {
+    uint64_t key;  // (src pos << 32) | dst pos — sorts into adjacency order
+    double weight;
+    bool operator<(const RawEdge& other) const { return key < other.key; }
   };
+  std::vector<RawEdge> raw;
   for (PatternNodeId u = 0; u < q.NumNodes(); ++u) {
     const auto& out_edges = q.OutEdges(u);
     if (out_edges.empty()) continue;
     Distance depth = q.MaxOutBound(u);
     for (NodeId v : m.MatchesOf(u)) {
-      uint32_t vpos = index_.at(v);
-      BoundedBfsNonEmpty<true>(csr, v, depth, &buf, [&](NodeId w, Distance d) {
+      uint64_t vkey = static_cast<uint64_t>(index_.at(v)) << 32;
+      BoundedBfsNonEmpty<true>(*csr, v, depth, buf, [&](NodeId w, Distance d) {
         for (uint32_t e : out_edges) {
           const PatternEdge& pe = q.edges()[e];
-          if (d > pe.bound || !m.Contains(pe.dst, w)) continue;
-          auto [it, inserted] = edge_weight.emplace(key(vpos, index_.at(w)),
-                                                    static_cast<double>(d));
-          if (!inserted) it->second = std::min(it->second, static_cast<double>(d));
+          if (d > pe.bound || !member.Test(pe.dst, w)) continue;
+          raw.push_back({vkey | index_.at(w), static_cast<double>(d)});
+          break;
         }
       });
     }
   }
-  for (const auto& [k, weight] : edge_weight) {
-    uint32_t a = static_cast<uint32_t>(k >> 32);
-    uint32_t b = static_cast<uint32_t>(k);
-    out_[a].emplace_back(b, weight);
-    in_[b].emplace_back(a, weight);
+  std::sort(raw.begin(), raw.end());
+  uint64_t prev_key = ~uint64_t{0};
+  for (const RawEdge& edge : raw) {
+    if (edge.key == prev_key) continue;
+    prev_key = edge.key;
+    uint32_t a = static_cast<uint32_t>(edge.key >> 32);
+    uint32_t b = static_cast<uint32_t>(edge.key);
+    out_[a].emplace_back(b, edge.weight);
+    in_[b].emplace_back(a, edge.weight);
     ++num_edges_;
   }
-  // Deterministic adjacency order (hash-map iteration order is not).
-  for (auto& list : out_) std::sort(list.begin(), list.end());
+  // out_ lists are emitted sorted already; in_ needs the per-target sort.
   for (auto& list : in_) std::sort(list.begin(), list.end());
 }
 

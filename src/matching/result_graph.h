@@ -17,6 +17,8 @@
 
 namespace expfinder {
 
+class MatchContext;
+
 /// \brief Weighted digraph over the matched data nodes.
 class ResultGraph {
  public:
@@ -24,7 +26,15 @@ class ResultGraph {
   /// (u, u', bound k) and every pair v in M(u), v' in M(u') with
   /// 0 < dist(v, v') <= k, an edge (v, v') with weight dist(v, v'). Parallel
   /// derivations keep the smallest weight.
-  ResultGraph(const Graph& g, const Pattern& q, const MatchRelation& m);
+  ///
+  /// The ctx overload reuses the context's CSR snapshot and BFS buffers
+  /// (the engine shares one context between the matcher and this
+  /// construction, so a steady-state query builds no per-query CSR at all);
+  /// ctx may be nullptr, which falls back to a local snapshot.
+  ResultGraph(const Graph& g, const Pattern& q, const MatchRelation& m,
+              MatchContext* ctx);
+  ResultGraph(const Graph& g, const Pattern& q, const MatchRelation& m)
+      : ResultGraph(g, q, m, nullptr) {}
 
   /// Number of result nodes.
   size_t NumNodes() const { return nodes_.size(); }

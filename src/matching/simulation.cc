@@ -2,21 +2,21 @@
 
 #include <deque>
 
+#include "src/matching/match_context.h"
 #include "src/util/logging.h"
 
 namespace expfinder {
 
 MatchRelation ComputeSimulation(const Graph& g, const Pattern& q,
-                                const MatchOptions& options) {
+                                const MatchOptions& options, MatchContext* ctx) {
   EF_CHECK(q.IsSimulationPattern())
       << "ComputeSimulation requires all bounds == 1; use bounded simulation";
   const size_t n = g.NumNodes();
   const size_t ne = q.NumEdges();
 
   CandidateSets cand = ComputeCandidates(g, q, options);
-  std::vector<std::vector<char>> mat = cand.bitmap;  // in-relation bitmap
-  std::vector<std::vector<int32_t>> cnt(ne);
-  for (auto& c : cnt) c.assign(n, 0);
+  DenseBitset mat = cand.bitmap;  // in-relation bit matrix
+  auto& cnt = ctx->Counters(0, ne, n);
 
   // Pending invalidated pairs.
   std::deque<std::pair<PatternNodeId, NodeId>> worklist;
@@ -24,7 +24,7 @@ MatchRelation ComputeSimulation(const Graph& g, const Pattern& q,
   // Seed counters against the initial (candidate) sets.
   for (uint32_t e = 0; e < ne; ++e) {
     const PatternEdge& pe = q.edges()[e];
-    const auto& dst_mat = mat[pe.dst];
+    const auto dst_mat = mat.Row(pe.dst);
     for (NodeId v : cand.list[pe.src]) {
       int32_t c = 0;
       for (NodeId w : g.OutNeighbors(v)) c += dst_mat[w];
@@ -36,15 +36,16 @@ MatchRelation ComputeSimulation(const Graph& g, const Pattern& q,
   while (!worklist.empty()) {
     auto [u, v] = worklist.front();
     worklist.pop_front();
-    if (!mat[u][v]) continue;
-    mat[u][v] = 0;
+    if (!mat.Test(u, v)) continue;
+    mat.Reset(u, v);
     // v no longer matches u: decrement support of predecessors along every
     // pattern edge ending in u.
     for (uint32_t e : q.InEdges(u)) {
       const PatternEdge& pe = q.edges()[e];
       auto& counters = cnt[e];
+      const auto src_mat = mat.Row(pe.src);
       for (NodeId w : g.InNeighbors(v)) {
-        if (--counters[w] == 0 && mat[pe.src][w]) {
+        if (--counters[w] == 0 && src_mat[w]) {
           worklist.emplace_back(pe.src, w);
         }
       }
@@ -53,29 +54,35 @@ MatchRelation ComputeSimulation(const Graph& g, const Pattern& q,
   return MatchRelation::FromBitmaps(mat);
 }
 
+MatchRelation ComputeSimulation(const Graph& g, const Pattern& q,
+                                const MatchOptions& options) {
+  MatchContext ctx;
+  return ComputeSimulation(g, q, options, &ctx);
+}
+
 MatchRelation ComputeSimulationNaive(const Graph& g, const Pattern& q) {
   EF_CHECK(q.IsSimulationPattern());
   const size_t nq = q.NumNodes();
   CandidateSets cand = ComputeCandidates(g, q);
-  std::vector<std::vector<char>> mat = cand.bitmap;
+  DenseBitset mat = cand.bitmap;
 
   bool changed = true;
   while (changed) {
     changed = false;
     for (PatternNodeId u = 0; u < nq; ++u) {
       for (NodeId v = 0; v < g.NumNodes(); ++v) {
-        if (!mat[u][v]) continue;
+        if (!mat.Test(u, v)) continue;
         for (uint32_t e : q.OutEdges(u)) {
           const PatternEdge& pe = q.edges()[e];
           bool supported = false;
           for (NodeId w : g.OutNeighbors(v)) {
-            if (mat[pe.dst][w]) {
+            if (mat.Test(pe.dst, w)) {
               supported = true;
               break;
             }
           }
           if (!supported) {
-            mat[u][v] = 0;
+            mat.Reset(u, v);
             changed = true;
             break;
           }

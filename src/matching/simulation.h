@@ -20,8 +20,14 @@
 
 namespace expfinder {
 
+class MatchContext;
+
 /// Computes M(Q,G) under graph-simulation semantics. Every edge bound must
-/// be 1 (checked); use ComputeBoundedSimulation otherwise.
+/// be 1 (checked); use ComputeBoundedSimulation otherwise. The ctx overload
+/// reuses the context's counter arrays across calls (simulation never needs
+/// a CSR snapshot: its inner loops are single-hop adjacency walks).
+MatchRelation ComputeSimulation(const Graph& g, const Pattern& q,
+                                const MatchOptions& options, MatchContext* ctx);
 MatchRelation ComputeSimulation(const Graph& g, const Pattern& q,
                                 const MatchOptions& options = {});
 

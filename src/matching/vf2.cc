@@ -116,9 +116,9 @@ IsoResult FindIsomorphicEmbeddings(const Graph& g, const Pattern& q,
 
 MatchRelation IsoMatchRelation(const IsoResult& iso, const Pattern& q,
                                size_t num_nodes) {
-  std::vector<std::vector<char>> mat(q.NumNodes(), std::vector<char>(num_nodes, 0));
+  DenseBitset mat(q.NumNodes(), num_nodes);
   for (const auto& emb : iso.embeddings) {
-    for (PatternNodeId u = 0; u < emb.size(); ++u) mat[u][emb[u]] = 1;
+    for (PatternNodeId u = 0; u < emb.size(); ++u) mat.Set(u, emb[u]);
   }
   return MatchRelation::FromBitmaps(mat);
 }

@@ -1,0 +1,79 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace expfinder {
+
+ThreadPool::ThreadPool(size_t num_workers) : num_workers_(std::max<size_t>(1, num_workers)) {
+  threads_.reserve(num_workers_ - 1);
+  for (size_t i = 1; i < num_workers_; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+size_t ThreadPool::ResolveThreads(uint32_t requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::ParallelChunks(size_t n, size_t active_workers,
+                                const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  active_workers = std::clamp<size_t>(active_workers, 1, num_workers_);
+  if (active_workers == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_items_ = n;
+    job_active_ = active_workers;
+    remaining_ = threads_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  auto [begin, end] = ChunkBounds(0, n, active_workers);
+  if (begin < end) fn(0, begin, end);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t, size_t, size_t)>* job;
+    size_t items;
+    size_t active;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      items = job_items_;
+      active = job_active_;
+    }
+    auto [begin, end] = ChunkBounds(worker_index, items, active);
+    if (begin < end) (*job)(worker_index, begin, end);
+    bool last;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last = --remaining_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+}  // namespace expfinder

@@ -1,0 +1,85 @@
+// A small persistent fork-join pool for the matchers' parallel seeding
+// phase. Workers are spawned once and parked on a condition variable, so a
+// ParallelChunks dispatch costs a notify + join handshake instead of thread
+// creation per query.
+//
+// The pool deliberately supports exactly one shape of work: partition
+// [0, n) into one contiguous chunk per worker and run fn(worker, begin,
+// end) on each, blocking until all chunks finish. Worker 0 is the calling
+// thread. Chunk boundaries depend only on (n, num_workers), so any caller
+// that keeps per-worker outputs and concatenates them in worker order gets
+// results that are bit-for-bit identical to a serial left-to-right pass —
+// the determinism contract the matchers rely on.
+//
+// Not reentrant: ParallelChunks must not be called concurrently from two
+// threads, and fn must not call back into the same pool.
+
+#ifndef EXPFINDER_UTIL_THREAD_POOL_H_
+#define EXPFINDER_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace expfinder {
+
+/// \brief Fixed-size fork-join pool; worker 0 is the calling thread.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_workers` total workers (spawns
+  /// num_workers - 1 background threads; 0 is clamped to 1).
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return num_workers_; }
+
+  /// Splits [0, n) into `active_workers` contiguous chunks and runs
+  /// fn(worker_index, chunk_begin, chunk_end) for each; blocks until every
+  /// chunk completes. Chunk `i` is [n*i/a, n*(i+1)/a), so the partition is
+  /// a pure function of (n, active_workers) — deterministic across runs and
+  /// independent of the pool's total size. active_workers is clamped to
+  /// [1, num_workers()]; idle workers cost one wakeup, not a respawn, so
+  /// one generously sized pool serves work items of any width.
+  void ParallelChunks(size_t n, size_t active_workers,
+                      const std::function<void(size_t, size_t, size_t)>& fn);
+  void ParallelChunks(size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
+    ParallelChunks(n, num_workers_, fn);
+  }
+
+  /// Resolves a requested thread count: 0 means hardware_concurrency
+  /// (at least 1), anything else is taken literally.
+  static size_t ResolveThreads(uint32_t requested);
+
+ private:
+  void WorkerLoop(size_t worker_index);
+
+  static std::pair<size_t, size_t> ChunkBounds(size_t worker, size_t n, size_t active) {
+    if (worker >= active) return {0, 0};
+    return {n * worker / active, n * (worker + 1) / active};
+  }
+
+  const size_t num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t, size_t, size_t)>* job_ = nullptr;  // guarded by mu_
+  size_t job_items_ = 0;                                              // guarded by mu_
+  size_t job_active_ = 0;                                             // guarded by mu_
+  uint64_t generation_ = 0;                                           // guarded by mu_
+  size_t remaining_ = 0;                                              // guarded by mu_
+  bool stop_ = false;                                                 // guarded by mu_
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_UTIL_THREAD_POOL_H_

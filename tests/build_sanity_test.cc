@@ -17,6 +17,11 @@ TEST(BuildSanityTest, EveryModuleLinks) {
   EXPECT_GE(timer.ElapsedSeconds(), 0.0);
   Rng rng(42);
   EXPECT_EQ(ToLower("ExpFinder"), "expfinder");
+  DenseBitset bits(1, 64);
+  bits.Set(0, 7);
+  EXPECT_EQ(bits.Count(), 1u);
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_workers(), 2u);
 
   // graph: core container, stats, SCC, BFS, CSR.
   Graph g;
@@ -42,8 +47,10 @@ TEST(BuildSanityTest, EveryModuleLinks) {
   EXPECT_EQ(q.NumNodes(), 1u);
 
   // matching + result graph.
-  MatchRelation m = ComputeBoundedSimulation(g, q);
-  ResultGraph gr(g, q, m);
+  MatchContext ctx;
+  MatchRelation m = ComputeBoundedSimulation(g, q, MatchOptions{}, &ctx);
+  EXPECT_EQ(ctx.snapshot_builds(), 1u);
+  ResultGraph gr(g, q, m, &ctx);
   EXPECT_EQ(gr.NumNodes(), m.MatchesOf(*pa).size());
 
   // ranking.

@@ -154,6 +154,131 @@ TEST_F(EngineFixture, MaintainedQueryStaysFreshUnderUpdates) {
   EXPECT_TRUE((*answer)->matches == ComputeBoundedSimulation(g_, q_));
 }
 
+TEST_F(EngineFixture, SteadyStateBuildsCsrSnapshotAtMostOnce) {
+  // The versioned snapshot cache: two consecutive Evaluate calls on an
+  // unmutated graph must not rebuild the CSR (cache disabled so both calls
+  // run the full uncached pipeline, matcher + result graph included).
+  EngineOptions opts;
+  opts.use_cache = false;
+  QueryEngine engine(&g_, opts);
+  ASSERT_TRUE(engine.Evaluate(q_).ok());
+  EXPECT_EQ(engine.stats().csr_builds, 1u);
+  ASSERT_TRUE(engine.Evaluate(q_).ok());
+  EXPECT_EQ(engine.stats().direct_evals, 2u);
+  EXPECT_EQ(engine.stats().csr_builds, 1u);
+}
+
+TEST_F(EngineFixture, SnapshotInvalidatedByUpdates) {
+  // Regression guard for the snapshot cache: Evaluate -> ApplyUpdates ->
+  // Evaluate must reflect the new topology (a stale CSR would keep serving
+  // the pre-update matches). Cache off so the second Evaluate really runs
+  // the matcher against the context's snapshot.
+  EngineOptions opts;
+  opts.use_cache = false;
+  QueryEngine engine(&g_, opts);
+  auto before = engine.Evaluate(q_);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->matches.TotalPairs(), 7u);
+
+  auto [src, dst] = gen::Fig1EdgeE1();
+  ASSERT_TRUE(engine.ApplyUpdates({GraphUpdate::Insert(src, dst)}).ok());
+  auto inserted = engine.Evaluate(q_);
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_EQ((*inserted)->matches.TotalPairs(), 8u);  // Fred joined
+  EXPECT_TRUE((*inserted)->matches == ComputeBoundedSimulation(g_, q_));
+  EXPECT_EQ(engine.stats().csr_builds, 2u);
+
+  ASSERT_TRUE(engine.ApplyUpdates({GraphUpdate::Delete(src, dst)}).ok());
+  auto removed = engine.Evaluate(q_);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ((*removed)->matches.TotalPairs(), 7u);  // and left again
+  EXPECT_TRUE((*removed)->matches == ComputeBoundedSimulation(g_, q_));
+}
+
+TEST_F(EngineFixture, MaintainedHitsClassifiedSeparatelyFromDirectEvals) {
+  // Maintained-query hits are their own serving path: they must not leak
+  // into direct_evals (nor vice versa), and every query is classified.
+  EngineOptions opts;
+  opts.use_cache = false;
+  QueryEngine engine(&g_, opts);
+  ASSERT_TRUE(engine.RegisterMaintainedQuery(q_).ok());
+  ASSERT_TRUE(engine.Evaluate(q_).ok());
+  ASSERT_TRUE(engine.Evaluate(q_).ok());
+  EXPECT_EQ(engine.stats().maintained_hits, 2u);
+  EXPECT_EQ(engine.stats().direct_evals, 0u);
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_GE(engine.stats().last_eval_ms, 0.0);
+  EXPECT_EQ(engine.stats().ClassifiedQueries(), engine.stats().queries);
+}
+
+TEST_F(EngineFixture, PlannerShortCircuitNotCountedAsDirectEval) {
+  QueryEngine engine(&g_);
+  PatternBuilder b;
+  b.Node("NOPE", "x").Output();
+  ASSERT_TRUE(engine.Evaluate(b.Build().value()).ok());
+  EXPECT_EQ(engine.stats().planner_short_circuits, 1u);
+  EXPECT_EQ(engine.stats().direct_evals, 0u);
+  EXPECT_EQ(engine.stats().ClassifiedQueries(), engine.stats().queries);
+}
+
+TEST_F(EngineFixture, EveryServingPathKeepsQueriesClassified) {
+  EngineOptions opts;
+  opts.use_compression = true;
+  QueryEngine engine(&g_, opts);
+  ASSERT_TRUE(engine.Evaluate(q_).ok());      // compressed eval
+  ASSERT_TRUE(engine.Evaluate(q_).ok());      // cache hit
+  PatternBuilder b;
+  b.Node("SD", "sd").Where("specialty", CmpOp::kEq, "DBA").Output();
+  ASSERT_TRUE(engine.Evaluate(b.Build().value()).ok());  // direct (incompatible)
+  PatternBuilder imp;
+  imp.Node("NOPE", "x").Output();
+  ASSERT_TRUE(engine.Evaluate(imp.Build().value()).ok());  // short circuit
+  const EngineStats& s = engine.stats();
+  EXPECT_EQ(s.queries, 4u);
+  EXPECT_EQ(s.compressed_evals, 1u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.direct_evals, 1u);
+  EXPECT_EQ(s.planner_short_circuits, 1u);
+  EXPECT_EQ(s.ClassifiedQueries(), s.queries);
+}
+
+TEST(EngineTest, CompressedSnapshotNotStaleAfterInPlaceRebuild) {
+  // Regression: the compressed graph is rebuilt in place (gc_ = Graph()),
+  // so its address is stable and its version counter restarts — an update
+  // that leaves the partition shape unchanged can land the rebuilt graph on
+  // the *same* (address, version) pair as the cached snapshot. Graph::uid()
+  // must disambiguate, or the engine serves matches against the pre-update
+  // topology.
+  Graph g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  NodeId c = g.AddNode("C");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+
+  EngineOptions opts;
+  opts.use_cache = false;
+  opts.use_compression = true;
+  QueryEngine engine(&g, opts);
+
+  PatternBuilder pb;
+  auto pa = pb.Node("A", "pa").Output();
+  auto pc = pb.Node("C", "pc");
+  pb.Edge(pa, pc, 2);
+  Pattern q = pb.Build().value();
+
+  auto before = engine.Evaluate(q);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE((*before)->matches.IsEmpty());  // a cannot reach any C
+
+  ASSERT_TRUE(engine
+                  .ApplyUpdates({GraphUpdate::Delete(a, b), GraphUpdate::Insert(a, c)})
+                  .ok());
+  auto after = engine.Evaluate(q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->matches.TotalPairs(), 2u) << "stale compressed snapshot";
+  EXPECT_TRUE((*after)->matches == ComputeBoundedSimulation(g, q));
+}
+
 TEST_F(EngineFixture, TopKThroughEngine) {
   QueryEngine engine(&g_);
   auto top = engine.TopK(q_, 1);

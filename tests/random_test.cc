@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <set>
 
+#include "src/generator/generators.h"
+#include "src/matching/bounded_simulation.h"
+#include "src/matching/dual_simulation.h"
+#include "src/matching/match_context.h"
 #include "src/util/random.h"
 
 namespace expfinder {
@@ -140,6 +144,67 @@ TEST_P(RngSweep, BoundedUniformity) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RngSweep, ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+// --- Randomized equivalence: optimized matchers vs. naive oracles ---------
+//
+// The optimized bounded/dual matchers differ from the references in every
+// dimension the hot-path overhaul touched: they reuse a MatchContext (CSR
+// snapshot, BFS buffers, counter arrays) across calls, store membership in
+// flat bitsets, and fan the seeding phase out over a thread pool. This
+// sweep pins all of that to the naive dense-distance-matrix fixpoints on
+// random graph/pattern pairs, for thread counts {1, 4} — the acceptance
+// gate for "parallel seeding is deterministic".
+
+TEST(RandomEquivalenceTest, OptimizedMatchersMatchNaiveOraclesAcrossThreadCounts) {
+  // One context per thread count, deliberately reused across all iterations
+  // so snapshot invalidation (new graph identity every round) and counter
+  // re-zeroing are exercised, not just the happy first call.
+  MatchContext ctx_serial, ctx_parallel;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const size_t n = 20 + (seed * 13) % 90;
+    const size_t m = 2 * n + seed % 40;
+    Graph g = gen::ErdosRenyi(n, m, seed);
+    Pattern q = gen::RandomPattern(3 + seed % 3, 4 + seed % 4,
+                                   static_cast<Distance>(1 + seed % 3), 0.3,
+                                   seed * 31 + 7);
+
+    MatchRelation naive_bounded = ComputeBoundedSimulationNaive(g, q);
+    MatchRelation naive_dual = ComputeDualSimulationNaive(g, q);
+
+    for (uint32_t threads : {1u, 4u}) {
+      MatchOptions opts;
+      opts.num_threads = threads;
+      MatchContext& ctx = threads == 1 ? ctx_serial : ctx_parallel;
+      EXPECT_TRUE(ComputeBoundedSimulation(g, q, opts, &ctx) == naive_bounded)
+          << "bounded mismatch: seed=" << seed << " threads=" << threads;
+      EXPECT_TRUE(ComputeDualSimulation(g, q, opts, &ctx) == naive_dual)
+          << "dual mismatch: seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(RandomEquivalenceTest, ThreadCountsProduceBitIdenticalRelations) {
+  // Denser graphs + larger candidate sets than the oracle sweep (no naive
+  // recomputation here, so size is cheap): every thread count must yield
+  // the exact same relation as the serial pass.
+  Graph g = gen::ErdosRenyi(1500, 9000, 99);
+  for (int i = 0; i < 4; ++i) {
+    Pattern q = gen::RandomPattern(4, 6, 2, 0.3, 1000 + i);
+    MatchOptions serial;
+    serial.num_threads = 1;
+    MatchContext ctx;
+    MatchRelation reference_b = ComputeBoundedSimulation(g, q, serial, &ctx);
+    MatchRelation reference_d = ComputeDualSimulation(g, q, serial, &ctx);
+    for (uint32_t threads : {2u, 4u, 8u}) {
+      MatchOptions opts;
+      opts.num_threads = threads;
+      EXPECT_TRUE(ComputeBoundedSimulation(g, q, opts, &ctx) == reference_b)
+          << "pattern " << i << " threads " << threads;
+      EXPECT_TRUE(ComputeDualSimulation(g, q, opts, &ctx) == reference_d)
+          << "pattern " << i << " threads " << threads;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace expfinder
