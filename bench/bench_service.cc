@@ -1,0 +1,155 @@
+// Experiment S1 — multi-threaded serving throughput through the
+// ExpFinderService: serial Query loops vs QueryBatch fan-out on a
+// reader-only workload, concurrent readers at several thread counts, and a
+// mixed read/write stream (Mutate interleaved with batches). The serial
+// loop and the batch run evaluate the *same* request list, so
+// serial_ms / batch_ms is the batch speedup on this host (1.0x on a
+// single-core machine; the fan-out pays off with the cores).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/expfinder.h"
+
+using namespace expfinder;
+using namespace expfinder::bench;
+
+namespace {
+
+constexpr size_t kGraphSize = 8000;
+constexpr size_t kBatchRequests = 8;
+
+Graph* SharedGraph() {
+  static Graph g = MakeCollab(kGraphSize, 6);
+  return &g;
+}
+
+/// Reader-only request list: cache off so every request really evaluates,
+/// matcher seeding serial so request-level parallelism owns the cores.
+std::vector<QueryRequest> MakeRequests(size_t count) {
+  std::vector<QueryRequest> requests(count);
+  for (size_t i = 0; i < count; ++i) {
+    requests[i].pattern = gen::TeamQuery(static_cast<int>(i % 3));
+    requests[i].use_cache = false;
+    requests[i].match_threads = 1;
+  }
+  return requests;
+}
+
+ServiceOptions ReaderOptions() {
+  ServiceOptions opts;
+  opts.engine.use_cache = false;
+  opts.engine.match_threads = 1;
+  return opts;
+}
+
+void BM_ServiceQuerySerial(benchmark::State& state) {
+  Graph g = *SharedGraph();
+  ExpFinderService service(&g, ReaderOptions());
+  auto requests = MakeRequests(kBatchRequests);
+  for (auto _ : state) {
+    for (const QueryRequest& request : requests) {
+      benchmark::DoNotOptimize(service.Query(request));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatchRequests));
+}
+BENCHMARK(BM_ServiceQuerySerial);
+
+void BM_ServiceQueryBatch(benchmark::State& state) {
+  Graph g = *SharedGraph();
+  ServiceOptions opts = ReaderOptions();
+  opts.batch_threads = static_cast<uint32_t>(state.range(0));
+  ExpFinderService service(&g, opts);
+  auto requests = MakeRequests(kBatchRequests);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.QueryBatch(requests));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatchRequests));
+}
+BENCHMARK(BM_ServiceQueryBatch)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ServiceConcurrentReaders(benchmark::State& state) {
+  // Shared service, one Query stream per benchmark thread: measures the
+  // reader-side scalability of the shared_mutex + context-pool design.
+  static Graph g = *SharedGraph();
+  static ExpFinderService service(&g, ReaderOptions());
+  QueryRequest request;
+  request.pattern = gen::TeamQuery(state.thread_index() % 3);
+  request.use_cache = false;
+  request.match_threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.Query(request));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceConcurrentReaders)->Threads(1)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+void BM_ServiceMixedReadWrite(benchmark::State& state) {
+  // One writer batch per iteration interleaved with a reader batch: the
+  // writer takes the exclusive side, the fan-out the shared side.
+  Graph g = *SharedGraph();
+  ServiceOptions opts = ReaderOptions();
+  opts.batch_threads = 4;
+  ExpFinderService service(&g, opts);
+  auto requests = MakeRequests(kBatchRequests);
+  uint64_t seed = 99;
+  for (auto _ : state) {
+    UpdateBatch updates = GenerateUpdateStream(g, 8, 0.5, seed++);
+    EF_CHECK(service.Mutate(updates).ok());
+    benchmark::DoNotOptimize(service.QueryBatch(requests));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatchRequests));
+}
+BENCHMARK(BM_ServiceMixedReadWrite)->UseRealTime();
+
+void BM_ServiceCachedQuery(benchmark::State& state) {
+  // The serving fast path: shared cache hit under the reader lock.
+  Graph g = *SharedGraph();
+  ExpFinderService service(&g);
+  QueryRequest request;
+  request.pattern = gen::TeamQuery(0);
+  (void)service.Query(request);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.Query(request));
+  }
+}
+BENCHMARK(BM_ServiceCachedQuery);
+
+void ServingSummary() {
+  Header("S1 service throughput",
+         "QueryBatch fans a reader-only workload over the thread pool; "
+         "Mutate serializes against readers without corrupting snapshots");
+  Graph g = *SharedGraph();
+  ServiceOptions opts = ReaderOptions();
+  opts.batch_threads = 0;  // hardware
+  ExpFinderService service(&g, opts);
+  auto requests = MakeRequests(kBatchRequests);
+
+  Timer serial_timer;
+  for (const QueryRequest& request : requests) (void)service.Query(request);
+  double serial_ms = serial_timer.ElapsedMillis();
+
+  Timer batch_timer;
+  auto results = service.QueryBatch(requests);
+  double batch_ms = batch_timer.ElapsedMillis();
+
+  Table t({"mode", "requests", "total (ms)", "speedup"});
+  t.AddRow({"serial Query loop", Table::Int(static_cast<int64_t>(requests.size())),
+            Table::Num(serial_ms, 2), "1.0x"});
+  t.AddRow({"QueryBatch (hw threads)",
+            Table::Int(static_cast<int64_t>(results.size())),
+            Table::Num(batch_ms, 2),
+            Table::Num(serial_ms / std::max(batch_ms, 1e-9), 2) + "x"});
+  std::printf("%s\n", t.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServingSummary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,7 +1,7 @@
 // Dynamic social network (paper §II "Incremental Computation Module" and
-// §III "Coping with the dynamic world"): register frequently issued queries,
-// stream edge updates through the engine, and compare maintained answers
-// against batch recomputation.
+// §III "Coping with the dynamic world"): register frequently issued queries
+// with the service, stream edge updates through Mutate, and compare
+// maintained answers against batch recomputation.
 //
 //   $ ./dynamic_network [n] [num_batches] [batch_size]
 
@@ -33,30 +33,35 @@ int main(int argc, char** argv) {
   std::printf("graph: %zu nodes, %zu edges\n\n", g.NumNodes(), g.NumEdges());
 
   Pattern q = gen::TeamQuery(0);
-  QueryEngine engine(&g);
-  if (Status st = engine.RegisterMaintainedQuery(q); !st.ok()) {
+  ExpFinderService service(&g);
+  if (Status st = service.RegisterMaintainedQuery(q); !st.ok()) {
     std::cerr << "register failed: " << st << "\n";
     return 1;
   }
-  auto initial = engine.Evaluate(q);
+  QueryRequest request;
+  request.pattern = q;
+  request.use_cache = false;  // always read the maintained snapshot
+  auto initial = service.Query(request);
   if (!initial.ok()) {
     std::cerr << initial.status() << "\n";
     return 1;
   }
-  std::printf("initial matches: %zu pairs\n\n", (*initial)->matches.TotalPairs());
+  std::printf("initial matches: %zu pairs [path: %s]\n\n",
+              initial->answer->matches.TotalPairs(),
+              std::string(ServingPathName(initial->path)).c_str());
 
   Table table({"batch", "updates", "inc ms", "batch ms", "speedup", "matches"});
   Rng rng(7);
   for (size_t b = 0; b < num_batches; ++b) {
     UpdateBatch batch = GenerateUpdateStream(g, batch_size, 0.5, rng.Next());
 
-    // Incremental path (through the engine's maintained state).
+    // Incremental path (through the service's maintained state).
     Timer inc_timer;
-    if (Status st = engine.ApplyUpdates(batch); !st.ok()) {
+    if (Status st = service.Mutate(batch); !st.ok()) {
       std::cerr << "update failed: " << st << "\n";
       return 1;
     }
-    auto maintained = engine.Evaluate(q);
+    auto maintained = service.Query(request);
     double inc_ms = inc_timer.ElapsedMillis();
 
     // Batch recomputation on the (already updated) graph for comparison.
@@ -64,7 +69,8 @@ int main(int argc, char** argv) {
     MatchRelation recomputed = ComputeBoundedSimulation(g, q);
     double batch_ms = batch_timer.ElapsedMillis();
 
-    if (!maintained.ok() || !((*maintained)->matches == recomputed)) {
+    if (!maintained.ok() || !(maintained->answer->matches == recomputed) ||
+        maintained->path != ServingPath::kMaintained) {
       std::cerr << "MISMATCH at batch " << b << "\n";
       return 1;
     }

@@ -127,22 +127,26 @@ int CmdQuery(GraphStore* store, const std::vector<std::string>& args) {
   }
 
   Graph graph = std::move(g).value();
-  QueryEngine engine(&graph);
-  auto answer = engine.Evaluate(*q);
-  if (!answer.ok()) return Fail(answer.status());
-  std::cout << "matches: " << (*answer)->matches.TotalPairs() << " pairs; result graph "
-            << (*answer)->result_graph.NumNodes() << " nodes / "
-            << (*answer)->result_graph.NumEdges() << " edges\n";
-  auto top = engine.TopK(*q, k);
-  if (!top.ok()) return Fail(top.status());
+  ExpFinderService service(&graph);
+  QueryRequest request;
+  request.pattern = std::move(q).value();
+  request.top_k = k;
+  auto response = service.Query(request);
+  if (!response.ok()) return Fail(response.status());
+  std::cout << "matches: " << response->answer->matches.TotalPairs()
+            << " pairs; result graph " << response->answer->result_graph.NumNodes()
+            << " nodes / " << response->answer->result_graph.NumEdges()
+            << " edges [path: " << ServingPathName(response->path) << ", "
+            << response->eval_ms << " ms]\n";
   Table t({"rank", "expert", "label", "f(v)"});
   int rank = 1;
-  for (const RankedMatch& r : *top) {
+  for (const RankedMatch& r : response->ranked) {
     t.AddRow({Table::Int(rank++), graph.DisplayName(r.node),
               graph.NodeLabelName(r.node), Table::Num(r.score, 3)});
   }
   std::cout << t.ToString();
-  if (Status st = store->PutMatches(args[0] + "_last", (*answer)->matches); !st.ok()) {
+  if (Status st = store->PutMatches(args[0] + "_last", response->answer->matches);
+      !st.ok()) {
     return Fail(st);
   }
   std::cout << "(cached result stored as '" << args[0] << "_last')\n";

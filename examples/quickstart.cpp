@@ -1,12 +1,14 @@
 // Quickstart: the paper's running example end to end (Fig. 1, Examples
-// 1-3). Builds the collaboration network and the bounded-simulation query,
-// finds M(Q,G), ranks the SA experts, then inserts edge e1 and maintains the
-// answer incrementally.
+// 1-3), served through the ExpFinderService API. Builds the collaboration
+// network and the bounded-simulation query, answers one typed QueryRequest
+// (match + rank in a single round trip), then registers the query as
+// maintained, inserts edge e1 via Mutate, and reads the refreshed answer.
 //
 //   $ ./quickstart
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "examples/example_args.h"
 #include "src/expfinder.h"
@@ -19,70 +21,96 @@ int main(int argc, char** argv) {
 
   // --- The data graph of Fig. 1(b) and the query of Fig. 1(a) -------------
   Graph g = gen::BuildFig1Graph();
-  Pattern q = gen::BuildFig1Pattern();
+  ExpFinderService service(&g);
+
+  QueryRequest request;
+  request.pattern = gen::BuildFig1Pattern();
+  request.top_k = 10;  // rank every SA match (there are 2)
 
   std::cout << "=== ExpFinder quickstart (paper Fig. 1) ===\n\n";
   std::cout << "Collaboration network: " << g.NumNodes() << " people, "
             << g.NumEdges() << " collaboration edges\n";
-  std::cout << "Query:\n" << q.ToText() << "\n";
+  std::cout << "Query:\n" << request.pattern.ToText() << "\n";
 
-  // --- Example 1: bounded simulation matching -----------------------------
-  MatchRelation m = ComputeBoundedSimulation(g, q);
-  std::cout << "M(Q,G) = " << m.ToString(q, g) << "\n\n";
-
-  // --- Example 2: result graph + social-impact ranking --------------------
-  ResultGraph gr(g, q, m);
-  std::cout << "Result graph: " << gr.NumNodes() << " nodes, " << gr.NumEdges()
-            << " edges\n";
-  auto ranked = RankAllMatches(gr, q);
-  if (!ranked.ok()) {
-    std::cerr << "ranking failed: " << ranked.status() << "\n";
+  // --- Examples 1 + 2: one request answers matching *and* ranking ---------
+  auto response = service.Query(request);
+  if (!response.ok()) {
+    std::cerr << "query failed: " << response.status() << "\n";
     return 1;
   }
+  std::cout << "M(Q,G) = " << response->answer->matches.ToString(request.pattern, g)
+            << "\n\n";
+  std::cout << "Result graph: " << response->answer->result_graph.NumNodes()
+            << " nodes, " << response->answer->result_graph.NumEdges()
+            << " edges (served via " << ServingPathName(response->path) << ", "
+            << "graph version " << response->graph_version << ")\n";
   std::cout << "SA experts by social impact f(SA, v) (smaller = better):\n";
-  for (const RankedMatch& r : *ranked) {
+  for (const RankedMatch& r : response->ranked) {
     std::printf("  %-6s f = %.4f\n", g.DisplayName(r.node).c_str(), r.score);
   }
-  std::cout << "Top-1 expert: " << g.DisplayName((*ranked)[0].node)
+  std::cout << "Top-1 expert: " << g.DisplayName(response->ranked[0].node)
             << " (the paper's Bob, f = 9/5)\n\n";
 
   // --- Example 3: incremental maintenance under edge e1 -------------------
-  IncrementalBoundedSimulation inc(&g, q);
-  auto [fred, jean] = gen::Fig1EdgeE1();
-  std::cout << "Inserting e1 = (" << g.DisplayName(fred) << ", "
-            << g.DisplayName(jean) << ") ...\n";
-  auto delta = inc.ApplyBatch({GraphUpdate::Insert(fred, jean)});
-  if (!delta.ok()) {
-    std::cerr << "update failed: " << delta.status() << "\n";
+  if (Status st = service.RegisterMaintainedQuery(request.pattern); !st.ok()) {
+    std::cerr << "register failed: " << st << "\n";
     return 1;
   }
-  std::cout << "Delta: +" << delta->added.size() << " / -" << delta->removed.size()
-            << " match pairs; new pair: (" << q.node(delta->added[0].first).name
-            << "," << g.DisplayName(delta->added[0].second) << ")\n";
-  std::cout << "M(Q,G + e1) = " << inc.Snapshot().ToString(q, g) << "\n\n";
+  auto [fred, jean] = gen::Fig1EdgeE1();
+  std::cout << "Registering Q as maintained, then inserting e1 = ("
+            << g.DisplayName(fred) << ", " << g.DisplayName(jean) << ") ...\n";
+  if (Status st = service.Mutate({GraphUpdate::Insert(fred, jean)}); !st.ok()) {
+    std::cerr << "update failed: " << st << "\n";
+    return 1;
+  }
+  QueryRequest fresh = request;
+  fresh.use_cache = false;  // read the maintained snapshot, not the old cache
+  fresh.top_k = std::nullopt;
+  auto updated = service.Query(fresh);
+  if (!updated.ok()) {
+    std::cerr << "query failed: " << updated.status() << "\n";
+    return 1;
+  }
+  std::cout << "M(Q,G + e1) = "
+            << updated->answer->matches.ToString(request.pattern, g) << " [path: "
+            << ServingPathName(updated->path) << "]\n\n";
 
-  // --- Drill down: why does Bob match? (witness paths) --------------------
-  auto explanation =
-      ExplainMatch(g, q, inc.Snapshot(), *q.FindNode("SA"), gen::Fig1::kBob);
+  // --- Drill down: why does Fred now match? (witness paths) ---------------
+  auto explanation = ExplainMatch(g, request.pattern, updated->answer->matches,
+                                  *request.pattern.FindNode("SD"), fred);
   if (explanation.ok()) {
-    std::cout << "Drill-down: " << explanation->ToString(g, q) << "\n";
+    std::cout << "Drill-down: " << explanation->ToString(g, request.pattern) << "\n";
   }
 
   // --- Extension: dual simulation also demands matching ancestors ---------
-  NodeId tom = g.AddNode("ST");
-  g.SetAttr(tom, "name", AttrValue("Tom"));
-  g.SetAttr(tom, "experience", AttrValue(3));
-  MatchRelation bounded = ComputeBoundedSimulation(g, q);
-  MatchRelation dual = ComputeDualSimulation(g, q);
+  auto tom = service.AddNode("ST", {{"name", AttrValue("Tom")},
+                                    {"experience", AttrValue(3)}});
+  if (!tom.ok()) {
+    std::cerr << "add node failed: " << tom.status() << "\n";
+    return 1;
+  }
+  QueryRequest bounded = fresh;
+  QueryRequest dual = fresh;
+  dual.semantics = MatchSemantics::kDualSimulation;
+  auto bounded_resp = service.Query(bounded);
+  auto dual_resp = service.Query(dual);
+  if (!bounded_resp.ok() || !dual_resp.ok()) {
+    std::cerr << "semantics comparison failed\n";
+    return 1;
+  }
+  PatternNodeId st_node = *request.pattern.FindNode("ST");
   std::cout << "After hiring Tom (a tester nobody worked with yet):\n"
             << "  bounded simulation matches him to ST: "
-            << (bounded.Contains(*q.FindNode("ST"), tom) ? "yes" : "no") << "\n"
+            << (bounded_resp->answer->matches.Contains(st_node, *tom) ? "yes" : "no")
+            << "\n"
             << "  dual simulation (ancestors required):  "
-            << (dual.Contains(*q.FindNode("ST"), tom) ? "yes" : "no") << "\n\n";
+            << (dual_resp->answer->matches.Contains(st_node, *tom) ? "yes" : "no")
+            << "\n\n";
 
   // --- Export the result graph for Graphviz (the GUI substitute) ----------
-  ResultGraph gr2(g, q, inc.Snapshot());
   std::cout << "DOT of the result graph (top-1 highlighted):\n"
-            << ResultGraphToDot(gr2, g, q, {(*ranked)[0].node});
+            << ResultGraphToDot(updated->answer->result_graph, g, request.pattern,
+                                {response->ranked[0].node});
+  std::cout << "\nservice stats: " << service.stats().ToString() << "\n";
   return 0;
 }

@@ -1,8 +1,9 @@
 // Team formation (the paper's motivating scenario, §I): a company staffing a
 // medical-record-system project searches a large collaboration network for
 // lead experts whose teams satisfy structural and expertise requirements.
-// Mirrors the Q1-Q3 demo queries of Fig. 4 on a synthetic network, evaluated
-// through the full query engine (planner + cache + compression).
+// Mirrors the Q1-Q3 demo queries of Fig. 4 on a synthetic network, served
+// through the ExpFinderService request/response API (planner + cache +
+// compression), finishing with a QueryBatch re-issue that is all cache hits.
 //
 //   $ ./team_formation [num_people] [seed]
 
@@ -32,37 +33,35 @@ int main(int argc, char** argv) {
   std::cout << "=== Team formation on a collaboration network ===\n";
   std::cout << FormatStats(ComputeStats(g)) << "\n";
 
-  EngineOptions opts;
-  opts.use_compression = true;
-  QueryEngine engine(&g, opts);
-  if (const CompressedGraph* cg = engine.compressed()) {
+  ServiceOptions opts;
+  opts.engine.use_compression = true;
+  ExpFinderService service(&g, opts);
+  if (const CompressedGraph* cg = service.compressed()) {
     std::printf("compressed graph: %zu -> %zu nodes (%.1f%%), %zu -> %zu edges (%.1f%%)\n\n",
                 g.NumNodes(), cg->gc().NumNodes(), 100.0 * cg->NodeRatio(),
                 g.NumEdges(), cg->gc().NumEdges(), 100.0 * cg->EdgeRatio());
   }
 
   for (int i = 0; i < 3; ++i) {
-    Pattern q = gen::TeamQuery(i);
-    std::cout << "--- Q" << (i + 1) << " ---\n" << q.ToText();
-    Timer t;
-    auto answer = engine.Evaluate(q);
-    if (!answer.ok()) {
-      std::cerr << "evaluation failed: " << answer.status() << "\n";
+    QueryRequest request;
+    request.pattern = gen::TeamQuery(i);
+    request.top_k = 5;  // one request = pattern + ranking + knobs
+    std::cout << "--- Q" << (i + 1) << " ---\n" << request.pattern.ToText();
+    auto response = service.Query(request);
+    if (!response.ok()) {
+      std::cerr << "query failed: " << response.status() << "\n";
       return 1;
     }
-    double ms = t.ElapsedMillis();
-    const MatchRelation& m = (*answer)->matches;
-    std::printf("matches: %zu pairs (output node: %zu candidates) in %.2f ms\n",
-                m.TotalPairs(), m.MatchesOf(*q.output_node()).size(), ms);
+    const MatchRelation& m = response->answer->matches;
+    std::printf("matches: %zu pairs (output node: %zu candidates) in %.2f ms "
+                "[path: %s]\n",
+                m.TotalPairs(),
+                m.MatchesOf(*request.pattern.output_node()).size(),
+                response->eval_ms, std::string(ServingPathName(response->path)).c_str());
 
-    auto top = engine.TopK(q, 5);
-    if (!top.ok()) {
-      std::cerr << "ranking failed: " << top.status() << "\n";
-      return 1;
-    }
     Table table({"rank", "expert", "field", "experience", "f(v)"});
     int rank = 1;
-    for (const RankedMatch& r : *top) {
+    for (const RankedMatch& r : response->ranked) {
       const AttrValue* exp = g.GetAttr(r.node, "experience");
       table.AddRow({Table::Int(rank++), g.DisplayName(r.node), g.NodeLabelName(r.node),
                     exp ? exp->ToString() : "?", Table::Num(r.score, 3)});
@@ -70,10 +69,18 @@ int main(int argc, char** argv) {
     std::cout << table.ToString() << "\n";
   }
 
-  // Second pass: everything comes from the cache.
+  // Second pass as one batch: everything comes from the shared cache.
+  std::vector<QueryRequest> reissue(3);
+  for (int i = 0; i < 3; ++i) reissue[i].pattern = gen::TeamQuery(i);
   Timer t;
-  for (int i = 0; i < 3; ++i) (void)engine.Evaluate(gen::TeamQuery(i));
-  std::printf("re-issuing Q1-Q3 (cached): %.3f ms total\n", t.ElapsedMillis());
-  std::cout << "engine stats: " << engine.stats().ToString() << "\n";
+  auto batch = service.QueryBatch(reissue);
+  double batch_ms = t.ElapsedMillis();
+  size_t cache_hits = 0;
+  for (const auto& r : batch) {
+    if (r.ok() && r->path == ServingPath::kCache) ++cache_hits;
+  }
+  std::printf("re-issuing Q1-Q3 as QueryBatch: %.3f ms total, %zu/3 cache hits\n",
+              batch_ms, cache_hits);
+  std::cout << "service stats: " << service.stats().ToString() << "\n";
   return 0;
 }

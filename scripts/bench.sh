@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Benchmark-trajectory harness: builds the Google-Benchmark binaries with
-# -DEXPFINDER_BUILD_BENCH=ON, runs the matching and engine suites with JSON
-# output, and appends one labelled entry per suite to BENCH_matching.json /
-# BENCH_engine.json at the repo root. Successive PRs run this to extend the
-# trajectory, so every optimization lands with comparable before/after
-# numbers on the same machine.
+# -DEXPFINDER_BUILD_BENCH=ON, runs the matching, engine, and service suites
+# with JSON output, and appends one labelled entry per suite to
+# BENCH_matching.json / BENCH_engine.json / BENCH_service.json at the repo
+# root. Successive PRs run this to extend the trajectory, so every
+# optimization lands with comparable before/after numbers on the same
+# machine.
 #
 # Usage: scripts/bench.sh [extra cmake args...]
 # Env:
@@ -25,9 +26,9 @@ MIN_TIME=${BENCH_MIN_TIME:-0.2}
 FILTER=${BENCH_FILTER:-}
 
 cmake -B "$BUILD_DIR" -S . -DEXPFINDER_BUILD_BENCH=ON "$@"
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_matching bench_engine
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_matching bench_engine bench_service
 
-for suite in matching engine; do
+for suite in matching engine service; do
   bin="$BUILD_DIR/bench/bench_$suite"
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (is the Google Benchmark library installed?)" >&2

@@ -51,14 +51,13 @@ MatchRelation RunMatcher(const Graph& g, const Pattern& q, const MatchOptions& o
   return ComputeBoundedSimulation(g, q, opts, ctx);
 }
 
-/// Cache key combining the pattern fingerprint with the semantics.
-uint64_t CacheKey(const Pattern& q, MatchSemantics semantics) {
+}  // namespace
+
+uint64_t QueryCacheKey(const Pattern& q, MatchSemantics semantics) {
   uint64_t fp = q.Fingerprint();
   return semantics == MatchSemantics::kBoundedSimulation ? fp
                                                          : fp ^ 0x9E3779B97F4A7C15ULL;
 }
-
-}  // namespace
 
 std::string EngineStats::ToString() const {
   std::ostringstream os;
@@ -101,12 +100,16 @@ const CompressedGraph* QueryEngine::compressed() const {
   return compression_ ? &compression_->current() : nullptr;
 }
 
-Result<MatchRelation> QueryEngine::EvaluateUncached(const Pattern& q,
-                                                    MatchSemantics semantics,
-                                                    EvalPath* path) {
+Result<MatchRelation> QueryEngine::EvaluateWith(const Pattern& q,
+                                                MatchSemantics semantics,
+                                                const EvalOverrides& overrides,
+                                                MatchContext* ctx,
+                                                MatchContext* compressed_ctx,
+                                                EvalPath* path) const {
   *path = EvalPath::kDirect;
   EvalPlan plan = planner_.Plan(*g_, q);
-  plan.match_options.num_threads = options_.match_threads;
+  plan.match_options.num_threads =
+      overrides.match_threads.value_or(options_.match_threads);
   if (plan.provably_empty) {
     *path = EvalPath::kPlannerShortCircuit;
     return MatchRelation(q.NumNodes());
@@ -114,18 +117,31 @@ Result<MatchRelation> QueryEngine::EvaluateUncached(const Pattern& q,
   if (semantics == MatchSemantics::kDualSimulation) {
     // The forward-bisimulation quotient does not preserve parent
     // constraints, so dual queries always run directly on G.
-    return ComputeDualSimulation(*g_, q, plan.match_options, &match_ctx_);
+    return ComputeDualSimulation(*g_, q, plan.match_options, ctx);
   }
   if (options_.use_compression && compression_ != nullptr) {
     const CompressedGraph& cg = compression_->current();
     if (cg.source_version() == g_->version() && cg.IsCompatible(q)) {
       *path = EvalPath::kCompressed;
-      MatchRelation compressed = RunMatcher(cg.gc(), q, plan.match_options,
-                                            &compressed_ctx_);
+      MatchRelation compressed =
+          RunMatcher(cg.gc(), q, plan.match_options, compressed_ctx);
       return cg.Decompress(compressed);
     }
   }
-  return RunMatcher(*g_, q, plan.match_options, &match_ctx_);
+  return RunMatcher(*g_, q, plan.match_options, ctx);
+}
+
+std::optional<MatchRelation> QueryEngine::MaintainedSnapshot(
+    const Pattern& q, MatchSemantics semantics) const {
+  auto it = maintained_.find(QueryCacheKey(q, semantics));
+  if (it == maintained_.end()) return std::nullopt;
+  return it->second.Snapshot();
+}
+
+Result<MatchRelation> QueryEngine::EvaluateUncached(const Pattern& q,
+                                                    MatchSemantics semantics,
+                                                    EvalPath* path) {
+  return EvaluateWith(q, semantics, {}, &match_ctx_, &compressed_ctx_, path);
 }
 
 Result<std::shared_ptr<const QueryAnswer>> QueryEngine::Evaluate(
@@ -133,7 +149,7 @@ Result<std::shared_ptr<const QueryAnswer>> QueryEngine::Evaluate(
   EF_RETURN_NOT_OK(q.Validate());
   Timer timer;
   ++stats_.queries;
-  uint64_t key = CacheKey(q, semantics);
+  uint64_t key = QueryCacheKey(q, semantics);
 
   if (options_.use_cache) {
     if (auto hit = cache_.Get(key, g_->version())) {
@@ -144,13 +160,12 @@ Result<std::shared_ptr<const QueryAnswer>> QueryEngine::Evaluate(
   }
 
   MatchRelation matches;
-  auto it = maintained_.find(key);
-  if (it != maintained_.end()) {
+  if (auto snapshot = MaintainedSnapshot(q, semantics)) {
     // Maintained queries are their own serving path: they bypass
     // EvaluateUncached, so they must not fall through to the
     // direct/compressed classification below.
     ++stats_.maintained_hits;
-    matches = it->second.Snapshot();
+    matches = std::move(*snapshot);
   } else {
     EvalPath path = EvalPath::kDirect;
     auto res = EvaluateUncached(q, semantics, &path);
@@ -201,7 +216,7 @@ Result<NodeId> QueryEngine::AddNode(
 Status QueryEngine::RegisterMaintainedQuery(const Pattern& q,
                                             MatchSemantics semantics) {
   EF_RETURN_NOT_OK(q.Validate());
-  uint64_t key = CacheKey(q, semantics);
+  uint64_t key = QueryCacheKey(q, semantics);
   if (maintained_.count(key)) {
     return Status::AlreadyExists("query already maintained");
   }
@@ -218,7 +233,7 @@ Status QueryEngine::RegisterMaintainedQuery(const Pattern& q,
 }
 
 bool QueryEngine::IsMaintained(const Pattern& q, MatchSemantics semantics) const {
-  return maintained_.count(CacheKey(q, semantics)) > 0;
+  return maintained_.count(QueryCacheKey(q, semantics)) > 0;
 }
 
 Status QueryEngine::ApplyUpdates(const UpdateBatch& batch) {

@@ -14,6 +14,7 @@
 #define EXPFINDER_ENGINE_QUERY_ENGINE_H_
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "src/compression/maintenance.h"
@@ -36,6 +37,20 @@ enum class MatchSemantics {
   /// forward-bisimulation quotient does not preserve parent constraints) or
   /// from maintained bounded-simulation states.
   kDualSimulation,
+};
+
+/// Cache key combining the pattern fingerprint with the semantics; shared by
+/// the engine's result cache and the service-layer cache so both serving
+/// stacks agree on what "the same query" means.
+uint64_t QueryCacheKey(const Pattern& q, MatchSemantics semantics);
+
+/// \brief How an uncached evaluation produced its relation.
+enum class EvalPath { kPlannerShortCircuit, kCompressed, kDirect };
+
+/// \brief Per-call evaluation overrides (the service layer's per-request
+/// knobs). Absent fields fall back to the engine's EngineOptions.
+struct EvalOverrides {
+  std::optional<uint32_t> match_threads;
 };
 
 /// \brief Engine configuration.
@@ -107,6 +122,26 @@ class QueryEngine {
       RankingMetric metric = RankingMetric::kSocialImpact,
       MatchSemantics semantics = MatchSemantics::kBoundedSimulation);
 
+  /// The uncached evaluation core behind Evaluate, parameterized on the
+  /// scratch contexts so callers can bring their own. Const and
+  /// thread-compatible: any number of threads may call it concurrently as
+  /// long as (a) each call passes contexts no other call is using (`ctx` for
+  /// evaluation over G, `compressed_ctx` over Gc) and (b) nothing mutates
+  /// the graph or the engine for the duration (the service layer enforces
+  /// both with a reader/writer lock and a per-worker context pool). Does not
+  /// consult the cache or maintained state and updates no stats; `path`
+  /// reports the serving path taken.
+  Result<MatchRelation> EvaluateWith(const Pattern& q, MatchSemantics semantics,
+                                     const EvalOverrides& overrides, MatchContext* ctx,
+                                     MatchContext* compressed_ctx,
+                                     EvalPath* path) const;
+
+  /// Snapshot of a maintained query's relation, or nullopt when (q,
+  /// semantics) was never registered. Const and thread-compatible under the
+  /// same no-concurrent-writer contract as EvaluateWith.
+  std::optional<MatchRelation> MaintainedSnapshot(const Pattern& q,
+                                                  MatchSemantics semantics) const;
+
   /// Adds a person to the network (no edges yet; connect via ApplyUpdates).
   /// Maintained queries and the compressed graph are extended in place.
   Result<NodeId> AddNode(std::string_view label,
@@ -160,9 +195,6 @@ class QueryEngine {
       else dual->OnNodeAdded(v);
     }
   };
-
-  /// How EvaluateUncached produced its relation (one counter each).
-  enum class EvalPath { kPlannerShortCircuit, kCompressed, kDirect };
 
   Result<MatchRelation> EvaluateUncached(const Pattern& q, MatchSemantics semantics,
                                          EvalPath* path);

@@ -4,6 +4,7 @@ namespace expfinder {
 
 std::shared_ptr<const QueryAnswer> ResultCache::Get(uint64_t fingerprint,
                                                     uint64_t graph_version) {
+  if (capacity_ == 0) return nullptr;  // disabled: no lookup bookkeeping
   auto it = map_.find(fingerprint);
   if (it == map_.end()) {
     ++misses_;

@@ -23,6 +23,10 @@ struct QueryAnswer {
 };
 
 /// \brief LRU map fingerprint -> QueryAnswer@graph-version.
+///
+/// `capacity == 0` means *disabled*: Get always misses and Put is a no-op,
+/// with no map lookups and no hit/miss bookkeeping — the counters stay 0, so
+/// a disabled cache is indistinguishable from one that was never consulted.
 class ResultCache {
  public:
   explicit ResultCache(size_t capacity) : capacity_(capacity) {}

@@ -71,6 +71,10 @@
 #include "src/engine/query_engine.h"
 #include "src/engine/result_cache.h"
 
+// Concurrent serving API.
+#include "src/service/expfinder_service.h"
+#include "src/service/service_types.h"
+
 // Storage & visualization.
 #include "src/storage/graph_store.h"
 #include "src/viz/dot_export.h"

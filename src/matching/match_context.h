@@ -21,7 +21,9 @@
 // matchers themselves fan out internally via Pool()). Stateless callers can
 // simply construct a fresh MatchContext per call — that is exactly the old
 // behaviour — which is what the thin compatibility overloads of the
-// matchers do.
+// matchers do. Concurrent callers give each worker its *own* context: the
+// ExpFinderService keeps a pool of per-worker contexts and leases one to
+// every in-flight query, so snapshots and scratch never cross threads.
 
 #ifndef EXPFINDER_MATCHING_MATCH_CONTEXT_H_
 #define EXPFINDER_MATCHING_MATCH_CONTEXT_H_

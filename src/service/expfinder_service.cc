@@ -1,0 +1,226 @@
+#include "src/service/expfinder_service.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/matching/result_graph.h"
+#include "src/ranking/topk.h"
+#include "src/util/timer.h"
+
+namespace expfinder {
+
+namespace {
+
+/// The inner engine never serves cached reads — the service's shared,
+/// mutex-guarded cache replaces its per-engine one.
+EngineOptions WithEngineCacheDisabled(EngineOptions options) {
+  options.use_cache = false;
+  return options;
+}
+
+bool OverBudget(const QueryRequest& request, const Timer& timer) {
+  return request.time_budget_ms > 0.0 &&
+         timer.ElapsedMillis() > request.time_budget_ms;
+}
+
+/// Idle contexts retained between queries. Each WorkerContext can hold two
+/// CSR snapshots plus a parked seeding pool, so a burst wider than this
+/// drops the surplus on release instead of keeping peak-concurrency memory
+/// for the service's lifetime.
+size_t IdleContextCap() {
+  return std::max<size_t>(8, 2 * ThreadPool::ResolveThreads(0));
+}
+
+}  // namespace
+
+ExpFinderService::ContextLease::ContextLease(ExpFinderService* service)
+    : service_(service) {
+  {
+    std::lock_guard<std::mutex> lock(service_->ctx_mu_);
+    if (!service_->idle_contexts_.empty()) {
+      ctx_ = std::move(service_->idle_contexts_.back());
+      service_->idle_contexts_.pop_back();
+    }
+  }
+  if (ctx_ == nullptr) ctx_ = std::make_unique<WorkerContext>();
+}
+
+ExpFinderService::ContextLease::~ContextLease() {
+  std::lock_guard<std::mutex> lock(service_->ctx_mu_);
+  if (service_->idle_contexts_.size() < IdleContextCap()) {
+    service_->idle_contexts_.push_back(std::move(ctx_));
+  }  // else: drop — frees the context's snapshots and parked pool threads
+}
+
+ExpFinderService::ExpFinderService(Graph* g, ServiceOptions options)
+    : g_(g),
+      options_(std::move(options)),
+      engine_(g, WithEngineCacheDisabled(options_.engine)),
+      cache_(options_.engine.use_cache ? options_.engine.cache_capacity : 0) {}
+
+Result<QueryResponse> ExpFinderService::Query(const QueryRequest& request) {
+  Timer timer;
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (Status st = request.pattern.Validate(); !st.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  const bool use_cache = request.use_cache.value_or(options_.engine.use_cache);
+  const uint64_t key = QueryCacheKey(request.pattern, request.semantics);
+
+  QueryResponse response;
+  {
+    std::shared_lock<std::shared_mutex> reader(state_mu_);
+    response.graph_version = g_->version();
+
+    if (use_cache) {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      if (auto hit = cache_.Get(key, response.graph_version)) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        response.answer = std::move(hit);
+        response.path = ServingPath::kCache;
+      }
+    }
+
+    if (response.answer == nullptr) {
+      MatchRelation matches;
+      ContextLease lease(this);
+      if (auto snapshot =
+              engine_.MaintainedSnapshot(request.pattern, request.semantics)) {
+        maintained_hits_.fetch_add(1, std::memory_order_relaxed);
+        response.path = ServingPath::kMaintained;
+        matches = std::move(*snapshot);
+      } else {
+        if (OverBudget(request, timer)) {
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          return Status::DeadlineExceeded("time budget exhausted before evaluation");
+        }
+        EvalOverrides overrides;
+        overrides.match_threads = request.match_threads;
+        EvalPath path = EvalPath::kDirect;
+        auto evaluated =
+            engine_.EvaluateWith(request.pattern, request.semantics, overrides,
+                                 &lease.ctx().direct, &lease.ctx().compressed, &path);
+        if (!evaluated.ok()) {
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          return evaluated.status();
+        }
+        matches = std::move(evaluated).value();
+        switch (path) {
+          case EvalPath::kPlannerShortCircuit:
+            planner_short_circuits_.fetch_add(1, std::memory_order_relaxed);
+            response.path = ServingPath::kPlannerShortCircuit;
+            break;
+          case EvalPath::kCompressed:
+            compressed_evals_.fetch_add(1, std::memory_order_relaxed);
+            response.path = ServingPath::kCompressed;
+            break;
+          case EvalPath::kDirect:
+            direct_evals_.fetch_add(1, std::memory_order_relaxed);
+            response.path = ServingPath::kDirect;
+            break;
+        }
+      }
+      ResultGraph rg(*g_, request.pattern, matches, &lease.ctx().direct);
+      response.answer = std::make_shared<const QueryAnswer>(
+          QueryAnswer{std::move(matches), std::move(rg)});
+      if (use_cache) {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        cache_.Put(key, response.graph_version, response.answer);
+      }
+    }
+  }  // reader lock released: ranking reads only the immutable answer.
+
+  if (request.top_k) {
+    // A request that ran out of budget after evaluation keeps its
+    // serving-path classification; only the ranked list is refused.
+    if (OverBudget(request, timer)) {
+      return Status::DeadlineExceeded("time budget exhausted before ranking");
+    }
+    auto ranked = TopKMatchesWith(response.answer->result_graph, request.pattern,
+                                  *request.top_k, request.metric);
+    if (!ranked.ok()) return ranked.status();  // classification kept (see above)
+    response.ranked = std::move(ranked).value();
+  }
+  response.eval_ms = timer.ElapsedMillis();
+  return response;
+}
+
+std::vector<Result<QueryResponse>> ExpFinderService::QueryBatch(
+    const std::vector<QueryRequest>& requests) {
+  query_batches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::optional<Result<QueryResponse>>> slots(requests.size());
+  if (!requests.empty()) {
+    const size_t workers = std::min(
+        ThreadPool::ResolveThreads(options_.batch_threads), requests.size());
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    if (batch_pool_ == nullptr || batch_pool_->num_workers() < workers) {
+      batch_pool_ = std::make_unique<ThreadPool>(workers);
+    }
+    batch_pool_->ParallelChunks(
+        requests.size(), workers, [&](size_t, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) slots[i] = Query(requests[i]);
+        });
+  }
+  std::vector<Result<QueryResponse>> results;
+  results.reserve(slots.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+Status ExpFinderService::Mutate(const UpdateBatch& batch) {
+  std::unique_lock<std::shared_mutex> writer(state_mu_);
+  EF_RETURN_NOT_OK(engine_.ApplyUpdates(batch));
+  batches_applied_.fetch_add(1, std::memory_order_relaxed);
+  updates_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<NodeId> ExpFinderService::AddNode(
+    std::string_view label,
+    const std::vector<std::pair<std::string, AttrValue>>& attrs) {
+  std::unique_lock<std::shared_mutex> writer(state_mu_);
+  auto id = engine_.AddNode(label, attrs);
+  if (id.ok()) nodes_added_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Status ExpFinderService::RegisterMaintainedQuery(const Pattern& q,
+                                                 MatchSemantics semantics) {
+  std::unique_lock<std::shared_mutex> writer(state_mu_);
+  return engine_.RegisterMaintainedQuery(q, semantics);
+}
+
+bool ExpFinderService::IsMaintained(const Pattern& q,
+                                    MatchSemantics semantics) const {
+  std::shared_lock<std::shared_mutex> reader(state_mu_);
+  return engine_.IsMaintained(q, semantics);
+}
+
+Status ExpFinderService::CompressNow() {
+  std::unique_lock<std::shared_mutex> writer(state_mu_);
+  return engine_.CompressNow();
+}
+
+uint64_t ExpFinderService::version() const {
+  std::shared_lock<std::shared_mutex> reader(state_mu_);
+  return g_->version();
+}
+
+ServiceStats ExpFinderService::stats() const {
+  ServiceStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.maintained_hits = maintained_hits_.load(std::memory_order_relaxed);
+  s.planner_short_circuits = planner_short_circuits_.load(std::memory_order_relaxed);
+  s.compressed_evals = compressed_evals_.load(std::memory_order_relaxed);
+  s.direct_evals = direct_evals_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.query_batches = query_batches_.load(std::memory_order_relaxed);
+  s.batches_applied = batches_applied_.load(std::memory_order_relaxed);
+  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  s.nodes_added = nodes_added_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace expfinder

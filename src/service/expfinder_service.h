@@ -1,0 +1,175 @@
+// ExpFinderService: the concurrent serving facade over QueryEngine (paper
+// §II, Fig. 2 — a query engine serving many analysts at once; ROADMAP north
+// star: heavy traffic from millions of users).
+//
+// Concurrency model — reader/writer isolation:
+//
+//   * Any number of Query / QueryBatch calls run concurrently. Each takes
+//     the reader side of a shared_mutex, so all of them observe one
+//     immutable published graph snapshot; the graph version a response
+//     reports is exactly the version its relation was computed against.
+//   * Mutate / AddNode / RegisterMaintainedQuery / CompressNow take the
+//     writer side: they wait for in-flight queries, apply atomically, and
+//     bump the graph version. A batch is all-or-nothing; readers never see
+//     a half-applied batch.
+//   * Each concurrent query borrows a worker MatchContext pair from a pool
+//     (contexts are single-owner scratch; see match_context.h), so the
+//     matchers' CSR snapshot cache and BFS buffers are never shared between
+//     threads. The shared ResultCache has its own mutex; QueryAnswers are
+//     shared_ptr<const>, immutable once published. Service stats are
+//     atomics.
+//
+// QueryEngine remains the single-threaded core: the service composes it,
+// calling its const, context-parameterized EvaluateWith from readers and
+// its mutating operations from writers.
+
+#ifndef EXPFINDER_SERVICE_EXPFINDER_SERVICE_H_
+#define EXPFINDER_SERVICE_EXPFINDER_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/engine/query_engine.h"
+#include "src/service/service_types.h"
+#include "src/util/thread_pool.h"
+
+namespace expfinder {
+
+/// \brief Service configuration: the composed engine's options plus the
+/// service-level knobs.
+struct ServiceOptions {
+  /// Options of the underlying engine. `use_cache`/`cache_capacity`
+  /// configure the *service's* shared result cache (the inner engine's own
+  /// cache is disabled — the service serves all cached reads itself).
+  EngineOptions engine;
+  /// Worker threads for QueryBatch fan-out (0 = hardware_concurrency).
+  /// Independent of EngineOptions::match_threads, which parallelizes
+  /// *within* one matcher; batch workloads usually want match_threads = 1
+  /// so requests, not seeding phases, use the cores.
+  uint32_t batch_threads = 0;
+};
+
+/// \brief Thread-safe expert-finding service with a typed request/response
+/// API, snapshot-isolated reads, and batch evaluation.
+class ExpFinderService {
+ public:
+  /// `g` must outlive the service; the service mutates it in Mutate/AddNode.
+  /// No other code may mutate `g` while the service exists.
+  explicit ExpFinderService(Graph* g, ServiceOptions options = {});
+
+  ExpFinderService(const ExpFinderService&) = delete;
+  ExpFinderService& operator=(const ExpFinderService&) = delete;
+
+  const ServiceOptions& options() const { return options_; }
+
+  /// Answers one request. Thread-safe; runs concurrently with other Query /
+  /// QueryBatch calls and serializes against Mutate.
+  Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// Answers a batch of requests, fanned out over the service's thread
+  /// pool; results are positionally aligned with `requests` and each
+  /// request succeeds or fails independently. All responses of one batch
+  /// are NOT guaranteed to share a graph version — each request is
+  /// individually snapshot-consistent (its relation matches the version it
+  /// reports), but a concurrent Mutate may land between two of them.
+  std::vector<Result<QueryResponse>> QueryBatch(
+      const std::vector<QueryRequest>& requests);
+
+  /// Applies a batch of edge updates atomically: waits for in-flight
+  /// queries, validates (on failure nothing changes), maintains registered
+  /// queries and the compressed graph, bumps the version.
+  Status Mutate(const UpdateBatch& batch);
+
+  /// Adds a person to the network (no edges yet; connect via Mutate).
+  Result<NodeId> AddNode(
+      std::string_view label,
+      const std::vector<std::pair<std::string, AttrValue>>& attrs = {});
+
+  /// Registers Q as an incrementally maintained query (writer-side: the
+  /// initial relation is computed under the exclusive lock).
+  Status RegisterMaintainedQuery(
+      const Pattern& q,
+      MatchSemantics semantics = MatchSemantics::kBoundedSimulation);
+  bool IsMaintained(const Pattern& q,
+                    MatchSemantics semantics = MatchSemantics::kBoundedSimulation) const;
+
+  /// (Re)builds the compressed graph now (writer-side; no-op when current).
+  Status CompressNow();
+  /// The compressed graph, or nullptr when not built. The pointee is only
+  /// stable while no Mutate/CompressNow runs — single-threaded inspection
+  /// use only.
+  const CompressedGraph* compressed() const { return engine_.compressed(); }
+
+  /// The underlying graph. Reading it is safe while no Mutate/AddNode is in
+  /// flight (e.g. single-threaded sections, display code); the service
+  /// itself never hands it to request threads.
+  const Graph& graph() const { return *g_; }
+
+  /// Current graph version (consistent snapshot read).
+  uint64_t version() const;
+
+  /// Snapshot of the cumulative counters.
+  ServiceStats stats() const;
+
+ private:
+  /// Per-worker scratch: one context for evaluation over G, one over Gc, so
+  /// a worker alternating direct/compressed queries doesn't thrash one
+  /// snapshot slot.
+  struct WorkerContext {
+    MatchContext direct;
+    MatchContext compressed;
+  };
+
+  /// RAII borrow of a WorkerContext from the free pool (creates one when
+  /// the pool is empty, returns it on destruction).
+  class ContextLease {
+   public:
+    explicit ContextLease(ExpFinderService* service);
+    ~ContextLease();
+    WorkerContext& ctx() { return *ctx_; }
+
+   private:
+    ExpFinderService* service_;
+    std::unique_ptr<WorkerContext> ctx_;
+  };
+
+  Graph* g_;
+  ServiceOptions options_;
+
+  /// Readers (Query/QueryBatch) hold shared; writers (Mutate/AddNode/
+  /// RegisterMaintainedQuery/CompressNow) hold exclusive.
+  mutable std::shared_mutex state_mu_;
+  QueryEngine engine_;
+
+  mutable std::mutex cache_mu_;
+  ResultCache cache_;  // guarded by cache_mu_
+
+  std::mutex ctx_mu_;
+  std::vector<std::unique_ptr<WorkerContext>> idle_contexts_;  // guarded by ctx_mu_
+
+  /// Serializes QueryBatch fan-outs (ThreadPool::ParallelChunks is not
+  /// reentrant); individual Query calls are unaffected.
+  std::mutex batch_mu_;
+  std::unique_ptr<ThreadPool> batch_pool_;  // guarded by batch_mu_, lazy
+
+  std::atomic<size_t> queries_{0};
+  std::atomic<size_t> cache_hits_{0};
+  std::atomic<size_t> maintained_hits_{0};
+  std::atomic<size_t> planner_short_circuits_{0};
+  std::atomic<size_t> compressed_evals_{0};
+  std::atomic<size_t> direct_evals_{0};
+  std::atomic<size_t> rejected_{0};
+  std::atomic<size_t> query_batches_{0};
+  std::atomic<size_t> batches_applied_{0};
+  std::atomic<size_t> updates_applied_{0};
+  std::atomic<size_t> nodes_added_{0};
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_SERVICE_EXPFINDER_SERVICE_H_

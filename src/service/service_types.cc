@@ -1,0 +1,30 @@
+#include "src/service/service_types.h"
+
+#include <sstream>
+
+namespace expfinder {
+
+std::string_view ServingPathName(ServingPath path) {
+  switch (path) {
+    case ServingPath::kCache: return "cache";
+    case ServingPath::kMaintained: return "maintained";
+    case ServingPath::kPlannerShortCircuit: return "planner_short_circuit";
+    case ServingPath::kCompressed: return "compressed";
+    case ServingPath::kDirect: return "direct";
+  }
+  return "unknown";
+}
+
+std::string ServiceStats::ToString() const {
+  std::ostringstream os;
+  os << "queries=" << queries << " cache_hits=" << cache_hits
+     << " maintained_hits=" << maintained_hits
+     << " planner_short_circuits=" << planner_short_circuits
+     << " compressed_evals=" << compressed_evals << " direct_evals=" << direct_evals
+     << " rejected=" << rejected << " query_batches=" << query_batches
+     << " batches=" << batches_applied << " updates=" << updates_applied
+     << " nodes_added=" << nodes_added;
+  return os.str();
+}
+
+}  // namespace expfinder

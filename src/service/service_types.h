@@ -1,0 +1,118 @@
+// The typed request/response surface of the ExpFinder serving API (paper
+// §II, Fig. 2: the query engine behind a GUI that many analysts hit
+// concurrently). A whole request — pattern, semantics, ranking, and
+// per-request knobs — is one value, and a response carries the shared
+// immutable answer plus how it was served and what it cost.
+
+#ifndef EXPFINDER_SERVICE_SERVICE_TYPES_H_
+#define EXPFINDER_SERVICE_SERVICE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/engine/query_engine.h"
+#include "src/ranking/metrics.h"
+#include "src/ranking/social_impact.h"
+
+namespace expfinder {
+
+/// \brief How a query was served, one label per serving path. Extends the
+/// engine's EvalPath with the two paths that bypass evaluation entirely.
+enum class ServingPath {
+  /// Answer returned from the result cache (same pattern, same semantics,
+  /// same graph version).
+  kCache,
+  /// Snapshot of an incrementally maintained query.
+  kMaintained,
+  /// The planner proved the query unsatisfiable; no fixpoint ran.
+  kPlannerShortCircuit,
+  /// Evaluated on the compressed graph Gc and decompressed.
+  kCompressed,
+  /// Direct (bounded/dual) simulation on G.
+  kDirect,
+};
+
+/// Stable lower-case name ("cache", "maintained", ...).
+std::string_view ServingPathName(ServingPath path);
+
+/// \brief One expert-finding request: everything the service needs to
+/// answer, as a single value.
+struct QueryRequest {
+  /// The pattern query (required; must Validate()).
+  Pattern pattern;
+  /// Matching semantics. Dual simulation is never served from the
+  /// compressed graph or from maintained bounded-simulation state.
+  MatchSemantics semantics = MatchSemantics::kBoundedSimulation;
+  /// When set, the response carries the top-K ranked output-node matches.
+  std::optional<size_t> top_k;
+  /// Ranking metric used when top_k is set.
+  RankingMetric metric = RankingMetric::kSocialImpact;
+  /// Per-request cache override; absent = the service's configured default.
+  std::optional<bool> use_cache;
+  /// Per-request matcher seeding threads; absent = engine default
+  /// (see EngineOptions::match_threads).
+  std::optional<uint32_t> match_threads;
+  /// Soft time budget in milliseconds; 0 = unlimited. Best-effort: the
+  /// budget is checked at stage boundaries (before evaluation, before
+  /// ranking), not preemptively inside a running fixpoint. Exceeding it
+  /// fails the request with Status::DeadlineExceeded.
+  double time_budget_ms = 0.0;
+};
+
+/// \brief The answer to one QueryRequest.
+struct QueryResponse {
+  /// The match relation + result graph, shared and immutable (cache hits
+  /// return the same object the original evaluation produced).
+  std::shared_ptr<const QueryAnswer> answer;
+  /// Top-K ranked matches; filled iff the request set top_k.
+  std::vector<RankedMatch> ranked;
+  /// Which serving path produced `answer`.
+  ServingPath path = ServingPath::kDirect;
+  /// Graph version the answer is consistent with (snapshot isolation: the
+  /// relation is exactly M(Q, G@graph_version)).
+  uint64_t graph_version = 0;
+  /// Wall time spent on this request, end to end.
+  double eval_ms = 0.0;
+};
+
+/// \brief Cumulative service telemetry (a plain snapshot; the live counters
+/// are atomics inside the service).
+///
+/// Every query lands in exactly one counter: requests that produced no
+/// answer (validation failure, pre-eval deadline, evaluation error) count
+/// in `rejected`; anything that completed evaluation keeps its serving-path
+/// classification even if a later stage (ranking, post-eval deadline) fails
+/// the request. So
+///   queries == cache_hits + maintained_hits + planner_short_circuits +
+///              compressed_evals + direct_evals + rejected
+/// holds whenever the service is quiescent.
+struct ServiceStats {
+  size_t queries = 0;
+  size_t cache_hits = 0;
+  size_t maintained_hits = 0;
+  size_t planner_short_circuits = 0;
+  size_t compressed_evals = 0;
+  size_t direct_evals = 0;
+  size_t rejected = 0;
+  size_t query_batches = 0;
+  size_t batches_applied = 0;
+  size_t updates_applied = 0;
+  size_t nodes_added = 0;
+
+  /// Sum of the per-outcome counters; equals `queries` when quiescent.
+  size_t ClassifiedQueries() const {
+    return cache_hits + maintained_hits + planner_short_circuits +
+           compressed_evals + direct_evals + rejected;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_SERVICE_SERVICE_TYPES_H_

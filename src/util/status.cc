@@ -16,6 +16,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kCorruption: return "Corruption";
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

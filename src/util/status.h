@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kCorruption = 6,
   kUnsupported = 7,
   kInternal = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable
@@ -63,6 +64,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -77,6 +81,7 @@ class Status {
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

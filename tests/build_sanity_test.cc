@@ -69,6 +69,12 @@ TEST(BuildSanityTest, EveryModuleLinks) {
   QueryEngine engine(&g);
   EXPECT_TRUE(engine.ApplyUpdates({}).ok());
 
+  // service.
+  Graph service_graph = g;
+  ExpFinderService service(&service_graph);
+  EXPECT_TRUE(service.Mutate({}).ok());
+  EXPECT_EQ(ServingPathName(ServingPath::kDirect), "direct");
+
   // storage.
   auto store = GraphStore::Open(::testing::TempDir() + "build_sanity_store");
   ASSERT_TRUE(store.ok());

@@ -56,6 +56,66 @@ TEST(ResultCacheTest, HitMissAndLru) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+TEST(ResultCacheTest, ZeroCapacityMeansDisabled) {
+  // capacity == 0 is "cache off": no inserts, no lookup bookkeeping — the
+  // counters must stay 0 so a disabled cache is indistinguishable from one
+  // never consulted (it used to count a miss per lookup).
+  ResultCache cache(0);
+  auto answer = std::make_shared<const QueryAnswer>(
+      QueryAnswer{MatchRelation(1), ResultGraph(Graph(), Pattern(), MatchRelation())});
+  cache.Put(1, 10, answer);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(1, 10), nullptr);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.stale_drops(), 0u);
+}
+
+TEST(ResultCacheTest, LruEvictionOrderPinned) {
+  // Pin the exact eviction sequence: recency is refreshed by Get *and* by
+  // overwriting Put, and the least-recently-used entry goes first.
+  ResultCache cache(3);
+  auto mk = [] {
+    return std::make_shared<const QueryAnswer>(
+        QueryAnswer{MatchRelation(1), ResultGraph(Graph(), Pattern(), MatchRelation())});
+  };
+  cache.Put(1, 10, mk());
+  cache.Put(2, 10, mk());
+  cache.Put(3, 10, mk());          // recency: 3, 2, 1
+  EXPECT_NE(cache.Get(1, 10), nullptr);  // recency: 1, 3, 2
+  cache.Put(4, 10, mk());          // evicts 2 -> recency: 4, 1, 3
+  EXPECT_EQ(cache.Get(2, 10), nullptr);
+  cache.Put(3, 10, mk());          // overwrite refreshes -> recency: 3, 4, 1
+  cache.Put(5, 10, mk());          // evicts 1 -> recency: 5, 3, 4
+  EXPECT_EQ(cache.Get(1, 10), nullptr);
+  cache.Put(6, 10, mk());          // evicts 4 -> recency: 6, 5, 3
+  EXPECT_EQ(cache.Get(4, 10), nullptr);
+  EXPECT_NE(cache.Get(3, 10), nullptr);
+  EXPECT_NE(cache.Get(5, 10), nullptr);
+  EXPECT_NE(cache.Get(6, 10), nullptr);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ResultCacheTest, StaleEntryDroppedOnLookupAndReinsertable) {
+  // A stale hit is dropped *on lookup* (not just bypassed): the entry is
+  // gone afterwards, its slot is reusable, and the drop is counted once.
+  ResultCache cache(2);
+  auto mk = [] {
+    return std::make_shared<const QueryAnswer>(
+        QueryAnswer{MatchRelation(1), ResultGraph(Graph(), Pattern(), MatchRelation())});
+  };
+  cache.Put(1, 10, mk());
+  EXPECT_EQ(cache.Get(1, 11), nullptr);  // version moved on: dropped
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stale_drops(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  cache.Put(1, 11, mk());                // re-insert at the new version
+  EXPECT_NE(cache.Get(1, 11), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.stale_drops(), 1u);
+}
+
 TEST(ResultCacheTest, StaleVersionDropped) {
   ResultCache cache(4);
   cache.Put(1, 10,

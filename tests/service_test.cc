@@ -1,0 +1,441 @@
+// ExpFinderService: the typed request/response surface, serving-path
+// classification, per-request overrides, batch evaluation, and the
+// reader/writer concurrency model (snapshot isolation + serial-replay
+// equivalence, run under ThreadSanitizer in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/generator/generators.h"
+#include "src/matching/bounded_simulation.h"
+#include "src/service/expfinder_service.h"
+#include "src/util/random.h"
+
+namespace expfinder {
+namespace {
+
+QueryRequest Fig1Request() {
+  QueryRequest req;
+  req.pattern = gen::BuildFig1Pattern();
+  return req;
+}
+
+class ServiceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { g_ = gen::BuildFig1Graph(); }
+  Graph g_;
+};
+
+TEST_F(ServiceFixture, QueryProducesPaperAnswer) {
+  ExpFinderService service(&g_);
+  auto resp = service.Query(Fig1Request());
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->answer->matches.TotalPairs(), 7u);
+  EXPECT_EQ(resp->answer->result_graph.NumNodes(), 7u);
+  EXPECT_EQ(resp->path, ServingPath::kDirect);
+  EXPECT_EQ(resp->graph_version, g_.version());
+  EXPECT_GE(resp->eval_ms, 0.0);
+  EXPECT_TRUE(resp->ranked.empty());  // no top_k requested
+}
+
+TEST_F(ServiceFixture, InvalidRequestRejected) {
+  ExpFinderService service(&g_);
+  QueryRequest req;  // pattern without nodes/output
+  auto resp = service.Query(req);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.status().IsInvalidArgument());
+  EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().ClassifiedQueries(), service.stats().queries);
+}
+
+TEST_F(ServiceFixture, CacheHitSharesTheAnswer) {
+  ExpFinderService service(&g_);
+  auto first = service.Query(Fig1Request());
+  auto second = service.Query(Fig1Request());
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->path, ServingPath::kDirect);
+  EXPECT_EQ(second->path, ServingPath::kCache);
+  EXPECT_EQ(first->answer.get(), second->answer.get());  // shared immutable
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.direct_evals, 1u);
+}
+
+TEST_F(ServiceFixture, PerRequestCacheOptOut) {
+  ExpFinderService service(&g_);
+  ASSERT_TRUE(service.Query(Fig1Request()).ok());
+  QueryRequest req = Fig1Request();
+  req.use_cache = false;
+  auto resp = service.Query(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->path, ServingPath::kDirect);  // bypassed the warm cache
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+}
+
+TEST_F(ServiceFixture, PerRequestCacheOptInOverridesDisabledDefault) {
+  ServiceOptions opts;
+  opts.engine.use_cache = false;
+  ExpFinderService service(&g_, opts);
+  // With use_cache=false at construction the cache has capacity 0, so even
+  // an opt-in request cannot be served from it — but it must not crash or
+  // miscount either (disabled cache = no bookkeeping).
+  QueryRequest req = Fig1Request();
+  req.use_cache = true;
+  ASSERT_TRUE(service.Query(req).ok());
+  auto resp = service.Query(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->path, ServingPath::kDirect);
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+}
+
+TEST_F(ServiceFixture, TopKThroughRequest) {
+  ExpFinderService service(&g_);
+  QueryRequest req = Fig1Request();
+  req.top_k = 1;
+  auto resp = service.Query(req);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  ASSERT_EQ(resp->ranked.size(), 1u);
+  EXPECT_EQ(resp->ranked[0].node, gen::Fig1::kBob);
+  EXPECT_DOUBLE_EQ(resp->ranked[0].score, 1.8);
+}
+
+TEST_F(ServiceFixture, MaintainedServingPath) {
+  ExpFinderService service(&g_);
+  Pattern q = gen::BuildFig1Pattern();
+  ASSERT_TRUE(service.RegisterMaintainedQuery(q).ok());
+  EXPECT_TRUE(service.IsMaintained(q));
+  auto [src, dst] = gen::Fig1EdgeE1();
+  ASSERT_TRUE(service.Mutate({GraphUpdate::Insert(src, dst)}).ok());
+  QueryRequest req;
+  req.pattern = q;
+  req.use_cache = false;
+  auto resp = service.Query(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->path, ServingPath::kMaintained);
+  EXPECT_EQ(resp->answer->matches.TotalPairs(), 8u);  // Fred joined
+  EXPECT_TRUE(resp->answer->matches == ComputeBoundedSimulation(g_, q));
+}
+
+TEST_F(ServiceFixture, CompressedServingPathAndDualFallback) {
+  ServiceOptions opts;
+  opts.engine.use_compression = true;
+  ExpFinderService service(&g_, opts);
+  ASSERT_NE(service.compressed(), nullptr);
+
+  QueryRequest req = Fig1Request();
+  req.use_cache = false;
+  auto bounded = service.Query(req);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(bounded->path, ServingPath::kCompressed);
+  EXPECT_TRUE(bounded->answer->matches == ComputeBoundedSimulation(g_, req.pattern));
+
+  // Dual simulation is never servable from the quotient graph.
+  req.semantics = MatchSemantics::kDualSimulation;
+  auto dual = service.Query(req);
+  ASSERT_TRUE(dual.ok());
+  EXPECT_EQ(dual->path, ServingPath::kDirect);
+}
+
+TEST_F(ServiceFixture, PlannerShortCircuitPath) {
+  ExpFinderService service(&g_);
+  PatternBuilder b;
+  b.Node("NOPE", "x").Output();
+  QueryRequest req;
+  req.pattern = b.Build().value();
+  auto resp = service.Query(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->path, ServingPath::kPlannerShortCircuit);
+  EXPECT_TRUE(resp->answer->matches.IsEmpty());
+}
+
+TEST_F(ServiceFixture, TimeBudgetRejectsBeforeEvaluation) {
+  ExpFinderService service(&g_);
+  QueryRequest req = Fig1Request();
+  req.use_cache = false;
+  req.time_budget_ms = 1e-9;  // expired by the time the check runs
+  auto resp = service.Query(req);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.status().IsDeadlineExceeded());
+  EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().ClassifiedQueries(), service.stats().queries);
+  // A cached answer is served regardless: it costs no evaluation.
+  QueryRequest warm = Fig1Request();
+  ASSERT_TRUE(service.Query(warm).ok());
+  warm.time_budget_ms = 1e-9;
+  warm.top_k = std::nullopt;
+  auto cached = service.Query(warm);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached->path, ServingPath::kCache);
+}
+
+TEST_F(ServiceFixture, MutateValidatesAtomically) {
+  ExpFinderService service(&g_);
+  uint64_t before = service.version();
+  UpdateBatch bad{GraphUpdate::Insert(0, 1), GraphUpdate::Delete(0, 99)};
+  EXPECT_FALSE(service.Mutate(bad).ok());
+  EXPECT_EQ(service.version(), before);
+  EXPECT_EQ(service.stats().batches_applied, 0u);
+}
+
+TEST_F(ServiceFixture, AddNodeThroughService) {
+  ExpFinderService service(&g_);
+  size_t before = g_.NumNodes();
+  auto id = service.AddNode("ST", {{"name", AttrValue("Tom")},
+                                   {"experience", AttrValue(3)}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(g_.NumNodes(), before + 1);
+  EXPECT_EQ(service.stats().nodes_added, 1u);
+
+  // Bounded simulation matches the newcomer to ST, dual does not (no
+  // matching ancestors yet) — both via per-request semantics.
+  QueryRequest req = Fig1Request();
+  req.use_cache = false;
+  auto st = req.pattern.FindNode("ST");
+  ASSERT_TRUE(st.has_value());
+  auto bounded = service.Query(req);
+  req.semantics = MatchSemantics::kDualSimulation;
+  auto dual = service.Query(req);
+  ASSERT_TRUE(bounded.ok() && dual.ok());
+  EXPECT_TRUE(bounded->answer->matches.Contains(*st, *id));
+  EXPECT_FALSE(dual->answer->matches.Contains(*st, *id));
+}
+
+TEST_F(ServiceFixture, QueryBatchAlignsResultsWithRequests) {
+  ExpFinderService service(&g_);
+  std::vector<QueryRequest> requests;
+  requests.push_back(Fig1Request());
+  requests.push_back(QueryRequest{});  // invalid: fails Validate
+  QueryRequest ranked = Fig1Request();
+  ranked.top_k = 2;
+  requests.push_back(ranked);
+  auto results = service.QueryBatch(requests);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ(results[0]->answer->matches.TotalPairs(), 7u);
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[1].status().IsInvalidArgument());
+  ASSERT_TRUE(results[2].ok());
+  EXPECT_EQ(results[2]->ranked.size(), 2u);
+  EXPECT_EQ(service.stats().query_batches, 1u);
+}
+
+TEST_F(ServiceFixture, StatsStayClassified) {
+  ServiceOptions opts;
+  opts.engine.use_compression = true;
+  ExpFinderService service(&g_, opts);
+  ASSERT_TRUE(service.Query(Fig1Request()).ok());  // compressed
+  ASSERT_TRUE(service.Query(Fig1Request()).ok());  // cache
+  PatternBuilder imp;
+  imp.Node("NOPE", "x").Output();
+  QueryRequest impossible;
+  impossible.pattern = imp.Build().value();
+  ASSERT_TRUE(service.Query(impossible).ok());  // short circuit
+  EXPECT_FALSE(service.Query(QueryRequest{}).ok());  // rejected
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.queries, 4u);
+  EXPECT_EQ(s.compressed_evals, 1u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.planner_short_circuits, 1u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.ClassifiedQueries(), s.queries);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(ServingPathTest, NamesAreStable) {
+  EXPECT_EQ(ServingPathName(ServingPath::kCache), "cache");
+  EXPECT_EQ(ServingPathName(ServingPath::kMaintained), "maintained");
+  EXPECT_EQ(ServingPathName(ServingPath::kPlannerShortCircuit),
+            "planner_short_circuit");
+  EXPECT_EQ(ServingPathName(ServingPath::kCompressed), "compressed");
+  EXPECT_EQ(ServingPathName(ServingPath::kDirect), "direct");
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: N reader threads issuing Query/QueryBatch against M writer
+// batches. Every response must be internally consistent — its relation
+// equals M(Q, G) at exactly the graph version it reports — and the final
+// state must equal a serial replay of the same batches.
+// ---------------------------------------------------------------------------
+
+struct StressConfig {
+  size_t num_people = 360;
+  size_t num_batches = 5;
+  size_t batch_size = 20;
+  size_t num_readers = 8;
+  size_t min_reads_per_thread = 24;
+  bool use_compression = false;
+};
+
+void RunReadersVersusWriter(const StressConfig& cfg) {
+  gen::CollaborationConfig gen_cfg;
+  gen_cfg.num_people = cfg.num_people;
+  gen_cfg.num_teams = cfg.num_people / 6;
+  gen_cfg.seed = 12;
+  Graph g = gen::CollaborationNetwork(gen_cfg);
+
+  const std::vector<Pattern> patterns = {gen::TeamQuery(0), gen::TeamQuery(1),
+                                         gen::TeamQuery(2)};
+
+  // Serial replay on a replica: record the expected relation of every
+  // pattern at every version a reader can observe.
+  Graph replica = g;
+  std::vector<UpdateBatch> batches;
+  std::vector<std::map<uint64_t, MatchRelation>> expected(patterns.size());
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    expected[p][replica.version()] = ComputeBoundedSimulation(replica, patterns[p]);
+  }
+  for (size_t b = 0; b < cfg.num_batches; ++b) {
+    UpdateBatch batch =
+        GenerateUpdateStream(replica, cfg.batch_size, 0.5, 1000 + b);
+    ASSERT_TRUE(ApplyBatch(&replica, batch).ok());
+    batches.push_back(std::move(batch));
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      expected[p][replica.version()] =
+          ComputeBoundedSimulation(replica, patterns[p]);
+    }
+  }
+
+  ServiceOptions opts;
+  opts.engine.use_compression = cfg.use_compression;
+  opts.engine.match_threads = 1;  // per-request parallelism, not per-matcher
+  opts.batch_threads = 4;
+  ExpFinderService service(&g, opts);
+  // One maintained query so that serving path runs under writers too.
+  ASSERT_TRUE(service.RegisterMaintainedQuery(patterns[1]).ok());
+
+  std::mutex failures_mu;
+  std::vector<std::string> failures;
+  auto record_failure = [&](const std::string& msg) {
+    std::lock_guard<std::mutex> lock(failures_mu);
+    failures.push_back(msg);
+  };
+  auto check_response = [&](size_t p, const Result<QueryResponse>& resp) {
+    if (!resp.ok()) {
+      record_failure("query failed: " + resp.status().ToString());
+      return;
+    }
+    auto it = expected[p].find(resp->graph_version);
+    if (it == expected[p].end()) {
+      std::ostringstream os;
+      os << "response reports unknown graph version " << resp->graph_version;
+      record_failure(os.str());
+      return;
+    }
+    if (!(resp->answer->matches == it->second)) {
+      std::ostringstream os;
+      os << "relation inconsistent with reported version " << resp->graph_version
+         << " for pattern " << p << " (path "
+         << ServingPathName(resp->path) << ")";
+      record_failure(os.str());
+    }
+  };
+
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    for (const UpdateBatch& batch : batches) {
+      Status st = service.Mutate(batch);
+      if (!st.ok()) record_failure("mutate failed: " + st.ToString());
+      // Let a window of reads land on this version before the next batch,
+      // so readers genuinely observe several published snapshots.
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+    writer_done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < cfg.num_readers; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(77 * (t + 1));
+      size_t reads = 0;
+      // Hard cap so the loop terminates even if the writer is starved for a
+      // long stretch (readers stopping is what unblocks it).
+      const size_t hard_cap = 64 * cfg.min_reads_per_thread;
+      while (reads < cfg.min_reads_per_thread ||
+             (!writer_done.load() && reads < hard_cap)) {
+        size_t p = rng.NextBounded(patterns.size());
+        QueryRequest req;
+        req.pattern = patterns[p];
+        req.use_cache = rng.NextBool();
+        if (rng.NextBool(0.25)) req.top_k = 3;
+        if (rng.NextBool(0.25)) {
+          // Batch of 3, each individually snapshot-consistent.
+          std::vector<QueryRequest> reqs(3, req);
+          for (auto& result : service.QueryBatch(reqs)) check_response(p, result);
+          reads += reqs.size();
+        } else {
+          check_response(p, service.Query(req));
+          ++reads;
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+
+  for (const std::string& f : failures) ADD_FAILURE() << f;
+
+  // Final state equals the serial replay.
+  EXPECT_EQ(service.version(), replica.version());
+  EXPECT_EQ(g.NumEdges(), replica.NumEdges());
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    QueryRequest req;
+    req.pattern = patterns[p];
+    req.use_cache = false;
+    auto resp = service.Query(req);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_TRUE(resp->answer->matches == expected[p].at(replica.version()))
+        << "final relation diverges for pattern " << p;
+  }
+  EXPECT_EQ(service.stats().batches_applied, cfg.num_batches);
+  EXPECT_EQ(service.stats().ClassifiedQueries(), service.stats().queries);
+}
+
+TEST(ServiceStressTest, ConcurrentReadersAndWriter) {
+  RunReadersVersusWriter({});
+}
+
+TEST(ServiceStressTest, ConcurrentReadersAndWriterCompressed) {
+  StressConfig cfg;
+  cfg.num_batches = 3;
+  cfg.use_compression = true;
+  RunReadersVersusWriter(cfg);
+}
+
+TEST(ServiceStressTest, ReaderOnlyBatchMatchesSerial) {
+  gen::CollaborationConfig cfg;
+  cfg.num_people = 360;
+  cfg.num_teams = 60;
+  cfg.seed = 5;
+  Graph g = gen::CollaborationNetwork(cfg);
+  ServiceOptions opts;
+  opts.engine.match_threads = 1;
+  opts.batch_threads = 8;
+  ExpFinderService service(&g, opts);
+
+  std::vector<QueryRequest> requests;
+  for (int i = 0; i < 24; ++i) {
+    QueryRequest req;
+    req.pattern = gen::TeamQuery(i % 3);
+    req.use_cache = false;
+    requests.push_back(std::move(req));
+  }
+  auto results = service.QueryBatch(requests);
+  ASSERT_EQ(results.size(), requests.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << i << ": " << results[i].status();
+    EXPECT_TRUE(results[i]->answer->matches ==
+                ComputeBoundedSimulation(g, requests[i].pattern))
+        << "batch result " << i << " diverges from serial evaluation";
+  }
+}
+
+}  // namespace
+}  // namespace expfinder

@@ -1,0 +1,134 @@
+// ThreadPool: the fork-join pool behind the matchers' parallel seeding and
+// the service's QueryBatch fan-out. Pins the determinism contract (chunk
+// boundaries are a pure function of (n, active_workers)) and exercises the
+// dispatch handshake enough for ThreadSanitizer to chew on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace expfinder {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(7), 7u);
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1u);  // hardware_concurrency
+}
+
+TEST(ThreadPoolTest, ZeroWorkersClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  int calls = 0;
+  pool.ParallelChunks(5, [&](size_t worker, size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelChunks(n, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesAreTheDocumentedFormula) {
+  ThreadPool pool(3);
+  const size_t n = 10;
+  std::mutex mu;
+  std::vector<std::tuple<size_t, size_t, size_t>> chunks;
+  pool.ParallelChunks(n, 3, [&](size_t worker, size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(worker, begin, end);
+  });
+  ASSERT_EQ(chunks.size(), 3u);
+  for (const auto& [worker, begin, end] : chunks) {
+    EXPECT_EQ(begin, n * worker / 3);
+    EXPECT_EQ(end, n * (worker + 1) / 3);
+  }
+}
+
+TEST(ThreadPoolTest, ActiveWorkersClampedToPoolSize) {
+  ThreadPool pool(2);
+  std::atomic<size_t> max_worker{0};
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelChunks(64, 100, [&](size_t worker, size_t begin, size_t end) {
+    size_t seen = max_worker.load();
+    while (seen < worker && !max_worker.compare_exchange_weak(seen, worker)) {
+    }
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  EXPECT_LT(max_worker.load(), 2u);
+  for (size_t i = 0; i < 64; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleActiveWorkerRunsOnCallingThread) {
+  ThreadPool pool(4);
+  std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelChunks(7, 1, [&](size_t worker, size_t, size_t) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, EmptyRangeDispatchesNothing) {
+  ThreadPool pool(4);
+  pool.ParallelChunks(0, [](size_t, size_t, size_t) { FAIL() << "no work expected"; });
+}
+
+TEST(ThreadPoolTest, ManySequentialDispatchesOfVaryingWidth) {
+  // Repeated dispatches through one pool with varying n and active counts:
+  // the generation handshake must never lose or double-run a chunk.
+  ThreadPool pool(4);
+  for (size_t round = 0; round < 200; ++round) {
+    const size_t n = 1 + (round * 37) % 257;
+    const size_t active = 1 + round % 5;
+    std::atomic<size_t> sum{0};
+    pool.ParallelChunks(n, active, [&](size_t, size_t begin, size_t end) {
+      size_t local = 0;
+      for (size_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, DistinctPoolsRunConcurrently) {
+  // The service uses one pool per MatchContext plus a batch pool; dispatches
+  // on distinct pools from distinct threads must not interfere.
+  ThreadPool a(2), b(2);
+  std::atomic<size_t> total{0};
+  std::thread ta([&] {
+    for (int i = 0; i < 50; ++i) {
+      a.ParallelChunks(100, [&](size_t, size_t begin, size_t end) {
+        total.fetch_add(end - begin);
+      });
+    }
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < 50; ++i) {
+      b.ParallelChunks(100, [&](size_t, size_t begin, size_t end) {
+        total.fetch_add(end - begin);
+      });
+    }
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(total.load(), 100u * 100u);
+}
+
+}  // namespace
+}  // namespace expfinder
