@@ -1,10 +1,13 @@
-// Experiment S1 — multi-threaded serving throughput through the
-// ExpFinderService: serial Query loops vs QueryBatch fan-out on a
-// reader-only workload, concurrent readers at several thread counts, and a
-// mixed read/write stream (Mutate interleaved with batches). The serial
-// loop and the batch run evaluate the *same* request list, so
-// serial_ms / batch_ms is the batch speedup on this host (1.0x on a
-// single-core machine; the fan-out pays off with the cores).
+// Experiment S1 — serving throughput through the ExpFinderService's
+// asynchronous core: serial Query loops vs QueryBatch (both thin wrappers
+// over Submit) on a reader-only workload, raw Submit/ticket bursts at
+// several worker counts with queue-latency counters, concurrent QueryBatch
+// callers on one shared service (PR 3 serialized these behind a mutex; the
+// reentrant executor interleaves them), concurrent readers, and a mixed
+// read/write stream (Mutate interleaved with batches). The serial loop and
+// the batch run evaluate the *same* request list, so serial_ms / batch_ms
+// is the batch speedup on this host (1.0x on a single-core machine; the
+// fan-out pays off with the cores).
 
 #include <benchmark/benchmark.h>
 
@@ -18,6 +21,7 @@ namespace {
 
 constexpr size_t kGraphSize = 8000;
 constexpr size_t kBatchRequests = 8;
+constexpr int64_t kSubmitOverheadIters = 1 << 17;
 
 Graph* SharedGraph() {
   static Graph g = MakeCollab(kGraphSize, 6);
@@ -59,7 +63,7 @@ BENCHMARK(BM_ServiceQuerySerial);
 void BM_ServiceQueryBatch(benchmark::State& state) {
   Graph g = *SharedGraph();
   ServiceOptions opts = ReaderOptions();
-  opts.batch_threads = static_cast<uint32_t>(state.range(0));
+  opts.serving_threads = static_cast<uint32_t>(state.range(0));
   ExpFinderService service(&g, opts);
   auto requests = MakeRequests(kBatchRequests);
   for (auto _ : state) {
@@ -68,6 +72,78 @@ void BM_ServiceQueryBatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatchRequests));
 }
 BENCHMARK(BM_ServiceQueryBatch)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ServiceSubmitAsync(benchmark::State& state) {
+  // The raw async surface: submit a burst of tickets, then collect. Also
+  // reports the mean admission-queue wait per request as a counter, so the
+  // BENCH_service.json trajectory tracks queue latency alongside
+  // throughput.
+  Graph g = *SharedGraph();
+  ServiceOptions opts = ReaderOptions();
+  opts.serving_threads = static_cast<uint32_t>(state.range(0));
+  ExpFinderService service(&g, opts);
+  auto requests = MakeRequests(kBatchRequests);
+  double queue_ms_total = 0.0;
+  size_t responses = 0;
+  for (auto _ : state) {
+    std::vector<QueryTicket> tickets;
+    tickets.reserve(requests.size());
+    for (const QueryRequest& request : requests) {
+      tickets.push_back(service.Submit(request));
+    }
+    for (QueryTicket& ticket : tickets) {
+      auto response = ticket.Get();
+      EF_CHECK(response.ok()) << response.status();
+      queue_ms_total += response->queue_ms;
+      ++responses;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatchRequests));
+  state.counters["queue_ms_mean"] =
+      responses == 0 ? 0.0 : queue_ms_total / static_cast<double>(responses);
+}
+BENCHMARK(BM_ServiceSubmitAsync)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ServiceSubmitOverhead(benchmark::State& state) {
+  // Submit must cost O(queue push): measured with serving paused so no
+  // evaluation ever interleaves — this is the pure admission path
+  // (validate + push + ticket). Tickets are completed as Cancelled at
+  // service destruction, outside the timed region.
+  Graph g = *SharedGraph();
+  ServiceOptions opts = ReaderOptions();
+  opts.start_paused = true;
+  opts.queue_capacity = 1u << 20;
+  auto service = std::make_unique<ExpFinderService>(&g, opts);
+  QueryRequest request;
+  request.pattern = gen::TeamQuery(0);
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(kSubmitOverheadIters);
+  for (auto _ : state) {
+    tickets.push_back(service->Submit(request));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+// Pinned iteration count: it must stay under queue_capacity so every timed
+// Submit takes the admission path, never the overflow rejection.
+BENCHMARK(BM_ServiceSubmitOverhead)->Iterations(kSubmitOverheadIters);
+
+void BM_ServiceConcurrentQueryBatch(benchmark::State& state) {
+  // Several threads each driving QueryBatch on ONE shared service: the
+  // acceptance check that concurrent batches interleave in the shared
+  // admission queue instead of serializing behind PR 3's batch mutex.
+  static Graph g = *SharedGraph();
+  static ExpFinderService service(&g, ReaderOptions());
+  auto requests = MakeRequests(kBatchRequests / 2);
+  for (auto _ : state) {
+    for (auto& result : service.QueryBatch(requests)) {
+      EF_CHECK(result.ok()) << result.status();
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_ServiceConcurrentQueryBatch)->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime();
 
 void BM_ServiceConcurrentReaders(benchmark::State& state) {
   // Shared service, one Query stream per benchmark thread: measures the
@@ -91,7 +167,7 @@ void BM_ServiceMixedReadWrite(benchmark::State& state) {
   // writer takes the exclusive side, the fan-out the shared side.
   Graph g = *SharedGraph();
   ServiceOptions opts = ReaderOptions();
-  opts.batch_threads = 4;
+  opts.serving_threads = 4;
   ExpFinderService service(&g, opts);
   auto requests = MakeRequests(kBatchRequests);
   uint64_t seed = 99;
@@ -119,11 +195,11 @@ BENCHMARK(BM_ServiceCachedQuery);
 
 void ServingSummary() {
   Header("S1 service throughput",
-         "QueryBatch fans a reader-only workload over the thread pool; "
+         "Query/QueryBatch are wrappers over the async Submit path; "
          "Mutate serializes against readers without corrupting snapshots");
   Graph g = *SharedGraph();
   ServiceOptions opts = ReaderOptions();
-  opts.batch_threads = 0;  // hardware
+  opts.serving_threads = 0;  // hardware
   ExpFinderService service(&g, opts);
   auto requests = MakeRequests(kBatchRequests);
 

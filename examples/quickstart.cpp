@@ -3,6 +3,8 @@
 // network and the bounded-simulation query, answers one typed QueryRequest
 // (match + rank in a single round trip), then registers the query as
 // maintained, inserts edge e1 via Mutate, and reads the refreshed answer.
+// The final section submits two requests asynchronously (Submit ->
+// QueryTicket) to show the non-blocking half of the API.
 //
 //   $ ./quickstart
 
@@ -92,8 +94,13 @@ int main(int argc, char** argv) {
   QueryRequest bounded = fresh;
   QueryRequest dual = fresh;
   dual.semantics = MatchSemantics::kDualSimulation;
-  auto bounded_resp = service.Query(bounded);
-  auto dual_resp = service.Query(dual);
+  dual.priority = QueryPriority::kInteractive;  // jumps the admission queue
+  // Submit both asynchronously: the tickets are in flight together and the
+  // calling thread blocks only when it actually needs each answer.
+  QueryTicket bounded_ticket = service.Submit(bounded);
+  QueryTicket dual_ticket = service.Submit(dual);
+  auto bounded_resp = bounded_ticket.Get();
+  auto dual_resp = dual_ticket.Get();
   if (!bounded_resp.ok() || !dual_resp.ok()) {
     std::cerr << "semantics comparison failed\n";
     return 1;

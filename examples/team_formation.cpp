@@ -3,7 +3,8 @@
 // lead experts whose teams satisfy structural and expertise requirements.
 // Mirrors the Q1-Q3 demo queries of Fig. 4 on a synthetic network, served
 // through the ExpFinderService request/response API (planner + cache +
-// compression), finishing with a QueryBatch re-issue that is all cache hits.
+// compression), finishing with a QueryBatch re-issue that is all cache hits
+// and an asynchronous Submit burst with per-request priorities and budgets.
 //
 //   $ ./team_formation [num_people] [seed]
 
@@ -81,6 +82,33 @@ int main(int argc, char** argv) {
   }
   std::printf("re-issuing Q1-Q3 as QueryBatch: %.3f ms total, %zu/3 cache hits\n",
               batch_ms, cache_hits);
+
+  // Third pass asynchronously: Submit returns a ticket per query without
+  // blocking; the interactive request is dequeued ahead of the background
+  // ones, and each request carries its own time budget (queue wait
+  // included).
+  std::vector<QueryTicket> tickets;
+  for (int i = 0; i < 3; ++i) {
+    QueryRequest request;
+    request.pattern = gen::TeamQuery(i);
+    request.use_cache = false;  // force real evaluations into the queue
+    request.priority =
+        i == 0 ? QueryPriority::kInteractive : QueryPriority::kBackground;
+    request.time_budget_ms = 5000.0;
+    tickets.push_back(service.Submit(request));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    auto response = tickets[i].Get();
+    if (!response.ok()) {
+      std::cerr << "async Q" << (i + 1) << " failed: " << response.status() << "\n";
+      return 1;
+    }
+    std::printf("async Q%zu [%s]: %.3f ms queued, %.2f ms total\n", i + 1,
+                std::string(QueryPriorityName(
+                    i == 0 ? QueryPriority::kInteractive : QueryPriority::kBackground))
+                    .c_str(),
+                response->queue_ms, response->eval_ms);
+  }
   std::cout << "service stats: " << service.stats().ToString() << "\n";
   return 0;
 }

@@ -16,6 +16,10 @@
 #                   Benchmark releases reject the "s"-suffixed form)
 #   BENCH_FILTER    --benchmark_filter regex (default: run everything)
 #   BENCH_BUILD_DIR build directory (default: build)
+#   BENCH_SUITES    space-separated subset of "matching engine service"
+#                   (default: all three) — e.g. record an async serving
+#                   baseline alone with
+#                   BENCH_SUITES=service BENCH_LABEL=pr4 scripts/bench.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,11 +28,16 @@ BUILD_DIR=${BENCH_BUILD_DIR:-build}
 LABEL=${BENCH_LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabelled)}
 MIN_TIME=${BENCH_MIN_TIME:-0.2}
 FILTER=${BENCH_FILTER:-}
+SUITES=${BENCH_SUITES:-"matching engine service"}
 
+targets=()
+for suite in $SUITES; do
+  targets+=("bench_$suite")
+done
 cmake -B "$BUILD_DIR" -S . -DEXPFINDER_BUILD_BENCH=ON "$@"
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_matching bench_engine bench_service
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${targets[@]}"
 
-for suite in matching engine service; do
+for suite in $SUITES; do
   bin="$BUILD_DIR/bench/bench_$suite"
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (is the Google Benchmark library installed?)" >&2

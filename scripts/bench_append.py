@@ -5,7 +5,11 @@ Usage: bench_append.py TRAJECTORY_FILE LABEL GOOGLE_BENCHMARK_JSON
 
 The trajectory file holds {"entries": [...]}, one entry per recorded run:
   {"label": ..., "date": ..., "host": {...}, "benchmarks":
-      [{"name": ..., "real_time_ms": ..., "cpu_time_ms": ..., "iterations": ...}]}
+      [{"name": ..., "real_time_ms": ..., "cpu_time_ms": ..., "iterations": ...,
+        "counters": {...}}]}
+where "counters" carries any user counters the benchmark reported (e.g.
+bench_service's queue_ms_mean admission-queue latency) and is omitted when
+there are none.
 
 Entries with the same label are replaced (re-running a label refreshes its
 numbers instead of piling up duplicates). After appending, the deltas
@@ -15,6 +19,35 @@ against the previous entry are printed so a before/after comparison is one
 
 import json
 import sys
+
+# Keys Google Benchmark emits for every run; anything else numeric is a
+# user counter worth keeping in the trajectory.
+_STANDARD_KEYS = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name", "label",
+    "error_occurred", "error_message",
+    # Derived from SetItemsProcessed/SetBytesProcessed — redundant with the
+    # recorded times, not user counters.
+    "items_per_second", "bytes_per_second",
+}
+
+
+def _benchmark_entry(b: dict) -> dict:
+    entry = {
+        "name": b["name"],
+        "real_time_ms": round(b["real_time"] / 1e6, 4),
+        "cpu_time_ms": round(b["cpu_time"] / 1e6, 4),
+        "iterations": b["iterations"],
+    }
+    counters = {
+        k: round(v, 4)
+        for k, v in b.items()
+        if k not in _STANDARD_KEYS and isinstance(v, (int, float))
+    }
+    if counters:
+        entry["counters"] = counters
+    return entry
 
 
 def main() -> int:
@@ -35,12 +68,7 @@ def main() -> int:
             "build_type": ctx.get("library_build_type"),
         },
         "benchmarks": [
-            {
-                "name": b["name"],
-                "real_time_ms": round(b["real_time"] / 1e6, 4),
-                "cpu_time_ms": round(b["cpu_time"] / 1e6, 4),
-                "iterations": b["iterations"],
-            }
+            _benchmark_entry(b)
             for b in run.get("benchmarks", [])
             if b.get("run_type", "iteration") == "iteration"
         ],

@@ -51,6 +51,21 @@ MatchRelation RunMatcher(const Graph& g, const Pattern& q, const MatchOptions& o
   return ComputeBoundedSimulation(g, q, opts, ctx);
 }
 
+/// The cooperative interruption point polled at evaluation stage
+/// boundaries: cancellation wins over the deadline (a cancelled request
+/// should not masquerade as slow).
+Status CheckInterrupts(const EvalOverrides& overrides) {
+  if (overrides.cancelled != nullptr &&
+      overrides.cancelled->load(std::memory_order_acquire)) {
+    return Status::Cancelled("evaluation cancelled at stage boundary");
+  }
+  if (overrides.timer != nullptr && overrides.time_budget_ms > 0.0 &&
+      overrides.timer->ElapsedMillis() > overrides.time_budget_ms) {
+    return Status::DeadlineExceeded("time budget exhausted at stage boundary");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 uint64_t QueryCacheKey(const Pattern& q, MatchSemantics semantics) {
@@ -114,6 +129,7 @@ Result<MatchRelation> QueryEngine::EvaluateWith(const Pattern& q,
     *path = EvalPath::kPlannerShortCircuit;
     return MatchRelation(q.NumNodes());
   }
+  EF_RETURN_NOT_OK(CheckInterrupts(overrides));  // planned, not yet matched
   if (semantics == MatchSemantics::kDualSimulation) {
     // The forward-bisimulation quotient does not preserve parent
     // constraints, so dual queries always run directly on G.
@@ -125,6 +141,7 @@ Result<MatchRelation> QueryEngine::EvaluateWith(const Pattern& q,
       *path = EvalPath::kCompressed;
       MatchRelation compressed =
           RunMatcher(cg.gc(), q, plan.match_options, compressed_ctx);
+      EF_RETURN_NOT_OK(CheckInterrupts(overrides));  // matched, not decompressed
       return cg.Decompress(compressed);
     }
   }

@@ -13,6 +13,7 @@
 #ifndef EXPFINDER_ENGINE_QUERY_ENGINE_H_
 #define EXPFINDER_ENGINE_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -25,6 +26,7 @@
 #include "src/incremental/inc_simulation.h"
 #include "src/matching/match_context.h"
 #include "src/ranking/topk.h"
+#include "src/util/timer.h"
 
 namespace expfinder {
 
@@ -51,6 +53,19 @@ enum class EvalPath { kPlannerShortCircuit, kCompressed, kDirect };
 /// knobs). Absent fields fall back to the engine's EngineOptions.
 struct EvalOverrides {
   std::optional<uint32_t> match_threads;
+  /// Cooperative cancellation flag, polled at evaluation stage boundaries
+  /// (after planning, before each matcher run, before decompression). When
+  /// it reads true the evaluation stops with Status::Cancelled at the next
+  /// boundary; a running fixpoint is never preempted mid-stage. Null =
+  /// not cancellable.
+  const std::atomic<bool>* cancelled = nullptr;
+  /// Deadline enforcement at the same stage boundaries: with `timer` set
+  /// and `time_budget_ms` > 0, a boundary reached after the budget elapsed
+  /// fails the evaluation with Status::DeadlineExceeded. The timer is the
+  /// caller's, so the budget covers the request's whole life (queue wait
+  /// included), not just this call.
+  const Timer* timer = nullptr;
+  double time_budget_ms = 0.0;
 };
 
 /// \brief Engine configuration.

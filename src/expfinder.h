@@ -72,6 +72,7 @@
 #include "src/engine/result_cache.h"
 
 // Concurrent serving API.
+#include "src/service/admission_queue.h"
 #include "src/service/expfinder_service.h"
 #include "src/service/service_types.h"
 

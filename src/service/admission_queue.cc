@@ -1,0 +1,43 @@
+#include "src/service/admission_queue.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace expfinder {
+
+AdmissionQueue::AdmissionQueue(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+Status AdmissionQueue::TryPush(std::unique_ptr<PendingQuery> pending) {
+  EF_DCHECK(pending != nullptr);
+  const size_t lane = static_cast<size_t>(pending->request.priority);
+  EF_DCHECK(lane < kNumQueryPriorities);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ == capacity_) {
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(capacity_) + " queued)");
+  }
+  lanes_[lane].push_back(std::move(pending));
+  ++size_;
+  return Status::OK();
+}
+
+std::unique_ptr<PendingQuery> AdmissionQueue::TryPop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t lane = kNumQueryPriorities; lane-- > 0;) {
+    if (lanes_[lane].empty()) continue;
+    std::unique_ptr<PendingQuery> pending = std::move(lanes_[lane].front());
+    lanes_[lane].pop_front();
+    --size_;
+    return pending;
+  }
+  return nullptr;
+}
+
+size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+}  // namespace expfinder

@@ -23,6 +23,10 @@ bool OverBudget(const QueryRequest& request, const Timer& timer) {
          timer.ElapsedMillis() > request.time_budget_ms;
 }
 
+bool CancelRequested(const PendingQuery& pending) {
+  return pending.ticket->cancelled.load(std::memory_order_acquire);
+}
+
 /// Idle contexts retained between queries. Each WorkerContext can hold two
 /// CSR snapshots plus a parked seeding pool, so a burst wider than this
 /// drops the surplus on release instead of keeping peak-concurrency memory
@@ -56,19 +60,117 @@ ExpFinderService::ExpFinderService(Graph* g, ServiceOptions options)
     : g_(g),
       options_(std::move(options)),
       engine_(g, WithEngineCacheDisabled(options_.engine)),
-      cache_(options_.engine.use_cache ? options_.engine.cache_capacity : 0) {}
+      cache_(options_.engine.use_cache ? options_.engine.cache_capacity : 0),
+      queue_(options_.queue_capacity),
+      paused_(options_.start_paused),
+      executor_(std::make_unique<ThreadPool>(
+          ThreadPool::ResolveThreads(options_.serving_threads) + 1)) {}
 
-Result<QueryResponse> ExpFinderService::Query(const QueryRequest& request) {
-  Timer timer;
+ExpFinderService::~ExpFinderService() {
+  shutdown_.store(true, std::memory_order_release);
+  // Dispatch any drains a paused service still owes, then destroy the
+  // executor, which drains it: every admitted request has a matching drain
+  // task, which now observes shutdown_ and completes the ticket as
+  // Cancelled. In-flight evaluations finish normally first.
+  Resume();
+  executor_.reset();
+}
+
+void ExpFinderService::Resume() {
+  size_t owed = 0;
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    paused_ = false;
+    owed = pending_drains_;
+    pending_drains_ = 0;
+  }
+  for (size_t i = 0; i < owed; ++i) {
+    executor_->Submit([this] { DrainOne(); });
+  }
+}
+
+QueryTicket ExpFinderService::Submit(QueryRequest request) {
+  auto state = std::make_shared<TicketState>();
+  QueryTicket ticket(state);
   queries_.fetch_add(1, std::memory_order_relaxed);
   if (Status st = request.pattern.Validate(); !st.ok()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    return st;
+    CompleteTicket(state, std::move(st));
+    return ticket;
   }
-  const bool use_cache = request.use_cache.value_or(options_.engine.use_cache);
+  // The priority indexes a queue lane; a value cast from untrusted input
+  // must be refused here, not written out of bounds there.
+  if (static_cast<size_t>(request.priority) >= kNumQueryPriorities) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    CompleteTicket(state, Status::InvalidArgument(
+                              "unknown QueryPriority " +
+                              std::to_string(static_cast<int>(request.priority))));
+    return ticket;
+  }
+  auto pending = std::make_unique<PendingQuery>();
+  pending->request = std::move(request);
+  pending->ticket = state;
+  if (Status st = queue_.TryPush(std::move(pending)); !st.ok()) {
+    // Backpressure: the queue is full, the caller learns right now.
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    CompleteTicket(state, std::move(st));
+    return ticket;
+  }
+  // One drain task per admission; the task pops the highest-priority entry,
+  // which is not necessarily the one just pushed. A paused service banks
+  // the drain for Resume().
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    if (paused_) {
+      ++pending_drains_;
+      return ticket;
+    }
+  }
+  executor_->Submit([this] { DrainOne(); });
+  return ticket;
+}
+
+void ExpFinderService::DrainOne() {
+  std::unique_ptr<PendingQuery> pending = queue_.TryPop();
+  if (pending == nullptr) return;  // drained by a concurrent task
+  const double queue_ms = pending->submitted.ElapsedMillis();
+  queue_latency_[QueueLatencyBucket(queue_ms)].fetch_add(1,
+                                                         std::memory_order_relaxed);
+  if (shutdown_.load(std::memory_order_acquire)) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    CompleteTicket(pending->ticket, Status::Cancelled("service shutting down"));
+    return;
+  }
+  if (CancelRequested(*pending)) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    CompleteTicket(pending->ticket,
+                   Status::Cancelled("cancelled in admission queue"));
+    return;
+  }
+  // Queue-level deadline: a budget that expired while the request sat in
+  // the queue fails it without ever touching the engine. Requests that may
+  // be served from the cache proceed — a warm hit costs no evaluation and
+  // is served regardless of the budget (Serve re-checks after a miss).
+  if (OverBudget(pending->request, pending->submitted) &&
+      !UseCache(pending->request)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    CompleteTicket(pending->ticket,
+                   Status::DeadlineExceeded(
+                       "time budget exhausted in admission queue"));
+    return;
+  }
+  CompleteTicket(pending->ticket, Serve(*pending, queue_ms));
+}
+
+Result<QueryResponse> ExpFinderService::Serve(const PendingQuery& pending,
+                                              double queue_ms) {
+  const QueryRequest& request = pending.request;
+  const Timer& timer = pending.submitted;
+  const bool use_cache = UseCache(request);
   const uint64_t key = QueryCacheKey(request.pattern, request.semantics);
 
   QueryResponse response;
+  response.queue_ms = queue_ms;
   {
     std::shared_lock<std::shared_mutex> reader(state_mu_);
     response.graph_version = g_->version();
@@ -91,18 +193,32 @@ Result<QueryResponse> ExpFinderService::Query(const QueryRequest& request) {
         response.path = ServingPath::kMaintained;
         matches = std::move(*snapshot);
       } else {
+        if (CancelRequested(pending)) {
+          cancelled_.fetch_add(1, std::memory_order_relaxed);
+          return Status::Cancelled("cancelled before evaluation");
+        }
         if (OverBudget(request, timer)) {
           rejected_.fetch_add(1, std::memory_order_relaxed);
           return Status::DeadlineExceeded("time budget exhausted before evaluation");
         }
         EvalOverrides overrides;
         overrides.match_threads = request.match_threads;
+        overrides.cancelled = &pending.ticket->cancelled;
+        overrides.timer = &timer;
+        overrides.time_budget_ms = request.time_budget_ms;
         EvalPath path = EvalPath::kDirect;
         auto evaluated =
             engine_.EvaluateWith(request.pattern, request.semantics, overrides,
                                  &lease.ctx().direct, &lease.ctx().compressed, &path);
         if (!evaluated.ok()) {
-          rejected_.fetch_add(1, std::memory_order_relaxed);
+          // A cancel observed at an engine stage boundary is its own
+          // terminal state; everything else (stage deadline, eval error)
+          // counts as rejected.
+          if (evaluated.status().IsCancelled()) {
+            cancelled_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+          }
           return evaluated.status();
         }
         matches = std::move(evaluated).value();
@@ -132,8 +248,12 @@ Result<QueryResponse> ExpFinderService::Query(const QueryRequest& request) {
   }  // reader lock released: ranking reads only the immutable answer.
 
   if (request.top_k) {
-    // A request that ran out of budget after evaluation keeps its
-    // serving-path classification; only the ranked list is refused.
+    // Failures past this point keep the serving-path classification the
+    // evaluation earned (the answer exists); only the ranked list is
+    // refused.
+    if (CancelRequested(pending)) {
+      return Status::Cancelled("cancelled before ranking");
+    }
     if (OverBudget(request, timer)) {
       return Status::DeadlineExceeded("time budget exhausted before ranking");
     }
@@ -146,25 +266,21 @@ Result<QueryResponse> ExpFinderService::Query(const QueryRequest& request) {
   return response;
 }
 
+Result<QueryResponse> ExpFinderService::Query(const QueryRequest& request) {
+  return Submit(request).Get();
+}
+
 std::vector<Result<QueryResponse>> ExpFinderService::QueryBatch(
     const std::vector<QueryRequest>& requests) {
   query_batches_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<std::optional<Result<QueryResponse>>> slots(requests.size());
-  if (!requests.empty()) {
-    const size_t workers = std::min(
-        ThreadPool::ResolveThreads(options_.batch_threads), requests.size());
-    std::lock_guard<std::mutex> lock(batch_mu_);
-    if (batch_pool_ == nullptr || batch_pool_->num_workers() < workers) {
-      batch_pool_ = std::make_unique<ThreadPool>(workers);
-    }
-    batch_pool_->ParallelChunks(
-        requests.size(), workers, [&](size_t, size_t begin, size_t end) {
-          for (size_t i = begin; i < end; ++i) slots[i] = Query(requests[i]);
-        });
-  }
+  // Submit everything up front — the whole batch is in flight at once —
+  // then collect in order. Each request fails or succeeds independently.
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(requests.size());
+  for (const QueryRequest& request : requests) tickets.push_back(Submit(request));
   std::vector<Result<QueryResponse>> results;
-  results.reserve(slots.size());
-  for (auto& slot : slots) results.push_back(std::move(*slot));
+  results.reserve(tickets.size());
+  for (QueryTicket& ticket : tickets) results.push_back(ticket.Get());
   return results;
 }
 
@@ -216,10 +332,16 @@ ServiceStats ExpFinderService::stats() const {
   s.compressed_evals = compressed_evals_.load(std::memory_order_relaxed);
   s.direct_evals = direct_evals_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.query_batches = query_batches_.load(std::memory_order_relaxed);
   s.batches_applied = batches_applied_.load(std::memory_order_relaxed);
   s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
   s.nodes_added = nodes_added_.load(std::memory_order_relaxed);
+  s.queued = queue_.size();
+  for (size_t i = 0; i < kQueueLatencyBuckets; ++i) {
+    s.queue_latency_histogram[i] = queue_latency_[i].load(std::memory_order_relaxed);
+  }
   return s;
 }
 

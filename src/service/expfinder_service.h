@@ -2,30 +2,50 @@
 // §II, Fig. 2 — a query engine serving many analysts at once; ROADMAP north
 // star: heavy traffic from millions of users).
 //
-// Concurrency model — reader/writer isolation:
+// Serving model — asynchronous submission over one queue:
 //
-//   * Any number of Query / QueryBatch calls run concurrently. Each takes
-//     the reader side of a shared_mutex, so all of them observe one
-//     immutable published graph snapshot; the graph version a response
-//     reports is exactly the version its relation was computed against.
+//   * Submit(request) validates, admits the request into a bounded
+//     priority queue, and returns a QueryTicket in O(queue push) — no
+//     evaluation happens on the submitting thread. Serving workers drain
+//     the queue (strict priority, FIFO within a priority) and complete the
+//     ticket; callers Wait / TryGet / Cancel or register a completion
+//     callback.
+//   * Overload is explicit: when the queue is full, Submit completes the
+//     ticket immediately with kResourceExhausted (counted in
+//     ServiceStats::rejected_overload). A request whose time budget expires
+//     while queued completes with kDeadlineExceeded without ever touching
+//     the engine; a queued or running request can be cancelled
+//     cooperatively (checked when dequeued and at evaluation stage
+//     boundaries).
+//   * Query / QueryBatch are thin synchronous wrappers over Submit — there
+//     is exactly one serving path, so priorities, deadlines, admission
+//     control, and stats apply uniformly. Concurrent QueryBatch calls
+//     interleave in the shared queue instead of serializing (the PR 3
+//     batch mutex is gone; the executor is reentrant).
+//
+// Concurrency model — reader/writer isolation (unchanged from PR 3):
+//
+//   * Serving workers take the reader side of a shared_mutex, so every
+//     in-flight evaluation observes one immutable published graph
+//     snapshot; the graph version a response reports is exactly the
+//     version its relation was computed against.
 //   * Mutate / AddNode / RegisterMaintainedQuery / CompressNow take the
-//     writer side: they wait for in-flight queries, apply atomically, and
-//     bump the graph version. A batch is all-or-nothing; readers never see
-//     a half-applied batch.
-//   * Each concurrent query borrows a worker MatchContext pair from a pool
-//     (contexts are single-owner scratch; see match_context.h), so the
-//     matchers' CSR snapshot cache and BFS buffers are never shared between
-//     threads. The shared ResultCache has its own mutex; QueryAnswers are
-//     shared_ptr<const>, immutable once published. Service stats are
+//     writer side: they wait for in-flight evaluations, apply atomically,
+//     and bump the graph version. A batch is all-or-nothing; readers never
+//     see a half-applied batch. Writers bypass the admission queue.
+//   * Each worker borrows a MatchContext pair from a pool (contexts are
+//     single-owner scratch; see match_context.h), the shared ResultCache
+//     has its own mutex, QueryAnswers are shared_ptr<const>, and stats are
 //     atomics.
 //
 // QueryEngine remains the single-threaded core: the service composes it,
-// calling its const, context-parameterized EvaluateWith from readers and
+// calling its const, context-parameterized EvaluateWith from workers and
 // its mutating operations from writers.
 
 #ifndef EXPFINDER_SERVICE_EXPFINDER_SERVICE_H_
 #define EXPFINDER_SERVICE_EXPFINDER_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -35,6 +55,7 @@
 #include <vector>
 
 #include "src/engine/query_engine.h"
+#include "src/service/admission_queue.h"
 #include "src/service/service_types.h"
 #include "src/util/thread_pool.h"
 
@@ -47,36 +68,68 @@ struct ServiceOptions {
   /// configure the *service's* shared result cache (the inner engine's own
   /// cache is disabled — the service serves all cached reads itself).
   EngineOptions engine;
-  /// Worker threads for QueryBatch fan-out (0 = hardware_concurrency).
+  /// Serving worker threads draining the admission queue — the maximum
+  /// number of concurrently evaluating requests (0 = hardware_concurrency).
   /// Independent of EngineOptions::match_threads, which parallelizes
-  /// *within* one matcher; batch workloads usually want match_threads = 1
+  /// *within* one matcher; serving workloads usually want match_threads = 1
   /// so requests, not seeding phases, use the cores.
-  uint32_t batch_threads = 0;
+  uint32_t serving_threads = 0;
+  /// Admission-queue capacity: the maximum number of admitted-but-not-yet-
+  /// served requests. A Submit beyond it fails fast with
+  /// kResourceExhausted (backpressure), it never blocks.
+  size_t queue_capacity = 256;
+  /// Open for admission but paused for serving: Submit queues requests
+  /// (admission control, priorities, and Cancel all work) but nothing
+  /// evaluates until Resume(). Useful for maintenance windows — warm the
+  /// queue while a bulk load runs — and for deterministic tests of queue
+  /// behavior. Query/QueryBatch on a paused service block until Resume(),
+  /// and so does Wait() on any queued ticket, cancelled or not: queued
+  /// terminal states (cancel, expired budget) are observed at dequeue.
+  bool start_paused = false;
 };
 
-/// \brief Thread-safe expert-finding service with a typed request/response
-/// API, snapshot-isolated reads, and batch evaluation.
+/// \brief Thread-safe expert-finding service with an asynchronous
+/// Submit/ticket API, priority admission control, snapshot-isolated reads,
+/// and synchronous convenience wrappers.
 class ExpFinderService {
  public:
   /// `g` must outlive the service; the service mutates it in Mutate/AddNode.
   /// No other code may mutate `g` while the service exists.
   explicit ExpFinderService(Graph* g, ServiceOptions options = {});
 
+  /// Completes every still-pending ticket as Cancelled ("service shutting
+  /// down"), then joins the serving workers. In-flight evaluations finish
+  /// normally first. Tickets may outlive the service.
+  ~ExpFinderService();
+
   ExpFinderService(const ExpFinderService&) = delete;
   ExpFinderService& operator=(const ExpFinderService&) = delete;
 
   const ServiceOptions& options() const { return options_; }
 
-  /// Answers one request. Thread-safe; runs concurrently with other Query /
-  /// QueryBatch calls and serializes against Mutate.
+  /// Submits one request for asynchronous evaluation and returns its
+  /// ticket. Costs O(queue push): validation + admission, no evaluation.
+  /// On validation failure or a full queue the returned ticket is already
+  /// complete (InvalidArgument / ResourceExhausted). Thread-safe.
+  QueryTicket Submit(QueryRequest request);
+
+  /// Starts serving when the service was constructed with
+  /// `start_paused = true`: every queued request becomes eligible for a
+  /// worker, in priority order. Idempotent; a no-op on a running service.
+  void Resume();
+
+  /// Synchronous convenience: Submit(request) + Wait. Exactly the same
+  /// serving path — the request passes through the admission queue and is
+  /// evaluated by a serving worker, so priorities, deadlines, and overload
+  /// rejection apply identically.
   Result<QueryResponse> Query(const QueryRequest& request);
 
-  /// Answers a batch of requests, fanned out over the service's thread
-  /// pool; results are positionally aligned with `requests` and each
-  /// request succeeds or fails independently. All responses of one batch
-  /// are NOT guaranteed to share a graph version — each request is
-  /// individually snapshot-consistent (its relation matches the version it
-  /// reports), but a concurrent Mutate may land between two of them.
+  /// Submits every request up front, then waits for all tickets; results
+  /// are positionally aligned with `requests` and each request succeeds or
+  /// fails independently. Responses of one batch are NOT guaranteed to
+  /// share a graph version — each is individually snapshot-consistent, but
+  /// a concurrent Mutate may land between two of them. Concurrent
+  /// QueryBatch calls interleave in the shared admission queue.
   std::vector<Result<QueryResponse>> QueryBatch(
       const std::vector<QueryRequest>& requests);
 
@@ -138,10 +191,26 @@ class ExpFinderService {
     std::unique_ptr<WorkerContext> ctx_;
   };
 
+  /// Executor task paired with one admission: pops the highest-priority
+  /// entry, handles queue-level terminal states (shutdown, cancellation,
+  /// expired budget), and otherwise serves it and completes the ticket.
+  void DrainOne();
+
+  /// The evaluation path: cache probe, maintained snapshot, engine
+  /// evaluation with cancellation/deadline checkpoints, ranking. Updates
+  /// the per-outcome counters; `queue_ms` is the admission wait already
+  /// measured by DrainOne.
+  Result<QueryResponse> Serve(const PendingQuery& pending, double queue_ms);
+
+  /// Resolved per-request cache participation.
+  bool UseCache(const QueryRequest& request) const {
+    return request.use_cache.value_or(options_.engine.use_cache);
+  }
+
   Graph* g_;
   ServiceOptions options_;
 
-  /// Readers (Query/QueryBatch) hold shared; writers (Mutate/AddNode/
+  /// Readers (serving workers) hold shared; writers (Mutate/AddNode/
   /// RegisterMaintainedQuery/CompressNow) hold exclusive.
   mutable std::shared_mutex state_mu_;
   QueryEngine engine_;
@@ -152,10 +221,17 @@ class ExpFinderService {
   std::mutex ctx_mu_;
   std::vector<std::unique_ptr<WorkerContext>> idle_contexts_;  // guarded by ctx_mu_
 
-  /// Serializes QueryBatch fan-outs (ThreadPool::ParallelChunks is not
-  /// reentrant); individual Query calls are unaffected.
-  std::mutex batch_mu_;
-  std::unique_ptr<ThreadPool> batch_pool_;  // guarded by batch_mu_, lazy
+  /// Set by the destructor before draining: remaining queued requests
+  /// complete as Cancelled instead of evaluating.
+  std::atomic<bool> shutdown_{false};
+
+  AdmissionQueue queue_;
+
+  /// Pause state: while paused, admissions accumulate pending_drains_
+  /// instead of dispatching executor tasks; Resume() dispatches them.
+  std::mutex pause_mu_;
+  bool paused_;                // guarded by pause_mu_
+  size_t pending_drains_ = 0;  // guarded by pause_mu_
 
   std::atomic<size_t> queries_{0};
   std::atomic<size_t> cache_hits_{0};
@@ -164,10 +240,19 @@ class ExpFinderService {
   std::atomic<size_t> compressed_evals_{0};
   std::atomic<size_t> direct_evals_{0};
   std::atomic<size_t> rejected_{0};
+  std::atomic<size_t> rejected_overload_{0};
+  std::atomic<size_t> cancelled_{0};
   std::atomic<size_t> query_batches_{0};
   std::atomic<size_t> batches_applied_{0};
   std::atomic<size_t> updates_applied_{0};
   std::atomic<size_t> nodes_added_{0};
+  std::array<std::atomic<size_t>, kQueueLatencyBuckets> queue_latency_{};
+
+  /// The serving executor: one Submit()ed drain task per admitted request.
+  /// Declared last so it is destroyed (and drained) while every member it
+  /// uses is still alive; sized serving_threads + 1 because a ThreadPool
+  /// of size W has W - 1 background threads.
+  std::unique_ptr<ThreadPool> executor_;
 };
 
 }  // namespace expfinder

@@ -1,18 +1,25 @@
 // The typed request/response surface of the ExpFinder serving API (paper
 // §II, Fig. 2: the query engine behind a GUI that many analysts hit
-// concurrently). A whole request — pattern, semantics, ranking, and
-// per-request knobs — is one value, and a response carries the shared
-// immutable answer plus how it was served and what it cost.
+// concurrently). A whole request — pattern, semantics, ranking, priority,
+// and per-request knobs — is one value; submission returns a QueryTicket
+// (a future-like handle), and the response carries the shared immutable
+// answer plus how it was served and what it cost.
 
 #ifndef EXPFINDER_SERVICE_SERVICE_TYPES_H_
 #define EXPFINDER_SERVICE_SERVICE_TYPES_H_
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/engine/query_engine.h"
@@ -40,6 +47,24 @@ enum class ServingPath {
 /// Stable lower-case name ("cache", "maintained", ...).
 std::string_view ServingPathName(ServingPath path);
 
+/// \brief Admission priority of a request. Strict: a queued higher-priority
+/// request is always dequeued before any lower-priority one; within one
+/// priority the queue is FIFO. Priority affects queue order only — it never
+/// preempts a running evaluation.
+enum class QueryPriority : uint8_t {
+  /// Bulk/analytics work that should yield to everything else.
+  kBackground = 0,
+  /// The default.
+  kNormal = 1,
+  /// Latency-sensitive interactive queries.
+  kInteractive = 2,
+};
+
+inline constexpr size_t kNumQueryPriorities = 3;
+
+/// Stable lower-case name ("background", "normal", "interactive").
+std::string_view QueryPriorityName(QueryPriority priority);
+
 /// \brief One expert-finding request: everything the service needs to
 /// answer, as a single value.
 struct QueryRequest {
@@ -48,6 +73,8 @@ struct QueryRequest {
   /// Matching semantics. Dual simulation is never served from the
   /// compressed graph or from maintained bounded-simulation state.
   MatchSemantics semantics = MatchSemantics::kBoundedSimulation;
+  /// Admission-queue priority (see QueryPriority).
+  QueryPriority priority = QueryPriority::kNormal;
   /// When set, the response carries the top-K ranked output-node matches.
   std::optional<size_t> top_k;
   /// Ranking metric used when top_k is set.
@@ -57,10 +84,13 @@ struct QueryRequest {
   /// Per-request matcher seeding threads; absent = engine default
   /// (see EngineOptions::match_threads).
   std::optional<uint32_t> match_threads;
-  /// Soft time budget in milliseconds; 0 = unlimited. Best-effort: the
-  /// budget is checked at stage boundaries (before evaluation, before
-  /// ranking), not preemptively inside a running fixpoint. Exceeding it
-  /// fails the request with Status::DeadlineExceeded.
+  /// Soft time budget in milliseconds, counted from Submit (queue wait
+  /// included); 0 = unlimited. Best-effort: checked when the request is
+  /// dequeued and at evaluation stage boundaries, never preemptively inside
+  /// a running fixpoint. A budget that expires while the request is still
+  /// queued fails it with Status::DeadlineExceeded without ever touching
+  /// the engine (a warm cache hit is still served — it costs no
+  /// evaluation).
   double time_budget_ms = 0.0;
 };
 
@@ -76,20 +106,115 @@ struct QueryResponse {
   /// Graph version the answer is consistent with (snapshot isolation: the
   /// relation is exactly M(Q, G@graph_version)).
   uint64_t graph_version = 0;
-  /// Wall time spent on this request, end to end.
+  /// Time spent in the admission queue before a worker picked the request
+  /// up.
+  double queue_ms = 0.0;
+  /// Wall time from Submit to completion, end to end (queue wait included).
   double eval_ms = 0.0;
 };
+
+/// \brief Shared state behind a QueryTicket. Internal to the service layer;
+/// user code holds QueryTickets, never TicketStates.
+struct TicketState {
+  std::mutex mu;
+  std::condition_variable cv;
+  /// Set exactly once, before `done`; immutable once engaged (readers
+  /// copy).
+  std::optional<Result<QueryResponse>> result;  // guarded by mu until done
+  bool done = false;                            // guarded by mu
+  /// Invoked exactly once with the final result (on the completing thread,
+  /// or inline when registered after completion).
+  std::function<void(const Result<QueryResponse>&)> callback;  // guarded by mu
+  /// Cooperative cancellation flag, polled lock-free at stage boundaries.
+  std::atomic<bool> cancelled{false};
+};
+
+/// Publishes `result` on the ticket: stores it, runs the completion
+/// callback (if any) on the calling thread, then releases waiters.
+void CompleteTicket(const std::shared_ptr<TicketState>& state,
+                    Result<QueryResponse> result);
+
+/// \brief Move-only handle to one submitted request — the future half of
+/// ExpFinderService::Submit. All methods are thread-safe; the ticket may
+/// outlive the service (a shutdown completes every pending ticket as
+/// Cancelled).
+class QueryTicket {
+ public:
+  /// An empty ticket (valid() == false); Submit returns engaged ones.
+  QueryTicket() = default;
+  explicit QueryTicket(std::shared_ptr<TicketState> state)
+      : state_(std::move(state)) {}
+
+  QueryTicket(QueryTicket&&) = default;
+  QueryTicket& operator=(QueryTicket&&) = default;
+  QueryTicket(const QueryTicket&) = delete;
+  QueryTicket& operator=(const QueryTicket&) = delete;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the request reached a terminal state (response or error).
+  bool done() const;
+
+  /// Blocks until the request completes.
+  void Wait() const;
+
+  /// Waits up to `timeout_ms` (0 = just poll); returns the result when the
+  /// request completed in time, std::nullopt on timeout. Repeatable — the
+  /// result is copied out, not consumed.
+  std::optional<Result<QueryResponse>> TryGet(double timeout_ms) const;
+
+  /// Wait() + copy of the result.
+  Result<QueryResponse> Get() const;
+
+  /// Requests cooperative cancellation: a still-queued request completes
+  /// as Cancelled without touching the engine (when it is dequeued — on a
+  /// paused service that happens at Resume() or destruction, so Wait()
+  /// after Cancel() can still block until then); a running evaluation
+  /// stops at its next stage boundary. Returns true when the request had
+  /// not yet completed (the cancel may take effect), false when it
+  /// already had (the existing result stands). Idempotent.
+  bool Cancel();
+
+  /// Registers a completion callback, invoked exactly once with the final
+  /// result: on the completing thread (before waiters already blocked in
+  /// Wait()/Get() are released), or inline right here when the ticket is
+  /// already done. At most one callback per ticket. The callback runs on a
+  /// serving worker — keep it cheap, and never block it on other tickets
+  /// of the same service.
+  void OnComplete(std::function<void(const Result<QueryResponse>&)> callback);
+
+  /// The underlying shared state (service-internal).
+  const std::shared_ptr<TicketState>& state() const { return state_; }
+
+ private:
+  std::shared_ptr<TicketState> state_;
+};
+
+/// Number of buckets in the queue-latency histogram: bucket i counts
+/// dequeues whose queue wait fell in [2^(i-1), 2^i) milliseconds (bucket 0:
+/// < 1 ms), with the last bucket catching everything longer.
+inline constexpr size_t kQueueLatencyBuckets = 12;
+
+/// Bucket index for one observed queue latency.
+size_t QueueLatencyBucket(double queue_ms);
 
 /// \brief Cumulative service telemetry (a plain snapshot; the live counters
 /// are atomics inside the service).
 ///
-/// Every query lands in exactly one counter: requests that produced no
-/// answer (validation failure, pre-eval deadline, evaluation error) count
-/// in `rejected`; anything that completed evaluation keeps its serving-path
-/// classification even if a later stage (ranking, post-eval deadline) fails
-/// the request. So
+/// Every submitted request lands in exactly one terminal counter:
+///   * requests that produced no answer (validation failure, queue or
+///     pre-eval deadline, evaluation error) count in `rejected`;
+///   * requests refused at Submit because the admission queue was full
+///     count in `rejected_overload`;
+///   * requests cancelled before their evaluation completed (while queued
+///     or at an evaluation stage boundary) count in `cancelled`;
+///   * anything that completed evaluation keeps its serving-path
+///     classification even if a later stage (ranking, post-eval deadline or
+///     cancel) fails the request.
+/// So
 ///   queries == cache_hits + maintained_hits + planner_short_circuits +
-///              compressed_evals + direct_evals + rejected
+///              compressed_evals + direct_evals + rejected +
+///              rejected_overload + cancelled
 /// holds whenever the service is quiescent.
 struct ServiceStats {
   size_t queries = 0;
@@ -99,15 +224,25 @@ struct ServiceStats {
   size_t compressed_evals = 0;
   size_t direct_evals = 0;
   size_t rejected = 0;
+  size_t rejected_overload = 0;
+  size_t cancelled = 0;
   size_t query_batches = 0;
   size_t batches_applied = 0;
   size_t updates_applied = 0;
   size_t nodes_added = 0;
+  /// Requests sitting in the admission queue right now (a gauge, not a
+  /// cumulative counter; excluded from ClassifiedQueries).
+  size_t queued = 0;
+  /// Queue-wait distribution over every dequeued request (see
+  /// QueueLatencyBucket). Sums to the number of requests that reached a
+  /// serving worker.
+  std::array<size_t, kQueueLatencyBuckets> queue_latency_histogram{};
 
   /// Sum of the per-outcome counters; equals `queries` when quiescent.
   size_t ClassifiedQueries() const {
     return cache_hits + maintained_hits + planner_short_circuits +
-           compressed_evals + direct_evals + rejected;
+           compressed_evals + direct_evals + rejected + rejected_overload +
+           cancelled;
   }
 
   std::string ToString() const;

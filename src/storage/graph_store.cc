@@ -1,10 +1,17 @@
 #include "src/storage/graph_store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 #include "src/graph/graph_io.h"
 #include "src/query/pattern_parser.h"
@@ -29,17 +36,35 @@ std::string WithChecksum(const std::string& body) {
   return out;
 }
 
+/// Write-temp-then-rename: the final path only ever holds a complete file.
+/// A crash (or error) before the rename leaves at worst a stray `.tmp.*`
+/// sibling, never a torn object — readers and List() look only at final
+/// paths, and rename(2) replaces them atomically. The temp name embeds the
+/// pid and a process-wide sequence number so concurrent writers of the
+/// same object can never scribble into one another's temp file.
 Status WriteFileAtomic(const std::string& path, const std::string& content) {
-  std::string tmp = path + ".tmp";
+  static std::atomic<uint64_t> seq{0};
+  std::string tmp = path + ".tmp." + std::to_string(static_cast<long>(getpid())) +
+                    "." + std::to_string(seq.fetch_add(1));
   {
     std::ofstream f(tmp, std::ios::trunc);
     if (!f.is_open()) return Status::IOError("cannot open for writing: " + tmp);
     f << content;
-    if (!f.good()) return Status::IOError("write failed: " + tmp);
+    f.flush();
+    if (!f.good()) {
+      f.close();
+      std::error_code ignored;
+      fs::remove(tmp, ignored);
+      return Status::IOError("write failed: " + tmp);
+    }
   }
   std::error_code ec;
   fs::rename(tmp, path, ec);
-  if (ec) return Status::IOError("rename failed: " + ec.message());
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    return Status::IOError("rename failed: " + ec.message());
+  }
   return Status::OK();
 }
 

@@ -17,6 +17,8 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -26,6 +26,8 @@ enum class StatusCode : int {
   kUnsupported = 7,
   kInternal = 8,
   kDeadlineExceeded = 9,
+  kCancelled = 10,
+  kResourceExhausted = 11,
 };
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable
@@ -67,6 +69,12 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -82,6 +90,8 @@ class Status {
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

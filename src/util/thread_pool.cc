@@ -7,7 +7,7 @@ namespace expfinder {
 ThreadPool::ThreadPool(size_t num_workers) : num_workers_(std::max<size_t>(1, num_workers)) {
   threads_.reserve(num_workers_ - 1);
   for (size_t i = 1; i < num_workers_; ++i) {
-    threads_.emplace_back([this, i] { WorkerLoop(i); });
+    threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
@@ -18,12 +18,35 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
+  // A pool without background threads still honors the drain guarantee.
+  while (RunOneQueuedTask()) {
+  }
 }
 
 size_t ThreadPool::ResolveThreads(uint32_t requested) {
   if (requested != 0) return requested;
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::RunOneQueuedTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop_front();
+  }
+  task();
+  return true;
 }
 
 void ThreadPool::ParallelChunks(size_t n, size_t active_workers,
@@ -34,45 +57,55 @@ void ThreadPool::ParallelChunks(size_t n, size_t active_workers,
     fn(0, 0, n);
     return;
   }
+  Job job;
+  job.remaining = active_workers - 1;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_ = &fn;
-    job_items_ = n;
-    job_active_ = active_workers;
-    remaining_ = threads_.size();
-    ++generation_;
+    for (size_t chunk = 1; chunk < active_workers; ++chunk) {
+      auto [begin, end] = ChunkBounds(chunk, n, active_workers);
+      // fn and job outlive the task: ParallelChunks does not return until
+      // job.remaining hits zero, i.e. until every chunk task has finished.
+      tasks_.push_back([&fn, &job, chunk, begin = begin, end = end] {
+        if (begin < end) fn(chunk, begin, end);
+        {
+          std::lock_guard<std::mutex> jlock(job.mu);
+          --job.remaining;
+          if (job.remaining == 0) job.cv.notify_one();
+        }
+      });
+    }
   }
   work_cv_.notify_all();
   auto [begin, end] = ChunkBounds(0, n, active_workers);
   if (begin < end) fn(0, begin, end);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return remaining_ == 0; });
-  job_ = nullptr;
+  // Help-while-waiting: run queued tasks (our chunks or anyone else's)
+  // until our job completes. Once the queue is empty every chunk of this
+  // job is either done or running on another thread, and that thread — by
+  // the same rule, recursively — makes progress, so sleeping on job.cv
+  // cannot deadlock.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> jlock(job.mu);
+      if (job.remaining == 0) return;
+    }
+    if (RunOneQueuedTask()) continue;
+    std::unique_lock<std::mutex> jlock(job.mu);
+    job.cv.wait(jlock, [&] { return job.remaining == 0; });
+    return;
+  }
 }
 
-void ThreadPool::WorkerLoop(size_t worker_index) {
-  uint64_t seen = 0;
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    const std::function<void(size_t, size_t, size_t)>* job;
-    size_t items;
-    size_t active;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-      job = job_;
-      items = job_items_;
-      active = job_active_;
-    }
-    auto [begin, end] = ChunkBounds(worker_index, items, active);
-    if (begin < end) (*job)(worker_index, begin, end);
-    bool last;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      last = --remaining_ == 0;
-    }
-    if (last) done_cv_.notify_one();
+    work_cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+    // Drain-on-stop: every task submitted before destruction runs.
+    if (tasks_.empty()) return;  // only reachable when stop_
+    auto task = std::move(tasks_.front());
+    tasks_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
   }
 }
 

@@ -1,18 +1,29 @@
-// A small persistent fork-join pool for the matchers' parallel seeding
-// phase. Workers are spawned once and parked on a condition variable, so a
-// ParallelChunks dispatch costs a notify + join handshake instead of thread
-// creation per query.
+// A persistent task-queue executor with a deterministic fork-join facade.
 //
-// The pool deliberately supports exactly one shape of work: partition
-// [0, n) into one contiguous chunk per worker and run fn(worker, begin,
-// end) on each, blocking until all chunks finish. Worker 0 is the calling
-// thread. Chunk boundaries depend only on (n, num_workers), so any caller
-// that keeps per-worker outputs and concatenates them in worker order gets
-// results that are bit-for-bit identical to a serial left-to-right pass —
-// the determinism contract the matchers rely on.
+// Two ways to hand it work:
 //
-// Not reentrant: ParallelChunks must not be called concurrently from two
-// threads, and fn must not call back into the same pool.
+//   * Submit(task): enqueue a fire-and-forget task; one of the pool's
+//     background threads runs it. This is the executor surface the serving
+//     layer drains its admission queue with.
+//   * ParallelChunks(n, active, fn): partition [0, n) into `active`
+//     contiguous chunks and run fn(chunk, begin, end) on each, blocking
+//     until all chunks finish. Chunk 0 runs on the calling thread; the rest
+//     are enqueued as ordinary tasks. Chunk boundaries depend only on
+//     (n, active), so any caller that keeps per-chunk outputs and
+//     concatenates them in chunk order gets results that are bit-for-bit
+//     identical to a serial left-to-right pass — the determinism contract
+//     the matchers rely on.
+//
+// Reentrancy: both entry points may be called from any thread, including
+// from inside a running task. A thread blocked in ParallelChunks *helps*:
+// while its own chunks are outstanding it pops and runs queued tasks
+// (its own chunks or anyone else's), so nested and concurrent dispatches
+// always make progress instead of deadlocking on a parked pool. (PR 3 had
+// to serialize QueryBatch fan-outs behind a mutex because the old
+// fork-join-only pool lacked exactly this.)
+//
+// Shutdown: the destructor drains the queue — every task already submitted
+// runs before the workers exit.
 
 #ifndef EXPFINDER_UTIL_THREAD_POOL_H_
 #define EXPFINDER_UTIL_THREAD_POOL_H_
@@ -20,6 +31,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -28,7 +40,10 @@
 
 namespace expfinder {
 
-/// \brief Fixed-size fork-join pool; worker 0 is the calling thread.
+/// \brief Task-queue executor. For fork-join dispatches `num_workers`
+/// counts the calling thread, so a pool of size W spawns W-1 background
+/// threads; Submit-only users who want W concurrent tasks should size the
+/// pool W+1.
 class ThreadPool {
  public:
   /// Creates a pool with `num_workers` total workers (spawns
@@ -41,13 +56,20 @@ class ThreadPool {
 
   size_t num_workers() const { return num_workers_; }
 
+  /// Enqueues a task for a background thread. Thread-safe and reentrant
+  /// (tasks may Submit). A pool of size 1 has no background threads, so a
+  /// submitted task only runs when a ParallelChunks waiter helps or the
+  /// destructor drains — executor users want num_workers >= 2.
+  void Submit(std::function<void()> task);
+
   /// Splits [0, n) into `active_workers` contiguous chunks and runs
-  /// fn(worker_index, chunk_begin, chunk_end) for each; blocks until every
+  /// fn(chunk_index, chunk_begin, chunk_end) for each; blocks until every
   /// chunk completes. Chunk `i` is [n*i/a, n*(i+1)/a), so the partition is
   /// a pure function of (n, active_workers) — deterministic across runs and
   /// independent of the pool's total size. active_workers is clamped to
-  /// [1, num_workers()]; idle workers cost one wakeup, not a respawn, so
-  /// one generously sized pool serves work items of any width.
+  /// [1, num_workers()]. Chunk 0 runs on the calling thread, which then
+  /// helps run queued tasks until its own chunks are done — safe to call
+  /// concurrently from many threads and from inside tasks.
   void ParallelChunks(size_t n, size_t active_workers,
                       const std::function<void(size_t, size_t, size_t)>& fn);
   void ParallelChunks(size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
@@ -59,11 +81,21 @@ class ThreadPool {
   static size_t ResolveThreads(uint32_t requested);
 
  private:
-  void WorkerLoop(size_t worker_index);
+  /// Completion tracker for one ParallelChunks dispatch; lives on the
+  /// dispatching thread's stack for the duration of the call.
+  struct Job {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;  // guarded by mu
+  };
 
-  static std::pair<size_t, size_t> ChunkBounds(size_t worker, size_t n, size_t active) {
-    if (worker >= active) return {0, 0};
-    return {n * worker / active, n * (worker + 1) / active};
+  void WorkerLoop();
+  /// Pops one queued task and runs it. Returns false when the queue was
+  /// empty.
+  bool RunOneQueuedTask();
+
+  static std::pair<size_t, size_t> ChunkBounds(size_t chunk, size_t n, size_t active) {
+    return {n * chunk / active, n * (chunk + 1) / active};
   }
 
   const size_t num_workers_;
@@ -71,13 +103,8 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(size_t, size_t, size_t)>* job_ = nullptr;  // guarded by mu_
-  size_t job_items_ = 0;                                              // guarded by mu_
-  size_t job_active_ = 0;                                             // guarded by mu_
-  uint64_t generation_ = 0;                                           // guarded by mu_
-  size_t remaining_ = 0;                                              // guarded by mu_
-  bool stop_ = false;                                                 // guarded by mu_
+  std::deque<std::function<void()>> tasks_;  // guarded by mu_
+  bool stop_ = false;                        // guarded by mu_
 };
 
 }  // namespace expfinder

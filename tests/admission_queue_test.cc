@@ -1,0 +1,123 @@
+// AdmissionQueue: strict priority order with FIFO lanes, exact-capacity
+// overload refusal, and a multi-producer/multi-consumer stress case for
+// ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/generator/generators.h"
+#include "src/service/admission_queue.h"
+
+namespace expfinder {
+namespace {
+
+std::unique_ptr<PendingQuery> MakePending(QueryPriority priority, double budget = 0.0) {
+  auto pending = std::make_unique<PendingQuery>();
+  pending->request.pattern = gen::BuildFig1Pattern();
+  pending->request.priority = priority;
+  pending->request.time_budget_ms = budget;
+  pending->ticket = std::make_shared<TicketState>();
+  return pending;
+}
+
+TEST(AdmissionQueueTest, FifoWithinOnePriority) {
+  AdmissionQueue queue(8);
+  for (double budget : {1.0, 2.0, 3.0}) {
+    ASSERT_TRUE(queue.TryPush(MakePending(QueryPriority::kNormal, budget)).ok());
+  }
+  EXPECT_EQ(queue.size(), 3u);
+  for (double budget : {1.0, 2.0, 3.0}) {
+    auto pending = queue.TryPop();
+    ASSERT_NE(pending, nullptr);
+    EXPECT_EQ(pending->request.time_budget_ms, budget);
+  }
+  EXPECT_EQ(queue.TryPop(), nullptr);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(AdmissionQueueTest, StrictPriorityAcrossLanes) {
+  AdmissionQueue queue(8);
+  ASSERT_TRUE(queue.TryPush(MakePending(QueryPriority::kBackground)).ok());
+  ASSERT_TRUE(queue.TryPush(MakePending(QueryPriority::kNormal)).ok());
+  ASSERT_TRUE(queue.TryPush(MakePending(QueryPriority::kInteractive)).ok());
+  ASSERT_TRUE(queue.TryPush(MakePending(QueryPriority::kNormal)).ok());
+
+  std::vector<QueryPriority> order;
+  while (auto pending = queue.TryPop()) order.push_back(pending->request.priority);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], QueryPriority::kInteractive);
+  EXPECT_EQ(order[1], QueryPriority::kNormal);
+  EXPECT_EQ(order[2], QueryPriority::kNormal);
+  EXPECT_EQ(order[3], QueryPriority::kBackground);
+}
+
+TEST(AdmissionQueueTest, RefusesAtExactCapacity) {
+  AdmissionQueue queue(2);
+  EXPECT_EQ(queue.capacity(), 2u);
+  ASSERT_TRUE(queue.TryPush(MakePending(QueryPriority::kNormal)).ok());
+  ASSERT_TRUE(queue.TryPush(MakePending(QueryPriority::kInteractive)).ok());
+  Status st = queue.TryPush(MakePending(QueryPriority::kInteractive));
+  EXPECT_TRUE(st.IsResourceExhausted()) << st;
+  // Popping one entry frees exactly one admission slot.
+  ASSERT_NE(queue.TryPop(), nullptr);
+  EXPECT_TRUE(queue.TryPush(MakePending(QueryPriority::kBackground)).ok());
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(AdmissionQueueTest, ZeroCapacityClampedToOne) {
+  AdmissionQueue queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  ASSERT_TRUE(queue.TryPush(MakePending(QueryPriority::kNormal)).ok());
+  EXPECT_TRUE(queue.TryPush(MakePending(QueryPriority::kNormal)).IsResourceExhausted());
+}
+
+TEST(AdmissionQueueTest, ConcurrentPushPopConservesEntries) {
+  // MPMC stress: every admitted entry is popped exactly once, the running
+  // size never exceeds capacity, and refused pushes are accounted for.
+  AdmissionQueue queue(16);
+  constexpr size_t kProducers = 4, kConsumers = 4, kPerProducer = 400;
+  std::atomic<size_t> admitted{0}, refused{0}, popped{0};
+  std::atomic<bool> producers_done{false};
+
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        auto priority = static_cast<QueryPriority>((p + i) % kNumQueryPriorities);
+        if (queue.TryPush(MakePending(priority)).ok()) {
+          admitted.fetch_add(1);
+        } else {
+          refused.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        if (queue.TryPop() != nullptr) {
+          popped.fetch_add(1);
+        } else if (producers_done.load()) {
+          if (queue.TryPop() == nullptr) return;
+          popped.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (size_t p = 0; p < kProducers; ++p) threads[p].join();
+  producers_done.store(true);
+  for (size_t c = kProducers; c < threads.size(); ++c) threads[c].join();
+
+  EXPECT_EQ(admitted.load() + refused.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped.load(), admitted.load());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+}  // namespace
+}  // namespace expfinder

@@ -74,6 +74,9 @@ TEST(BuildSanityTest, EveryModuleLinks) {
   ExpFinderService service(&service_graph);
   EXPECT_TRUE(service.Mutate({}).ok());
   EXPECT_EQ(ServingPathName(ServingPath::kDirect), "direct");
+  EXPECT_EQ(QueryPriorityName(QueryPriority::kNormal), "normal");
+  AdmissionQueue admission(1);
+  EXPECT_EQ(admission.capacity(), 1u);
 
   // storage.
   auto store = GraphStore::Open(::testing::TempDir() + "build_sanity_store");

@@ -259,6 +259,300 @@ TEST(ServingPathTest, NamesAreStable) {
 }
 
 // ---------------------------------------------------------------------------
+// The asynchronous Submit/ticket surface. A service constructed with
+// start_paused = true admits but does not serve, which makes queue-level
+// behavior — overload, priority order, queued-deadline expiry, queued
+// cancellation — fully deterministic: nothing is dequeued until Resume().
+// ---------------------------------------------------------------------------
+
+ServiceOptions PausedOptions(size_t queue_capacity = 8) {
+  ServiceOptions opts;
+  opts.serving_threads = 1;  // drains strictly one at a time, in queue order
+  opts.queue_capacity = queue_capacity;
+  opts.start_paused = true;
+  return opts;
+}
+
+QueryRequest UncachedFig1Request() {
+  QueryRequest req = Fig1Request();
+  req.use_cache = false;
+  return req;
+}
+
+TEST_F(ServiceFixture, SubmitReturnsWithoutEvaluating) {
+  ExpFinderService service(&g_, PausedOptions());
+  QueryTicket ticket = service.Submit(UncachedFig1Request());
+  ASSERT_TRUE(ticket.valid());
+  EXPECT_FALSE(ticket.done());  // admitted, not evaluated (service paused)
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.queries, 1u);
+  EXPECT_EQ(s.queued, 1u);
+  EXPECT_EQ(s.direct_evals, 0u);
+  EXPECT_EQ(s.ClassifiedQueries(), 0u);  // nothing terminal yet
+  EXPECT_EQ(ticket.TryGet(0.0), std::nullopt);  // poll: still pending
+
+  service.Resume();
+  auto resp = ticket.Get();
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->answer->matches.TotalPairs(), 7u);
+  EXPECT_EQ(resp->path, ServingPath::kDirect);
+  EXPECT_GE(resp->queue_ms, 0.0);
+  EXPECT_GE(resp->eval_ms, resp->queue_ms);
+  // TryGet is repeatable: the result is copied out, not consumed.
+  auto again = ticket.TryGet(0.0);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->ok());
+  EXPECT_EQ((*again)->answer.get(), resp->answer.get());
+  EXPECT_EQ(service.stats().queued, 0u);
+}
+
+TEST_F(ServiceFixture, OverloadRejectedAtExactCapacity) {
+  ExpFinderService service(&g_, PausedOptions(/*queue_capacity=*/2));
+  QueryTicket a = service.Submit(UncachedFig1Request());
+  QueryTicket b = service.Submit(UncachedFig1Request());
+  EXPECT_FALSE(a.done());
+  EXPECT_FALSE(b.done());
+
+  // The third admission hits the capacity wall: the ticket is complete
+  // before Submit returns, with kResourceExhausted.
+  QueryTicket c = service.Submit(UncachedFig1Request());
+  ASSERT_TRUE(c.done());
+  auto overflow = c.Get();
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_TRUE(overflow.status().IsResourceExhausted()) << overflow.status();
+
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.queries, 3u);
+  EXPECT_EQ(s.rejected_overload, 1u);
+  EXPECT_EQ(s.queued, 2u);
+
+  service.Resume();
+  EXPECT_TRUE(a.Get().ok());
+  EXPECT_TRUE(b.Get().ok());
+  s = service.stats();
+  EXPECT_EQ(s.direct_evals, 2u);
+  EXPECT_EQ(s.ClassifiedQueries(), s.queries);
+}
+
+TEST_F(ServiceFixture, PriorityOrdersTheQueue) {
+  ExpFinderService service(&g_, PausedOptions());
+  std::mutex order_mu;
+  std::vector<QueryPriority> completion_order;
+  auto record = [&](QueryPriority priority) {
+    return [&, priority](const Result<QueryResponse>&) {
+      std::lock_guard<std::mutex> lock(order_mu);
+      completion_order.push_back(priority);
+    };
+  };
+  std::vector<QueryTicket> tickets;
+  for (QueryPriority priority :
+       {QueryPriority::kBackground, QueryPriority::kNormal,
+        QueryPriority::kInteractive, QueryPriority::kNormal}) {
+    QueryRequest req = UncachedFig1Request();
+    req.priority = priority;
+    QueryTicket ticket = service.Submit(req);
+    ticket.OnComplete(record(priority));
+    tickets.push_back(std::move(ticket));
+  }
+  service.Resume();
+  for (QueryTicket& t : tickets) EXPECT_TRUE(t.Get().ok());
+
+  // One serving worker drains strictly: interactive first, FIFO among the
+  // two normals, background last.
+  std::lock_guard<std::mutex> lock(order_mu);
+  ASSERT_EQ(completion_order.size(), 4u);
+  EXPECT_EQ(completion_order[0], QueryPriority::kInteractive);
+  EXPECT_EQ(completion_order[1], QueryPriority::kNormal);
+  EXPECT_EQ(completion_order[2], QueryPriority::kNormal);
+  EXPECT_EQ(completion_order[3], QueryPriority::kBackground);
+}
+
+TEST_F(ServiceFixture, UnknownPriorityRejectedAtSubmit) {
+  // The priority indexes an admission lane, so a value cast from untrusted
+  // input must be refused before it can index out of bounds.
+  ExpFinderService service(&g_);
+  QueryRequest req = UncachedFig1Request();
+  req.priority = static_cast<QueryPriority>(7);
+  auto resp = service.Query(req);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.status().IsInvalidArgument()) << resp.status();
+  EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().ClassifiedQueries(), service.stats().queries);
+}
+
+TEST_F(ServiceFixture, CancelWhileQueuedNeverTouchesTheEngine) {
+  ExpFinderService service(&g_, PausedOptions());
+  QueryTicket doomed = service.Submit(UncachedFig1Request());
+  QueryTicket kept = service.Submit(UncachedFig1Request());
+  EXPECT_TRUE(doomed.Cancel());  // not yet complete: the cancel can land
+  service.Resume();
+
+  auto cancelled = doomed.Get();
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_TRUE(cancelled.status().IsCancelled()) << cancelled.status();
+  EXPECT_TRUE(kept.Get().ok());
+
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.direct_evals, 1u);  // only `kept` evaluated
+  EXPECT_EQ(s.ClassifiedQueries(), s.queries);
+  // Cancel after completion: too late, the result stands.
+  EXPECT_FALSE(kept.Cancel());
+  EXPECT_TRUE(kept.Get().ok());
+}
+
+TEST_F(ServiceFixture, QueueExpiredDeadlineNeverTouchesTheEngine) {
+  ExpFinderService service(&g_, PausedOptions());
+  QueryRequest req = UncachedFig1Request();
+  req.time_budget_ms = 0.01;  // expires while the service is paused
+  QueryTicket ticket = service.Submit(req);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  service.Resume();
+  auto resp = ticket.Get();
+  EXPECT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.status().IsDeadlineExceeded()) << resp.status();
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.direct_evals, 0u);  // the engine never saw the request
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.ClassifiedQueries(), s.queries);
+}
+
+TEST_F(ServiceFixture, EvalStageDeadlineAlsoYieldsDeadlineExceeded) {
+  // The other deadline site: the engine's stage-boundary check inside
+  // EvaluateWith, fed by the service's override plumbing. Both sites must
+  // surface the same status code.
+  QueryEngine engine(&g_);
+  Pattern q = gen::BuildFig1Pattern();
+  MatchContext ctx, compressed_ctx;
+  EvalPath path = EvalPath::kDirect;
+  Timer started_long_ago;
+  EvalOverrides overrides;
+  overrides.timer = &started_long_ago;
+  overrides.time_budget_ms = 1e-9;  // already expired at the first boundary
+  auto res = engine.EvaluateWith(q, MatchSemantics::kBoundedSimulation, overrides,
+                                 &ctx, &compressed_ctx, &path);
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsDeadlineExceeded()) << res.status();
+}
+
+TEST_F(ServiceFixture, CancelMidEvaluationStopsAtStageBoundary) {
+  // Deterministic version of the mid-eval race: the flag is already set
+  // when the engine reaches its first stage boundary, so the evaluation
+  // must stop there with Cancelled instead of running to completion.
+  QueryEngine engine(&g_);
+  Pattern q = gen::BuildFig1Pattern();
+  MatchContext ctx, compressed_ctx;
+  EvalPath path = EvalPath::kDirect;
+  std::atomic<bool> cancel_flag{true};
+  EvalOverrides overrides;
+  overrides.cancelled = &cancel_flag;
+  auto res = engine.EvaluateWith(q, MatchSemantics::kBoundedSimulation, overrides,
+                                 &ctx, &compressed_ctx, &path);
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsCancelled()) << res.status();
+  // Cancellation wins over an expired deadline (a cancelled request must
+  // not masquerade as slow).
+  Timer started_long_ago;
+  overrides.timer = &started_long_ago;
+  overrides.time_budget_ms = 1e-9;
+  res = engine.EvaluateWith(q, MatchSemantics::kBoundedSimulation, overrides,
+                            &ctx, &compressed_ctx, &path);
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsCancelled()) << res.status();
+}
+
+TEST_F(ServiceFixture, OnCompleteFiresInlineWhenAlreadyDone) {
+  ExpFinderService service(&g_);
+  QueryTicket ticket = service.Submit(UncachedFig1Request());
+  ticket.Wait();
+  bool fired = false;
+  ticket.OnComplete([&](const Result<QueryResponse>& resp) {
+    fired = true;
+    EXPECT_TRUE(resp.ok());
+  });
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(ServiceFixture, QueryAndBatchShareTheSubmitServingPath) {
+  // Query/QueryBatch are wrappers over Submit: every request passes
+  // through the admission queue, so the queue-latency histogram accounts
+  // for each of them exactly once.
+  ExpFinderService service(&g_);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(service.Query(Fig1Request()).ok());
+  std::vector<QueryRequest> batch(4, Fig1Request());
+  for (auto& result : service.QueryBatch(batch)) ASSERT_TRUE(result.ok());
+  QueryTicket ticket = service.Submit(Fig1Request());
+  ASSERT_TRUE(ticket.Get().ok());
+
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.queries, 8u);
+  size_t dequeued = 0;
+  for (size_t count : s.queue_latency_histogram) dequeued += count;
+  EXPECT_EQ(dequeued, 8u);  // one admission per request, wrapper or not
+  EXPECT_EQ(s.query_batches, 1u);
+  EXPECT_EQ(s.ClassifiedQueries(), s.queries);
+}
+
+TEST_F(ServiceFixture, EveryTerminalStateCountedExactlyOnce) {
+  // The ClassifiedQueries regression: one request per terminal state —
+  // direct eval, cache hit, planner short circuit, validation reject,
+  // overload reject, queued cancel — each lands in exactly one counter.
+  ExpFinderService service(&g_, PausedOptions(/*queue_capacity=*/1));
+  QueryTicket queued = service.Submit(UncachedFig1Request());   // -> direct
+  QueryTicket overflow = service.Submit(UncachedFig1Request()); // -> overload
+  EXPECT_TRUE(overflow.done());
+  service.Resume();
+  ASSERT_TRUE(queued.Get().ok());
+
+  QueryTicket cancelled_ticket;
+  {
+    // Park a second paused service to get a deterministic queued cancel.
+    ExpFinderService parked(&g_, PausedOptions());
+    cancelled_ticket = parked.Submit(UncachedFig1Request());
+    EXPECT_TRUE(cancelled_ticket.Cancel());
+    parked.Resume();
+    auto st = cancelled_ticket.Get();
+    EXPECT_TRUE(st.status().IsCancelled());
+    EXPECT_EQ(parked.stats().cancelled, 1u);
+    EXPECT_EQ(parked.stats().ClassifiedQueries(), parked.stats().queries);
+  }
+
+  ASSERT_TRUE(service.Query(Fig1Request()).ok());   // direct eval + cache fill
+  ASSERT_TRUE(service.Query(Fig1Request()).ok());   // cache hit
+  PatternBuilder imp;
+  imp.Node("NOPE", "x").Output();
+  QueryRequest impossible;
+  impossible.pattern = imp.Build().value();
+  ASSERT_TRUE(service.Query(impossible).ok());      // planner short circuit
+  EXPECT_FALSE(service.Query(QueryRequest{}).ok()); // validation reject
+
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.queries, 6u);
+  EXPECT_EQ(s.rejected_overload, 1u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.cancelled, 0u);  // the cancel landed on the parked service
+  EXPECT_EQ(s.planner_short_circuits, 1u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.ClassifiedQueries(), s.queries);
+}
+
+TEST_F(ServiceFixture, ShutdownCompletesPendingTicketsAsCancelled) {
+  std::vector<QueryTicket> tickets;
+  {
+    ExpFinderService service(&g_, PausedOptions());
+    for (int i = 0; i < 6; ++i) tickets.push_back(service.Submit(UncachedFig1Request()));
+    // Destructor: pending requests complete as Cancelled, tickets outlive
+    // the service.
+  }
+  for (QueryTicket& ticket : tickets) {
+    ASSERT_TRUE(ticket.done());
+    auto resp = ticket.Get();
+    EXPECT_FALSE(resp.ok());
+    EXPECT_TRUE(resp.status().IsCancelled()) << resp.status();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Concurrency: N reader threads issuing Query/QueryBatch against M writer
 // batches. Every response must be internally consistent — its relation
 // equals M(Q, G) at exactly the graph version it reports — and the final
@@ -306,7 +600,7 @@ void RunReadersVersusWriter(const StressConfig& cfg) {
   ServiceOptions opts;
   opts.engine.use_compression = cfg.use_compression;
   opts.engine.match_threads = 1;  // per-request parallelism, not per-matcher
-  opts.batch_threads = 4;
+  opts.serving_threads = 4;
   ExpFinderService service(&g, opts);
   // One maintained query so that serving path runs under writers too.
   ASSERT_TRUE(service.RegisterMaintainedQuery(patterns[1]).ok());
@@ -417,7 +711,7 @@ TEST(ServiceStressTest, ReaderOnlyBatchMatchesSerial) {
   Graph g = gen::CollaborationNetwork(cfg);
   ServiceOptions opts;
   opts.engine.match_threads = 1;
-  opts.batch_threads = 8;
+  opts.serving_threads = 8;
   ExpFinderService service(&g, opts);
 
   std::vector<QueryRequest> requests;
@@ -435,6 +729,113 @@ TEST(ServiceStressTest, ReaderOnlyBatchMatchesSerial) {
                 ComputeBoundedSimulation(g, requests[i].pattern))
         << "batch result " << i << " diverges from serial evaluation";
   }
+}
+
+TEST(ServiceStressTest, MixedSubmitMutateCancelStress) {
+  // The async surface under fire: submitter threads racing tickets (mixed
+  // priorities, random cancels, batches) against a writer applying Mutate
+  // batches. Every ok response must match the serial-replay relation at
+  // exactly the version it reports; cancelled/rejected tickets must be
+  // terminal; and at quiescence every submitted request is classified
+  // exactly once. Runs under ThreadSanitizer in CI (label: concurrency).
+  gen::CollaborationConfig gen_cfg;
+  gen_cfg.num_people = 300;
+  gen_cfg.num_teams = 50;
+  gen_cfg.seed = 21;
+  Graph g = gen::CollaborationNetwork(gen_cfg);
+
+  const std::vector<Pattern> patterns = {gen::TeamQuery(0), gen::TeamQuery(1),
+                                         gen::TeamQuery(2)};
+
+  Graph replica = g;
+  std::vector<UpdateBatch> batches;
+  std::vector<std::map<uint64_t, MatchRelation>> expected(patterns.size());
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    expected[p][replica.version()] = ComputeBoundedSimulation(replica, patterns[p]);
+  }
+  constexpr size_t kBatches = 4;
+  for (size_t b = 0; b < kBatches; ++b) {
+    UpdateBatch batch = GenerateUpdateStream(replica, 16, 0.5, 2000 + b);
+    ASSERT_TRUE(ApplyBatch(&replica, batch).ok());
+    batches.push_back(std::move(batch));
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      expected[p][replica.version()] =
+          ComputeBoundedSimulation(replica, patterns[p]);
+    }
+  }
+
+  ServiceOptions opts;
+  opts.engine.match_threads = 1;
+  opts.serving_threads = 4;
+  opts.queue_capacity = 512;  // ample: overload is not under test here
+  ExpFinderService service(&g, opts);
+
+  std::mutex failures_mu;
+  std::vector<std::string> failures;
+  auto record_failure = [&](const std::string& msg) {
+    std::lock_guard<std::mutex> lock(failures_mu);
+    failures.push_back(msg);
+  };
+
+  std::thread writer([&] {
+    for (const UpdateBatch& batch : batches) {
+      Status st = service.Mutate(batch);
+      if (!st.ok()) record_failure("mutate failed: " + st.ToString());
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  });
+
+  constexpr size_t kSubmitters = 4;
+  constexpr size_t kPerThread = 40;
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      Rng rng(911 * (t + 1));
+      for (size_t i = 0; i < kPerThread; ++i) {
+        size_t p = rng.NextBounded(patterns.size());
+        QueryRequest req;
+        req.pattern = patterns[p];
+        req.use_cache = rng.NextBool();
+        req.priority = static_cast<QueryPriority>(
+            rng.NextBounded(kNumQueryPriorities));
+        if (rng.NextBool(0.2)) req.top_k = 3;
+        QueryTicket ticket = service.Submit(req);
+        const bool try_cancel = rng.NextBool(0.25);
+        if (try_cancel) {
+          if (rng.NextBool()) std::this_thread::yield();
+          ticket.Cancel();
+        }
+        auto resp = ticket.Get();
+        if (resp.ok()) {
+          auto it = expected[p].find(resp->graph_version);
+          if (it == expected[p].end()) {
+            record_failure("response reports unknown graph version " +
+                           std::to_string(resp->graph_version));
+          } else if (!(resp->answer->matches == it->second)) {
+            record_failure("relation inconsistent with reported version " +
+                           std::to_string(resp->graph_version));
+          }
+        } else if (!resp.status().IsCancelled()) {
+          // The only acceptable failure in this workload is our own cancel.
+          record_failure("unexpected failure: " + resp.status().ToString());
+        } else if (!try_cancel) {
+          record_failure("spurious cancel: " + resp.status().ToString());
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& s : submitters) s.join();
+
+  for (const std::string& f : failures) ADD_FAILURE() << f;
+
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.queries, kSubmitters * kPerThread);
+  EXPECT_EQ(s.queued, 0u);
+  EXPECT_EQ(s.rejected_overload, 0u);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.ClassifiedQueries(), s.queries);
+  EXPECT_EQ(service.version(), replica.version());
 }
 
 }  // namespace

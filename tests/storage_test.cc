@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "src/generator/generators.h"
 #include "src/matching/bounded_simulation.h"
@@ -82,6 +84,74 @@ TEST_F(StoreFixture, CorruptionDetectedByChecksum) {
   out << content;
   out.close();
   EXPECT_TRUE(store_->GetGraph("fig1").status().IsCorruption());
+}
+
+TEST_F(StoreFixture, PartialWriteDetectedAsCorruption) {
+  // Simulate the torn file a crashed *in-place* writer would leave: the
+  // object truncated mid-body. The checksum must refuse it — this is the
+  // failure mode the temp-file + rename protocol exists to prevent at the
+  // final path.
+  Graph g = gen::BuildFig1Graph();
+  ASSERT_TRUE(store_->PutGraph("fig1", g).ok());
+  std::string path = dir_ + "/fig1.graph";
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::trunc);
+  out << content.substr(0, content.size() / 2);
+  out.close();
+  EXPECT_TRUE(store_->GetGraph("fig1").status().IsCorruption());
+}
+
+TEST_F(StoreFixture, CrashBeforeRenameLeavesObjectIntact) {
+  // Simulate a writer that died between writing its temp file and the
+  // rename: a stray partial `.tmp.*` sibling. The stored object must read
+  // back untouched, the stray must not surface in List(), and a subsequent
+  // Put must still replace the object cleanly.
+  Graph g = gen::BuildFig1Graph();
+  ASSERT_TRUE(store_->PutGraph("fig1", g).ok());
+  std::ofstream stray(dir_ + "/fig1.graph.tmp.999.0");
+  stray << "# checksum deadbeef\ntrunc";  // torn: never renamed into place
+  stray.close();
+
+  auto loaded = store_->GetGraph("fig1");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->NumEdges(), g.NumEdges());
+  EXPECT_EQ(store_->List("graph"), (std::vector<std::string>{"fig1"}));
+
+  Graph g2 = gen::BuildFig1Graph();
+  g2.AddNode("ST");
+  ASSERT_TRUE(store_->PutGraph("fig1", g2).ok());
+  auto replaced = store_->GetGraph("fig1");
+  ASSERT_TRUE(replaced.ok()) << replaced.status();
+  EXPECT_EQ(replaced->NumNodes(), g2.NumNodes());
+}
+
+TEST_F(StoreFixture, ConcurrentPutsOfOneNameNeverTearTheFile) {
+  // Two writers hammering the same object: unique temp names + atomic
+  // rename mean every read observes one complete, checksum-valid version
+  // (either writer's), never an interleaving of both.
+  Graph small = gen::BuildFig1Graph();
+  Graph big = gen::BuildFig1Graph();
+  for (int i = 0; i < 40; ++i) big.AddNode("ST");
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      const Graph& mine = (w == 0) ? small : big;
+      for (int i = 0; i < 30; ++i) {
+        Status st = store_->PutGraph("contested", mine);
+        ASSERT_TRUE(st.ok()) << st;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  auto loaded = store_->GetGraph("contested");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->NumNodes() == small.NumNodes() ||
+              loaded->NumNodes() == big.NumNodes());
 }
 
 TEST_F(StoreFixture, MissingChecksumHeaderRejected) {

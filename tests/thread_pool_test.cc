@@ -1,11 +1,15 @@
-// ThreadPool: the fork-join pool behind the matchers' parallel seeding and
-// the service's QueryBatch fan-out. Pins the determinism contract (chunk
-// boundaries are a pure function of (n, active_workers)) and exercises the
-// dispatch handshake enough for ThreadSanitizer to chew on.
+// ThreadPool: the task-queue executor behind the matchers' parallel seeding
+// and the service's asynchronous request dispatch. Pins the determinism
+// contract (chunk boundaries are a pure function of (n, active_workers)),
+// the Submit executor surface, and the reentrancy guarantee — nested and
+// concurrent dispatches on one pool make progress instead of deadlocking —
+// and exercises all of it enough for ThreadSanitizer to chew on.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 #include <tuple>
@@ -106,9 +110,121 @@ TEST(ThreadPoolTest, ManySequentialDispatchesOfVaryingWidth) {
   }
 }
 
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  ThreadPool pool(2);  // one background thread runs the submitted tasks
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&] {
+      if (done.fetch_add(1) + 1 == 32) {
+        // Notify under the lock so the waiter cannot wake, return, and
+        // destroy the cv while the notify call is still in flight.
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done.load() == 32; });
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, SubmitFromTaskIsReentrant) {
+  // A task that submits follow-up work must not deadlock the queue.
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  pool.Submit([&] {
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&] {
+        if (done.fetch_add(1) + 1 == 8) {
+          std::lock_guard<std::mutex> lock(mu);
+          cv.notify_one();
+        }
+      });
+    }
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done.load() == 8; });
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&] { done.fetch_add(1); });
+    }
+  }  // destructor joins after the queue is drained
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelChunksMakeProgress) {
+  // A chunk that dispatches on the SAME pool was a deadlock (or forbidden
+  // by contract) in the fork-join-only design; the help-while-waiting
+  // executor must complete both levels and cover every (i, j) exactly once.
+  ThreadPool pool(3);
+  const size_t outer = 6, inner = 40;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  pool.ParallelChunks(outer, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelChunks(inner, [&, i](size_t, size_t b, size_t e) {
+        for (size_t j = b; j < e; ++j) hits[i * inner + j].fetch_add(1);
+      });
+    }
+  });
+  for (size_t k = 0; k < hits.size(); ++k) EXPECT_EQ(hits[k].load(), 1) << k;
+}
+
+TEST(ThreadPoolTest, ConcurrentDispatchesOnOnePoolMakeProgress) {
+  // PR 3 serialized QueryBatch fan-outs behind a mutex because two threads
+  // could not share one pool; the executor must interleave them safely.
+  ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        pool.ParallelChunks(100, [&](size_t, size_t begin, size_t end) {
+          total.fetch_add(end - begin);
+        });
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(total.load(), 4u * 50u * 100u);
+}
+
+TEST(ThreadPoolTest, MixedSubmitAndParallelChunks) {
+  // The service mixes both surfaces on one pool: drain tasks via Submit,
+  // matcher seeding via ParallelChunks from inside those tasks.
+  ThreadPool pool(3);
+  std::atomic<size_t> covered{0};
+  std::atomic<int> tasks_done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int t = 0; t < 16; ++t) {
+    pool.Submit([&] {
+      pool.ParallelChunks(64, [&](size_t, size_t begin, size_t end) {
+        covered.fetch_add(end - begin);
+      });
+      if (tasks_done.fetch_add(1) + 1 == 16) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return tasks_done.load() == 16; });
+  EXPECT_EQ(covered.load(), 16u * 64u);
+}
+
 TEST(ThreadPoolTest, DistinctPoolsRunConcurrently) {
-  // The service uses one pool per MatchContext plus a batch pool; dispatches
-  // on distinct pools from distinct threads must not interfere.
+  // The service uses one pool per MatchContext plus a serving executor;
+  // dispatches on distinct pools from distinct threads must not interfere.
   ThreadPool a(2), b(2);
   std::atomic<size_t> total{0};
   std::thread ta([&] {
