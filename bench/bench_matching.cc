@@ -28,12 +28,61 @@ void BM_BoundedSimulation(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   Graph g = MakeEr(n, 1);
   Pattern q = gen::RandomPattern(4, 5, 2, 0.4, 11);
+  // Serving steady state: the context (CSR snapshot, scratch, and any
+  // derived per-version indexes) is reused across queries, exactly like the
+  // engine's and service's long-lived MatchContexts.
+  MatchContext ctx;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ComputeBoundedSimulation(g, q));
+    benchmark::DoNotOptimize(ComputeBoundedSimulation(g, q, {}, &ctx));
   }
   state.SetComplexityN(static_cast<int64_t>(n));
 }
 BENCHMARK(BM_BoundedSimulation)->Arg(1000)->Arg(4000)->Arg(16000)->Complexity();
+
+void BM_DualSimulation(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Graph g = MakeEr(n, 1);
+  Pattern q = gen::RandomPattern(4, 5, 2, 0.4, 11);
+  MatchContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeDualSimulation(g, q, {}, &ctx));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DualSimulation)->Arg(1000)->Arg(4000)->Arg(16000)->Complexity();
+
+void BM_IncrementalBoundedUpdates(benchmark::State& state) {
+  // The maintenance hot path in isolation: one maintained bounded query
+  // absorbing unit update batches (cf. BM_EngineMaintainedUnderUpdates,
+  // which also pays engine bookkeeping and a fresh evaluation per step).
+  Graph g = MakeCollab(8000, 3);
+  IncrementalBoundedSimulation inc(&g, gen::TeamQuery(0));
+  UpdateBatch stream = GenerateUpdateStream(g, 4096, 0.5, 77);
+  // The stream is only valid applied in order from the generation-time
+  // graph, so ping-pong it: play it forward to the end, then undo it in
+  // reverse back to the pristine graph, indefinitely.
+  size_t i = 0;
+  bool forward = true;
+  for (auto _ : state) {
+    const GraphUpdate& u = stream[i];
+    GraphUpdate applied = forward           ? u
+                          : u.kind == GraphUpdate::Kind::kInsertEdge
+                              ? GraphUpdate::Delete(u.src, u.dst)
+                              : GraphUpdate::Insert(u.src, u.dst);
+    EF_CHECK(inc.ApplyBatch({applied}).ok());
+    if (forward) {
+      if (++i == stream.size()) {
+        forward = false;
+        i = stream.size() - 1;
+      }
+    } else if (i == 0) {
+      forward = true;
+    } else {
+      --i;
+    }
+  }
+}
+BENCHMARK(BM_IncrementalBoundedUpdates);
 
 void BM_BoundedSimulationTwitter(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));

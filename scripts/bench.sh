@@ -9,13 +9,19 @@
 #
 # Usage: scripts/bench.sh [extra cmake args...]
 # Env:
-#   BENCH_LABEL     trajectory entry label (default: git short sha;
-#                   re-using a label replaces that entry)
-#   BENCH_MIN_TIME  per-benchmark min time in seconds, e.g. 0.01 for a
-#                   smoke run (default: 0.2; plain double — older Google
-#                   Benchmark releases reject the "s"-suffixed form)
-#   BENCH_FILTER    --benchmark_filter regex (default: run everything)
-#   BENCH_BUILD_DIR build directory (default: build)
+#   BENCH_LABEL      trajectory entry label (default: git short sha;
+#                    re-using a label replaces that entry)
+#   BENCH_MIN_TIME   per-benchmark min time in seconds, e.g. 0.01 for a
+#                    smoke run (default: 0.2; plain double — older Google
+#                    Benchmark releases reject the "s"-suffixed form)
+#   BENCH_FILTER     --benchmark_filter regex (default: run everything)
+#   BENCH_BUILD_DIR  build directory (default: build)
+#   BENCH_BUILD_TYPE CMAKE_BUILD_TYPE for the bench build (default:
+#                    Release). Benchmarks built without optimization are
+#                    not worth recording — every pre-PR-5 trajectory entry
+#                    says "build_type": "debug" and undercuts comparisons;
+#                    from PR 5 on, entries are Release unless explicitly
+#                    overridden.
 #   BENCH_SUITES    space-separated subset of "matching engine service"
 #                   (default: all three) — e.g. record an async serving
 #                   baseline alone with
@@ -29,12 +35,14 @@ LABEL=${BENCH_LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabelled
 MIN_TIME=${BENCH_MIN_TIME:-0.2}
 FILTER=${BENCH_FILTER:-}
 SUITES=${BENCH_SUITES:-"matching engine service"}
+BUILD_TYPE=${BENCH_BUILD_TYPE:-Release}
 
 targets=()
 for suite in $SUITES; do
   targets+=("bench_$suite")
 done
-cmake -B "$BUILD_DIR" -S . -DEXPFINDER_BUILD_BENCH=ON "$@"
+cmake -B "$BUILD_DIR" -S . -DEXPFINDER_BUILD_BENCH=ON \
+  -DCMAKE_BUILD_TYPE="$BUILD_TYPE" "$@"
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${targets[@]}"
 
 for suite in $SUITES; do
@@ -51,6 +59,6 @@ for suite in $SUITES; do
   fi
   echo "=== bench_$suite (label: $LABEL, min_time: $MIN_TIME) ==="
   "$bin" "${args[@]}" >/dev/null
-  python3 scripts/bench_append.py "BENCH_$suite.json" "$LABEL" "$out"
+  python3 scripts/bench_append.py "BENCH_$suite.json" "$LABEL" "$out" "$BUILD_TYPE"
   rm -f "$out"
 done

@@ -1,7 +1,14 @@
 #!/usr/bin/env python3
 """Appends one labelled entry to a BENCH_*.json perf-trajectory file.
 
-Usage: bench_append.py TRAJECTORY_FILE LABEL GOOGLE_BENCHMARK_JSON
+Usage: bench_append.py TRAJECTORY_FILE LABEL GOOGLE_BENCHMARK_JSON [BUILD_TYPE]
+
+BUILD_TYPE is the CMAKE_BUILD_TYPE our benchmark binaries were compiled
+with (recorded lower-case). Without it the entry falls back to Google
+Benchmark's "library_build_type", which describes how the *benchmark
+library* was compiled — on systems with a debug libbenchmark package that
+field says "debug" even for a -O3 binary, which is what polluted the
+pre-PR-5 trajectory entries.
 
 The trajectory file holds {"entries": [...]}, one entry per recorded run:
   {"label": ..., "date": ..., "host": {...}, "benchmarks":
@@ -51,10 +58,11 @@ def _benchmark_entry(b: dict) -> dict:
 
 
 def main() -> int:
-    if len(sys.argv) != 4:
+    if len(sys.argv) not in (4, 5):
         print(__doc__, file=sys.stderr)
         return 2
     trajectory_path, label, run_path = sys.argv[1], sys.argv[2], sys.argv[3]
+    build_type = sys.argv[4].lower() if len(sys.argv) == 5 else None
 
     with open(run_path) as f:
         run = json.load(f)
@@ -65,7 +73,7 @@ def main() -> int:
         "host": {
             "num_cpus": ctx.get("num_cpus"),
             "mhz_per_cpu": ctx.get("mhz_per_cpu"),
-            "build_type": ctx.get("library_build_type"),
+            "build_type": build_type or ctx.get("library_build_type"),
         },
         "benchmarks": [
             _benchmark_entry(b)

@@ -81,7 +81,9 @@ std::string EngineStats::ToString() const {
      << " compressed_evals=" << compressed_evals << " direct_evals=" << direct_evals
      << " planner_short_circuits=" << planner_short_circuits
      << " batches=" << batches_applied << " updates=" << updates_applied
-     << " csr_builds=" << csr_builds << " last_eval_ms=" << last_eval_ms;
+     << " csr_builds=" << csr_builds << " ball_index_builds=" << ball_index_builds
+     << " ball_hits=" << ball_hits << " bfs_fallbacks=" << bfs_fallbacks
+     << " last_eval_ms=" << last_eval_ms;
   return os.str();
 }
 
@@ -125,6 +127,10 @@ Result<MatchRelation> QueryEngine::EvaluateWith(const Pattern& q,
   EvalPlan plan = planner_.Plan(*g_, q);
   plan.match_options.num_threads =
       overrides.match_threads.value_or(options_.match_threads);
+  plan.match_options.ball_index = options_.ball_index;
+  if (overrides.use_ball_index.has_value()) {
+    plan.match_options.ball_index.enabled = *overrides.use_ball_index;
+  }
   if (plan.provably_empty) {
     *path = EvalPath::kPlannerShortCircuit;
     return MatchRelation(q.NumNodes());
@@ -159,6 +165,21 @@ Result<MatchRelation> QueryEngine::EvaluateUncached(const Pattern& q,
                                                     MatchSemantics semantics,
                                                     EvalPath* path) {
   return EvaluateWith(q, semantics, {}, &match_ctx_, &compressed_ctx_, path);
+}
+
+void QueryEngine::RefreshDerivedStats() {
+  stats_.csr_builds = match_ctx_.snapshot_builds() + compressed_ctx_.snapshot_builds();
+  size_t builds = match_ctx_.ball_index_builds() + compressed_ctx_.ball_index_builds();
+  size_t hits = match_ctx_.ball_hits() + compressed_ctx_.ball_hits();
+  size_t fallbacks = match_ctx_.bfs_fallbacks() + compressed_ctx_.bfs_fallbacks();
+  for (const auto& [fp, m] : maintained_) {
+    builds += m.BallIndexBuilds();
+    hits += m.BallHits();
+    fallbacks += m.BfsFallbacks();
+  }
+  stats_.ball_index_builds = builds;
+  stats_.ball_hits = hits;
+  stats_.bfs_fallbacks = fallbacks;
 }
 
 Result<std::shared_ptr<const QueryAnswer>> QueryEngine::Evaluate(
@@ -205,7 +226,7 @@ Result<std::shared_ptr<const QueryAnswer>> QueryEngine::Evaluate(
   auto answer =
       std::make_shared<QueryAnswer>(QueryAnswer{std::move(matches), std::move(rg)});
   if (options_.use_cache) cache_.Put(key, g_->version(), answer);
-  stats_.csr_builds = match_ctx_.snapshot_builds() + compressed_ctx_.snapshot_builds();
+  RefreshDerivedStats();
   stats_.last_eval_ms = timer.ElapsedMillis();
   return std::shared_ptr<const QueryAnswer>(answer);
 }
@@ -237,15 +258,18 @@ Status QueryEngine::RegisterMaintainedQuery(const Pattern& q,
   if (maintained_.count(key)) {
     return Status::AlreadyExists("query already maintained");
   }
+  MatchOptions match_opts;
+  match_opts.ball_index = options_.ball_index;
   Maintained m;
   if (semantics == MatchSemantics::kDualSimulation) {
-    m.dual = std::make_unique<IncrementalDualSimulation>(g_, q);
+    m.dual = std::make_unique<IncrementalDualSimulation>(g_, q, match_opts);
   } else if (q.IsSimulationPattern()) {
     m.sim = std::make_unique<IncrementalSimulation>(g_, q);
   } else {
-    m.bounded = std::make_unique<IncrementalBoundedSimulation>(g_, q);
+    m.bounded = std::make_unique<IncrementalBoundedSimulation>(g_, q, match_opts);
   }
   maintained_.emplace(key, std::move(m));
+  RefreshDerivedStats();
   return Status::OK();
 }
 
@@ -263,6 +287,7 @@ Status QueryEngine::ApplyUpdates(const UpdateBatch& batch) {
   }
   ++stats_.batches_applied;
   stats_.updates_applied += batch.size();
+  RefreshDerivedStats();
   return Status::OK();
 }
 

@@ -53,6 +53,10 @@ enum class EvalPath { kPlannerShortCircuit, kCompressed, kDirect };
 /// knobs). Absent fields fall back to the engine's EngineOptions.
 struct EvalOverrides {
   std::optional<uint32_t> match_threads;
+  /// Per-call ball-index participation; absent = EngineOptions::ball_index.
+  /// Disabling never changes the relation — only the traversal cost — and a
+  /// request that disables it does not invalidate the cached index.
+  std::optional<bool> use_ball_index;
   /// Cooperative cancellation flag, polled at evaluation stage boundaries
   /// (after planning, before each matcher run, before decompression). When
   /// it reads true the evaluation stops with Status::Cancelled at the next
@@ -83,6 +87,10 @@ struct EngineOptions {
   /// (0 = hardware_concurrency, 1 = serial; results are identical either
   /// way — see MatchOptions::num_threads).
   uint32_t match_threads = 0;
+  /// Ball-index participation and memory caps for the matchers and the
+  /// incremental maintainers (see khop_index.h). Relations are identical
+  /// with the index on, off, or capped into BFS fallback.
+  BallIndexOptions ball_index;
 };
 
 /// \brief Execution telemetry (cumulative + last query breakdown).
@@ -105,6 +113,14 @@ struct EngineStats {
   /// CSR snapshot (re)builds across the engine's match contexts. Steady
   /// state (repeated queries, no updates) must not grow this.
   size_t csr_builds = 0;
+  /// Ball-index telemetry across the engine's match contexts and every
+  /// maintained query: successful index (re)builds (like csr_builds, steady
+  /// state must not grow this), traversals served from the index, and
+  /// traversals that ran a BFS although the index was requested (depth
+  /// beyond the cap, overflowed hub, budget-refused build).
+  size_t ball_index_builds = 0;
+  size_t ball_hits = 0;
+  size_t bfs_fallbacks = 0;
   double last_eval_ms = 0.0;
 
   /// Sum of the per-path counters; equals `queries` by construction.
@@ -209,10 +225,29 @@ class QueryEngine {
       else if (bounded) bounded->OnNodeAdded(v);
       else dual->OnNodeAdded(v);
     }
+    size_t BallIndexBuilds() const {
+      if (bounded) return bounded->ball_index_builds();
+      if (dual) return dual->ball_index_builds();
+      return 0;  // plain simulation never bounded-BFSes
+    }
+    size_t BallHits() const {
+      if (bounded) return bounded->ball_hits();
+      if (dual) return dual->ball_hits();
+      return 0;
+    }
+    size_t BfsFallbacks() const {
+      if (bounded) return bounded->bfs_fallbacks();
+      if (dual) return dual->bfs_fallbacks();
+      return 0;
+    }
   };
 
   Result<MatchRelation> EvaluateUncached(const Pattern& q, MatchSemantics semantics,
                                          EvalPath* path);
+
+  /// Re-derives the counters that aggregate context and maintained-query
+  /// state (csr_builds + the ball-index trio).
+  void RefreshDerivedStats();
 
   Graph* g_;
   EngineOptions options_;

@@ -1,0 +1,327 @@
+#include "src/graph/khop_index.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/util/logging.h"
+#include "src/util/thread_pool.h"
+
+namespace expfinder {
+
+namespace {
+
+/// Capped, stratified hop-bounded BFS over nonempty paths (the same
+/// frontier discipline as BoundedBfsNonEmpty: the source is not pre-marked,
+/// so it appears in its own ball iff it lies on a cycle). Appends every
+/// visited node to *out in visit order — which is nondecreasing-depth
+/// order, i.e. already stratified — and writes the per-depth visit counts
+/// to strata[0..depth-1]. Returns false, with *out restored and strata
+/// zeroed, as soon as more than max_nodes nodes would be collected: hubs
+/// pay for at most max_nodes + one frontier expansion, not their full ball.
+template <bool Forward, typename GraphLike>
+bool CollectBall(const GraphLike& g, NodeId src, Distance depth, size_t max_nodes,
+                 BfsBuffers* buf, std::vector<NodeId>* out, uint32_t* strata) {
+  const size_t start = out->size();
+  std::fill_n(strata, depth, 0u);
+  auto neighbors = [&](NodeId v) {
+    if constexpr (Forward) {
+      return OutAdj(g, v);
+    } else {
+      return InAdj(g, v);
+    }
+  };
+  bool overflow = false;
+  auto visit = [&](NodeId w, Distance d) {
+    if (out->size() - start >= max_nodes) {
+      overflow = true;
+      return false;
+    }
+    out->push_back(w);
+    ++strata[d - 1];
+    return true;
+  };
+  for (NodeId w : neighbors(src)) {
+    if (buf->dist[w] != kUnreachable) continue;
+    buf->dist[w] = 1;
+    buf->touched.push_back(w);
+    buf->queue.push_back(w);
+    if (!visit(w, 1)) break;
+  }
+  size_t head = 0;
+  while (!overflow && head < buf->queue.size()) {
+    NodeId v = buf->queue[head++];
+    Distance d = buf->dist[v];
+    if (d >= depth) continue;
+    for (NodeId w : neighbors(v)) {
+      if (buf->dist[w] != kUnreachable) continue;
+      buf->dist[w] = d + 1;
+      buf->touched.push_back(w);
+      buf->queue.push_back(w);
+      if (!visit(w, d + 1)) break;
+    }
+  }
+  buf->Release();
+  if (overflow) {
+    out->resize(start);
+    std::fill_n(strata, depth, 0u);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+/// Builds one direction of the index, fanning node ranges out over the
+/// pool. Returns false when more than budget_entries entries would be
+/// stored.
+template <bool Forward, typename GraphLike>
+bool KhopIndex::BuildSide(const GraphLike& g, size_t n, Distance depth,
+                          const BallIndexOptions& limits, size_t budget_entries,
+                          ThreadPool* pool, size_t workers, Side* side) {
+  side->overflow = DenseBitset(1, n);
+  std::vector<uint32_t> counts(n * static_cast<size_t>(depth), 0);
+  const size_t chunks = (pool != nullptr && workers > 1) ? workers : 1;
+  std::vector<std::vector<NodeId>> chunk_nodes(chunks);
+  std::vector<std::vector<NodeId>> chunk_overflow(chunks);
+  std::atomic<size_t> total{0};
+  std::atomic<bool> over_budget{false};
+
+  auto run_chunk = [&](size_t chunk, size_t begin, size_t end) {
+    BfsBuffers buf;
+    buf.EnsureSize(n);
+    std::vector<uint32_t> strata(depth);
+    auto& out = chunk_nodes[chunk];
+    for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+      if (over_budget.load(std::memory_order_relaxed)) return;
+      const size_t before = out.size();
+      if (!CollectBall<Forward>(g, v, depth, limits.max_ball_nodes, &buf, &out,
+                                strata.data())) {
+        chunk_overflow[chunk].push_back(v);
+        continue;
+      }
+      std::copy_n(strata.data(), depth, counts.begin() + static_cast<size_t>(v) * depth);
+      const size_t added = out.size() - before;
+      if (total.fetch_add(added, std::memory_order_relaxed) + added > budget_entries) {
+        over_budget.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  if (chunks > 1) {
+    pool->ParallelChunks(n, chunks, run_chunk);
+  } else {
+    run_chunk(0, 0, n);
+  }
+  if (over_budget.load(std::memory_order_relaxed)) return false;
+
+  // Stitch: strata counts -> offsets, chunk outputs (already in node order)
+  // -> one flat array, overflow lists -> the bitset.
+  side->off.assign(counts.size() + 1, 0);
+  for (size_t i = 0; i < counts.size(); ++i) side->off[i + 1] = side->off[i] + counts[i];
+  side->nodes.clear();
+  side->nodes.reserve(side->off.back());
+  for (const auto& part : chunk_nodes) {
+    side->nodes.insert(side->nodes.end(), part.begin(), part.end());
+  }
+  EF_CHECK(side->nodes.size() == side->off.back()) << "ball index stitch mismatch";
+  for (const auto& part : chunk_overflow) {
+    for (NodeId v : part) side->overflow.Set(0, v);
+  }
+  return true;
+}
+
+template <typename GraphLike>
+std::unique_ptr<KhopIndex> KhopIndex::BuildOver(const GraphLike& g, size_t n,
+                                                Distance depth,
+                                                const BallIndexOptions& limits,
+                                                ThreadPool* pool, size_t workers) {
+  EF_CHECK(depth >= 1 && depth != kUnreachable) << "ball index depth must be finite";
+  auto idx = std::unique_ptr<KhopIndex>(new KhopIndex());
+  idx->n_ = n;
+  idx->depth_ = depth;
+  if (!BuildSide<true>(g, n, depth, limits, limits.max_total_entries, pool, workers,
+                       &idx->fwd_)) {
+    return nullptr;
+  }
+  const size_t remaining = limits.max_total_entries - idx->fwd_.nodes.size();
+  if (!BuildSide<false>(g, n, depth, limits, remaining, pool, workers, &idx->rev_)) {
+    return nullptr;
+  }
+  return idx;
+}
+
+std::unique_ptr<KhopIndex> KhopIndex::Build(const Csr& csr, Distance depth,
+                                            const BallIndexOptions& limits,
+                                            ThreadPool* pool, size_t workers) {
+  return BuildOver(csr, csr.NumNodes(), depth, limits, pool, workers);
+}
+
+// --- MaintainedBallIndex ---------------------------------------------------
+
+std::unique_ptr<MaintainedBallIndex> MaintainedBallIndex::Build(
+    const Graph& g, Distance depth, const BallIndexOptions& limits) {
+  auto idx =
+      std::unique_ptr<MaintainedBallIndex>(new MaintainedBallIndex(g, depth, limits));
+  if (!idx->RebuildFrom(g)) return nullptr;
+  return idx;
+}
+
+bool MaintainedBallIndex::RebuildFrom(const Graph& g) {
+  auto built =
+      KhopIndex::BuildOver(g, g.NumNodes(), depth_, limits_, /*pool=*/nullptr, 1);
+  if (built == nullptr) return false;
+  base_ = std::move(built);
+  g_ = &g;
+  n_ = g.NumNodes();
+  out_patch_.clear();
+  in_patch_.clear();
+  stale_out_ = DenseBitset(1, n_);
+  stale_in_ = DenseBitset(1, n_);
+  stale_out_count_ = 0;
+  stale_in_count_ = 0;
+  overlay_entries_ = 0;
+  patch_buf_.EnsureSize(n_);
+  patch_strata_.assign(depth_, 0);
+  ++builds_;
+  return true;
+}
+
+bool MaintainedBallIndex::Update(const Graph& g, const std::vector<NodeId>& dirty_out,
+                                 const std::vector<NodeId>& dirty_in,
+                                 bool will_serve) {
+  for (NodeId v : dirty_out) {
+    if (!stale_out_.Test(0, v)) {
+      stale_out_.Set(0, v);
+      ++stale_out_count_;
+    }
+  }
+  for (NodeId v : dirty_in) {
+    if (!stale_in_.Test(0, v)) {
+      stale_in_.Set(0, v);
+      ++stale_in_count_;
+    }
+  }
+  // Rebuild decisions are confined to serving batches — marking-only
+  // batches stay O(|dirty|), as documented. The overlay only grows while
+  // serving (lazy patch-on-touch), so deferring the budget check to the
+  // next serving batch is safe. Rebuild when (a) lazily patched balls grew
+  // the overlay past the entry budget, or (b) the accumulated invalid
+  // volume — stale marks plus the patch overlay — approaches the graph
+  // size: beyond that, lazy per-ball re-derivation and the overlay's hash
+  // lookups cost more than one clean bulk build (same |AFF| argument as
+  // the maintainers themselves; crossover measured by bench_incremental).
+  if (will_serve) {
+    const size_t invalid = stale_balls() + out_patch_.size() + in_patch_.size();
+    if (base_->TotalEntries() + overlay_entries_ > limits_.max_total_entries ||
+        invalid * 2 >= g.NumNodes()) {
+      ++rebuilds_;
+      return RebuildFrom(g);
+    }
+  }
+  return true;
+}
+
+void MaintainedBallIndex::PatchBall(NodeId v, bool forward) {
+  PatchedBall& p = (forward ? out_patch_ : in_patch_)[v];
+  overlay_entries_ -= p.nodes.size();
+  p.nodes.clear();
+  p.off.assign(depth_ + 1, 0);
+  const bool ok =
+      forward ? CollectBall<true>(*g_, v, depth_, limits_.max_ball_nodes, &patch_buf_,
+                                  &p.nodes, patch_strata_.data())
+              : CollectBall<false>(*g_, v, depth_, limits_.max_ball_nodes, &patch_buf_,
+                                   &p.nodes, patch_strata_.data());
+  p.overflow = !ok;
+  if (ok) {
+    for (Distance d = 1; d <= depth_; ++d) p.off[d] = p.off[d - 1] + patch_strata_[d - 1];
+  }
+  overlay_entries_ += p.nodes.size();
+  ++patched_balls_;
+}
+
+template <bool Forward>
+void MaintainedBallIndex::Refresh(NodeId v) {
+  if constexpr (Forward) {
+    if (stale_out_.Test(0, v)) {
+      stale_out_.Reset(0, v);
+      --stale_out_count_;
+      PatchBall(v, /*forward=*/true);
+    }
+  } else {
+    if (stale_in_.Test(0, v)) {
+      stale_in_.Reset(0, v);
+      --stale_in_count_;
+      PatchBall(v, /*forward=*/false);
+    }
+  }
+}
+
+void MaintainedBallIndex::OnNodeAdded(NodeId v) {
+  // The new node has no edges: its balls are empty, and it is in nobody
+  // else's ball. An explicit empty overlay entry makes lookups for it valid
+  // without touching the (smaller) base index.
+  for (PatchMap* map : {&out_patch_, &in_patch_}) {
+    PatchedBall& p = (*map)[v];
+    p.overflow = false;
+    p.nodes.clear();
+    p.off.assign(depth_ + 1, 0);
+  }
+  stale_out_.AddColumn();
+  stale_in_.AddColumn();
+  ++n_;
+  patch_buf_.EnsureSize(n_);
+}
+
+template <bool Forward>
+std::span<const NodeId> MaintainedBallIndex::Lookup(NodeId v, Distance d,
+                                                    bool stratum) {
+  Refresh<Forward>(v);
+  const PatchMap& map = Forward ? out_patch_ : in_patch_;
+  auto it = map.find(v);
+  if (it != map.end()) {
+    const PatchedBall& p = it->second;
+    const Distance dd = std::min<Distance>(d, depth_);
+    if (stratum) {
+      return {p.nodes.data() + p.off[dd - 1],
+              static_cast<size_t>(p.off[dd] - p.off[dd - 1])};
+    }
+    return {p.nodes.data(), static_cast<size_t>(p.off[dd])};
+  }
+  if (v < base_->NumNodes()) {
+    if constexpr (Forward) {
+      return stratum ? base_->StratumOut(v, d) : base_->BallOut(v, d);
+    } else {
+      return stratum ? base_->StratumIn(v, d) : base_->BallIn(v, d);
+    }
+  }
+  return {};
+}
+
+bool MaintainedBallIndex::HasOut(NodeId v) {
+  Refresh<true>(v);
+  auto it = out_patch_.find(v);
+  if (it != out_patch_.end()) return !it->second.overflow;
+  return v < base_->NumNodes() ? base_->HasOut(v) : true;
+}
+
+bool MaintainedBallIndex::HasIn(NodeId v) {
+  Refresh<false>(v);
+  auto it = in_patch_.find(v);
+  if (it != in_patch_.end()) return !it->second.overflow;
+  return v < base_->NumNodes() ? base_->HasIn(v) : true;
+}
+
+std::span<const NodeId> MaintainedBallIndex::BallOut(NodeId v, Distance d) {
+  return Lookup<true>(v, d, /*stratum=*/false);
+}
+std::span<const NodeId> MaintainedBallIndex::BallIn(NodeId v, Distance d) {
+  return Lookup<false>(v, d, /*stratum=*/false);
+}
+std::span<const NodeId> MaintainedBallIndex::StratumOut(NodeId v, Distance d) {
+  return Lookup<true>(v, d, /*stratum=*/true);
+}
+std::span<const NodeId> MaintainedBallIndex::StratumIn(NodeId v, Distance d) {
+  return Lookup<false>(v, d, /*stratum=*/true);
+}
+
+}  // namespace expfinder

@@ -1,11 +1,11 @@
 #include "src/matching/bounded_simulation.h"
 
-#include <deque>
-
 #include "src/graph/bfs.h"
 #include "src/graph/csr.h"
+#include "src/graph/khop_index.h"
 #include "src/graph/shortest_paths.h"
 #include "src/matching/match_context.h"
+#include "src/util/flat_queue.h"
 #include "src/util/logging.h"
 
 namespace expfinder {
@@ -20,13 +20,24 @@ MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
   auto& cnt = ctx->Counters(0, ne, n);
 
   const Csr& csr = ctx->SnapshotFor(g);
-  std::deque<std::pair<PatternNodeId, NodeId>> worklist;
+  // One ball index at the pattern's largest finite bound serves every
+  // bounded edge: a shallower ball is a prefix of the deeper one. BFS
+  // remains the path for unbounded (reachability) edges, depths beyond the
+  // index, overflowed hubs, and budget-refused builds — all of which must
+  // reproduce the index path bit for bit.
+  const KhopIndex* ball =
+      ctx->BallIndexFor(g, q.MaxFiniteBound(), options.ball_index, options.num_threads);
+  const bool count_fallbacks = options.ball_index.enabled;
+  size_t ball_hits = 0;
+  size_t bfs_fallbacks = 0;
+  FlatQueue<std::pair<PatternNodeId, NodeId>> worklist;
 
-  // Seed: one forward bounded BFS per candidate of each pattern node with
-  // out-edges, counting current (candidate) members of each target per edge.
+  // Seed: cnt[e=(u,u')][v] = |{w in BallOut(v, bound(e)) : w in mat(u')}|,
+  // one flat stratified ball scan per candidate (or one forward bounded BFS
+  // on the fallback path, visiting the exact same (w, d) set).
   //
   // This phase is embarrassingly parallel: mat is read-only, cnt[e][v] is
-  // written only for the BFS source v, and each worker owns a disjoint
+  // written only for the candidate v, and each worker owns a disjoint
   // contiguous slice of cand.list[u]. Per-worker dead lists are appended in
   // worker order afterwards, so the worklist — and therefore the whole
   // fixpoint — is bit-for-bit identical to the serial pass.
@@ -34,20 +45,44 @@ MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
     const auto& out_edges = q.OutEdges(u);
     if (out_edges.empty()) continue;
     Distance depth = q.MaxOutBound(u);
+    const bool indexed = ball != nullptr && depth <= ball->depth();
     const auto& list = cand.list[u];
+    // Hoisted per-edge state: bound, target-row view, counter base pointer.
+    struct EdgeRef {
+      Distance bound;
+      DenseBitset::ConstRow dst_mat;
+      int32_t* cnt;
+    };
+    std::vector<EdgeRef> erefs;
+    erefs.reserve(out_edges.size());
+    for (uint32_t e : out_edges) {
+      const PatternEdge& pe = q.edges()[e];
+      erefs.push_back({pe.bound, mat.Row(pe.dst), cnt[e].data()});
+    }
     auto seed_slice = [&](size_t worker, size_t begin, size_t end,
-                          std::vector<NodeId>* dead) {
+                          std::vector<NodeId>* dead, size_t* hits, size_t* falls) {
       BfsBuffers& buf = ctx->Buffers(worker);
       for (size_t i = begin; i < end; ++i) {
         NodeId v = list[i];
-        BoundedBfsNonEmpty<true>(csr, v, depth, &buf, [&](NodeId w, Distance d) {
-          for (uint32_t e : out_edges) {
-            const PatternEdge& pe = q.edges()[e];
-            if (d <= pe.bound && mat.Test(pe.dst, w)) ++cnt[e][v];
+        if (indexed && ball->HasOut(v)) {
+          ++*hits;
+          for (Distance d = 1; d <= depth; ++d) {
+            for (NodeId w : ball->StratumOut(v, d)) {
+              for (const EdgeRef& er : erefs) {
+                if (d <= er.bound && er.dst_mat[w]) ++er.cnt[v];
+              }
+            }
           }
-        });
-        for (uint32_t e : out_edges) {
-          if (cnt[e][v] == 0) {
+        } else {
+          if (count_fallbacks) ++*falls;
+          BoundedBfsNonEmpty<true>(csr, v, depth, &buf, [&](NodeId w, Distance d) {
+            for (const EdgeRef& er : erefs) {
+              if (d <= er.bound && er.dst_mat[w]) ++er.cnt[v];
+            }
+          });
+        }
+        for (const EdgeRef& er : erefs) {
+          if (er.cnt[v] == 0) {
             dead->push_back(v);
             break;
           }
@@ -58,22 +93,28 @@ MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
     ctx->EnsureBuffers(workers, n);
     if (workers <= 1) {
       std::vector<NodeId> dead;
-      seed_slice(0, 0, list.size(), &dead);
+      seed_slice(0, 0, list.size(), &dead, &ball_hits, &bfs_fallbacks);
       for (NodeId v : dead) worklist.emplace_back(u, v);
     } else {
       std::vector<std::vector<NodeId>> dead(workers);
+      std::vector<size_t> hits(workers, 0), falls(workers, 0);
       ctx->Pool(workers).ParallelChunks(
           list.size(), workers, [&](size_t worker, size_t begin, size_t end) {
-            seed_slice(worker, begin, end, &dead[worker]);
+            seed_slice(worker, begin, end, &dead[worker], &hits[worker],
+                       &falls[worker]);
           });
-      for (const auto& part : dead) {
-        for (NodeId v : part) worklist.emplace_back(u, v);
+      for (size_t w = 0; w < workers; ++w) {
+        ball_hits += hits[w];
+        bfs_fallbacks += falls[w];
+        for (NodeId v : dead[w]) worklist.emplace_back(u, v);
       }
     }
   }
 
   // Refinement stays sequential: the cascade order defines the worklist
-  // contents, and determinism is part of the matcher's contract.
+  // contents, and determinism is part of the matcher's contract. Each
+  // popped dead pair decrements its supporters over the precomputed reverse
+  // ball instead of launching a reverse BFS.
   BfsBuffers& buf = ctx->Buffers(0);
   while (!worklist.empty()) {
     auto [u, v] = worklist.front();
@@ -85,13 +126,24 @@ MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
       const PatternEdge& pe = q.edges()[e];
       auto& counters = cnt[e];
       const auto src_mat = mat.Row(pe.src);
-      BoundedBfsNonEmpty<false>(csr, v, pe.bound, &buf, [&](NodeId w, Distance) {
-        if (--counters[w] == 0 && src_mat[w]) {
-          worklist.emplace_back(pe.src, w);
+      if (ball != nullptr && pe.bound <= ball->depth() && ball->HasIn(v)) {
+        ++ball_hits;
+        for (NodeId w : ball->BallIn(v, pe.bound)) {
+          if (--counters[w] == 0 && src_mat[w]) {
+            worklist.emplace_back(pe.src, w);
+          }
         }
-      });
+      } else {
+        if (count_fallbacks) ++bfs_fallbacks;
+        BoundedBfsNonEmpty<false>(csr, v, pe.bound, &buf, [&](NodeId w, Distance) {
+          if (--counters[w] == 0 && src_mat[w]) {
+            worklist.emplace_back(pe.src, w);
+          }
+        });
+      }
     }
   }
+  ctx->AddBallStats(ball_hits, bfs_fallbacks);
   return MatchRelation::FromBitmaps(mat);
 }
 

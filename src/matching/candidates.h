@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/graph/khop_index.h"
 #include "src/query/pattern.h"
 #include "src/util/dense_bitset.h"
 
@@ -28,6 +29,10 @@ struct MatchOptions {
   /// 1 forces the serial path; N > 1 is honoured as-is. The result is
   /// bit-for-bit identical for every thread count.
   uint32_t num_threads = 0;
+  /// Ball-index participation and memory caps (see khop_index.h). The
+  /// relation is bit-identical with the index enabled, disabled, or capped
+  /// into fallback; only the traversal cost changes.
+  BallIndexOptions ball_index;
 };
 
 /// \brief Per-pattern-node candidate sets in both bitmap and list form.

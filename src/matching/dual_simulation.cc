@@ -1,14 +1,25 @@
 #include "src/matching/dual_simulation.h"
 
-#include <deque>
-
 #include "src/graph/bfs.h"
 #include "src/graph/csr.h"
+#include "src/graph/khop_index.h"
 #include "src/graph/shortest_paths.h"
 #include "src/matching/match_context.h"
+#include "src/util/flat_queue.h"
 #include "src/util/logging.h"
 
 namespace expfinder {
+
+namespace {
+
+/// Hoisted per-pattern-edge seeding state (see bounded_simulation.cc).
+struct EdgeRef {
+  Distance bound;
+  DenseBitset::ConstRow other_mat;  // mat row of the edge's other endpoint
+  int32_t* cnt;
+};
+
+}  // namespace
 
 MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
                                     const MatchOptions& options, MatchContext* ctx) {
@@ -24,7 +35,12 @@ MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
   auto& bwd = ctx->Counters(1, ne, n);
 
   const Csr& csr = ctx->SnapshotFor(g);
-  std::deque<std::pair<PatternNodeId, NodeId>> worklist;
+  const KhopIndex* ball =
+      ctx->BallIndexFor(g, q.MaxFiniteBound(), options.ball_index, options.num_threads);
+  const bool count_fallbacks = options.ball_index.enabled;
+  size_t ball_hits = 0;
+  size_t bfs_fallbacks = 0;
+  FlatQueue<std::pair<PatternNodeId, NodeId>> worklist;
 
   auto dead = [&](PatternNodeId u, NodeId v) {
     for (uint32_t e : q.OutEdges(u)) {
@@ -43,34 +59,72 @@ MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
     return best;
   };
 
-  // Seed both counter families. Parallel like the bounded matcher: mat is
-  // read-only, both BFS sweeps for candidate v write only fwd/bwd[...][v],
-  // and per-worker dead lists concatenated in worker order reproduce the
-  // serial worklist exactly.
+  // Seed both counter families — ball scans against the mat bitset where
+  // the index covers the candidate, the original two bounded BFS sweeps
+  // where it does not. Parallel like the bounded matcher: mat is read-only,
+  // both directions for candidate v write only fwd/bwd[...][v], and
+  // per-worker dead lists concatenated in worker order reproduce the serial
+  // worklist exactly.
   for (PatternNodeId u = 0; u < q.NumNodes(); ++u) {
     Distance out_depth = q.MaxOutBound(u);
     Distance in_depth = max_in_bound(u);
     const auto& list = cand.list[u];
+    const bool out_indexed =
+        ball != nullptr && out_depth > 0 && out_depth <= ball->depth();
+    const bool in_indexed = ball != nullptr && in_depth > 0 && in_depth <= ball->depth();
+    std::vector<EdgeRef> out_refs, in_refs;
+    out_refs.reserve(q.OutEdges(u).size());
+    for (uint32_t e : q.OutEdges(u)) {
+      const PatternEdge& pe = q.edges()[e];
+      out_refs.push_back({pe.bound, mat.Row(pe.dst), fwd[e].data()});
+    }
+    in_refs.reserve(q.InEdges(u).size());
+    for (uint32_t e : q.InEdges(u)) {
+      const PatternEdge& pe = q.edges()[e];
+      in_refs.push_back({pe.bound, mat.Row(pe.src), bwd[e].data()});
+    }
     auto seed_slice = [&](size_t worker, size_t begin, size_t end,
-                          std::vector<NodeId>* dead_out) {
+                          std::vector<NodeId>* dead_out, size_t* hits, size_t* falls) {
       BfsBuffers& buf = ctx->Buffers(worker);
       for (size_t i = begin; i < end; ++i) {
         NodeId v = list[i];
         if (out_depth > 0) {
-          BoundedBfsNonEmpty<true>(csr, v, out_depth, &buf, [&](NodeId w, Distance d) {
-            for (uint32_t e : q.OutEdges(u)) {
-              const PatternEdge& pe = q.edges()[e];
-              if (d <= pe.bound && mat.Test(pe.dst, w)) ++fwd[e][v];
+          if (out_indexed && ball->HasOut(v)) {
+            ++*hits;
+            for (Distance d = 1; d <= out_depth; ++d) {
+              for (NodeId w : ball->StratumOut(v, d)) {
+                for (const EdgeRef& er : out_refs) {
+                  if (d <= er.bound && er.other_mat[w]) ++er.cnt[v];
+                }
+              }
             }
-          });
+          } else {
+            if (count_fallbacks) ++*falls;
+            BoundedBfsNonEmpty<true>(csr, v, out_depth, &buf, [&](NodeId w, Distance d) {
+              for (const EdgeRef& er : out_refs) {
+                if (d <= er.bound && er.other_mat[w]) ++er.cnt[v];
+              }
+            });
+          }
         }
         if (in_depth > 0) {
-          BoundedBfsNonEmpty<false>(csr, v, in_depth, &buf, [&](NodeId w, Distance d) {
-            for (uint32_t e : q.InEdges(u)) {
-              const PatternEdge& pe = q.edges()[e];
-              if (d <= pe.bound && mat.Test(pe.src, w)) ++bwd[e][v];
+          if (in_indexed && ball->HasIn(v)) {
+            ++*hits;
+            for (Distance d = 1; d <= in_depth; ++d) {
+              for (NodeId w : ball->StratumIn(v, d)) {
+                for (const EdgeRef& er : in_refs) {
+                  if (d <= er.bound && er.other_mat[w]) ++er.cnt[v];
+                }
+              }
             }
-          });
+          } else {
+            if (count_fallbacks) ++*falls;
+            BoundedBfsNonEmpty<false>(csr, v, in_depth, &buf, [&](NodeId w, Distance d) {
+              for (const EdgeRef& er : in_refs) {
+                if (d <= er.bound && er.other_mat[w]) ++er.cnt[v];
+              }
+            });
+          }
         }
         if (dead(u, v)) dead_out->push_back(v);
       }
@@ -79,21 +133,26 @@ MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
     ctx->EnsureBuffers(workers, n);
     if (workers <= 1) {
       std::vector<NodeId> dead_list;
-      seed_slice(0, 0, list.size(), &dead_list);
+      seed_slice(0, 0, list.size(), &dead_list, &ball_hits, &bfs_fallbacks);
       for (NodeId v : dead_list) worklist.emplace_back(u, v);
     } else {
       std::vector<std::vector<NodeId>> dead_lists(workers);
+      std::vector<size_t> hits(workers, 0), falls(workers, 0);
       ctx->Pool(workers).ParallelChunks(
           list.size(), workers, [&](size_t worker, size_t begin, size_t end) {
-            seed_slice(worker, begin, end, &dead_lists[worker]);
+            seed_slice(worker, begin, end, &dead_lists[worker], &hits[worker],
+                       &falls[worker]);
           });
-      for (const auto& part : dead_lists) {
-        for (NodeId v : part) worklist.emplace_back(u, v);
+      for (size_t w = 0; w < workers; ++w) {
+        ball_hits += hits[w];
+        bfs_fallbacks += falls[w];
+        for (NodeId v : dead_lists[w]) worklist.emplace_back(u, v);
       }
     }
   }
 
-  // Sequential refinement (see bounded_simulation.cc for the rationale).
+  // Sequential refinement (see bounded_simulation.cc for the rationale);
+  // supporter decrements scan the precomputed balls in both directions.
   BfsBuffers& buf = ctx->Buffers(0);
   while (!worklist.empty()) {
     auto [u, v] = worklist.front();
@@ -105,24 +164,45 @@ MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
       const PatternEdge& pe = q.edges()[e];
       auto& counters = fwd[e];
       const auto src_mat = mat.Row(pe.src);
-      BoundedBfsNonEmpty<false>(csr, v, pe.bound, &buf, [&](NodeId w, Distance) {
-        if (--counters[w] == 0 && src_mat[w]) {
-          worklist.emplace_back(pe.src, w);
+      if (ball != nullptr && pe.bound <= ball->depth() && ball->HasIn(v)) {
+        ++ball_hits;
+        for (NodeId w : ball->BallIn(v, pe.bound)) {
+          if (--counters[w] == 0 && src_mat[w]) {
+            worklist.emplace_back(pe.src, w);
+          }
         }
-      });
+      } else {
+        if (count_fallbacks) ++bfs_fallbacks;
+        BoundedBfsNonEmpty<false>(csr, v, pe.bound, &buf, [&](NodeId w, Distance) {
+          if (--counters[w] == 0 && src_mat[w]) {
+            worklist.emplace_back(pe.src, w);
+          }
+        });
+      }
     }
     // ...and descendants lose backward support.
     for (uint32_t e : q.OutEdges(u)) {
       const PatternEdge& pe = q.edges()[e];
       auto& counters = bwd[e];
       const auto dst_mat = mat.Row(pe.dst);
-      BoundedBfsNonEmpty<true>(csr, v, pe.bound, &buf, [&](NodeId w, Distance) {
-        if (--counters[w] == 0 && dst_mat[w]) {
-          worklist.emplace_back(pe.dst, w);
+      if (ball != nullptr && pe.bound <= ball->depth() && ball->HasOut(v)) {
+        ++ball_hits;
+        for (NodeId w : ball->BallOut(v, pe.bound)) {
+          if (--counters[w] == 0 && dst_mat[w]) {
+            worklist.emplace_back(pe.dst, w);
+          }
         }
-      });
+      } else {
+        if (count_fallbacks) ++bfs_fallbacks;
+        BoundedBfsNonEmpty<true>(csr, v, pe.bound, &buf, [&](NodeId w, Distance) {
+          if (--counters[w] == 0 && dst_mat[w]) {
+            worklist.emplace_back(pe.dst, w);
+          }
+        });
+      }
     }
   }
+  ctx->AddBallStats(ball_hits, bfs_fallbacks);
   return MatchRelation::FromBitmaps(mat);
 }
 

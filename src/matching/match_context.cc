@@ -17,6 +17,15 @@ const Csr& MatchContext::SnapshotFor(const Graph& g) {
     snapshot_uid_ = g.uid();
     snapshot_version_ = g.version();
     ++snapshot_builds_;
+    // A ball index derived from the replaced snapshot can never serve
+    // again; drop it here too, so traffic that stops requesting the index
+    // (disabled per-request) cannot pin a dead version's index in memory.
+    if (ball_index_ != nullptr &&
+        (ball_graph_ != &g || ball_uid_ != g.uid() || ball_version_ != g.version())) {
+      ball_index_.reset();
+      ball_failed_depth_ = 0;
+      ball_key_uses_ = 0;
+    }
   }
   return *csr_;
 }
@@ -24,6 +33,50 @@ const Csr& MatchContext::SnapshotFor(const Graph& g) {
 void MatchContext::InvalidateSnapshot() {
   csr_.reset();
   snapshot_graph_ = nullptr;
+  ball_index_.reset();
+  ball_graph_ = nullptr;
+  ball_failed_depth_ = 0;
+  ball_key_uses_ = 0;
+}
+
+const KhopIndex* MatchContext::BallIndexFor(const Graph& g, Distance depth,
+                                            const BallIndexOptions& limits,
+                                            uint32_t num_threads) {
+  if (!limits.enabled || depth == 0 || depth == kUnreachable ||
+      depth > limits.max_depth) {
+    return nullptr;
+  }
+  const bool same_key = ball_graph_ == &g && ball_uid_ == g.uid() &&
+                        ball_version_ == g.version() && ball_limits_ == limits;
+  if (!same_key) {
+    ball_index_.reset();
+    ball_graph_ = &g;
+    ball_uid_ = g.uid();
+    ball_version_ = g.version();
+    ball_limits_ = limits;
+    ball_failed_depth_ = 0;
+    ball_key_uses_ = 0;
+  }
+  ++ball_key_uses_;
+  if (ball_index_ != nullptr && ball_index_->depth() >= depth) return ball_index_.get();
+  if (ball_failed_depth_ != 0 && depth >= ball_failed_depth_) return nullptr;
+  // Deferred build: only pay the O(n) construction once this (graph,
+  // version) has shown reuse — one-shot callers and write-heavy version
+  // churn stay on the BFS paths for free.
+  if (ball_key_uses_ < limits.build_after_uses) return nullptr;
+  const Csr& csr = SnapshotFor(g);
+  const size_t workers = SeedWorkers(num_threads, csr.NumNodes());
+  ThreadPool* pool = workers > 1 ? &Pool(workers) : nullptr;
+  auto built = KhopIndex::Build(csr, depth, limits, pool, workers);
+  if (built == nullptr) {
+    // Keep any existing shallower index — it is still exact — and remember
+    // that `depth` does not fit the budget.
+    ball_failed_depth_ = depth;
+    return nullptr;
+  }
+  ball_index_ = std::move(built);
+  ++ball_index_builds_;
+  return ball_index_.get();
 }
 
 void MatchContext::EnsureBuffers(size_t num_workers, size_t n) {

@@ -37,6 +37,7 @@
 #include "src/graph/bfs.h"
 #include "src/graph/csr.h"
 #include "src/graph/graph.h"
+#include "src/graph/khop_index.h"
 #include "src/util/thread_pool.h"
 
 namespace expfinder {
@@ -55,13 +56,57 @@ class MatchContext {
   /// stays valid until the next SnapshotFor with a changed graph.
   const Csr& SnapshotFor(const Graph& g);
 
-  /// Drops the cached snapshot (next SnapshotFor rebuilds).
+  /// Drops the cached snapshot and the ball index derived from it (next
+  /// SnapshotFor / BallIndexFor rebuild).
   void InvalidateSnapshot();
 
   /// How many times a snapshot has been (re)built — the steady-state
   /// regression signal: repeated queries on an unmutated graph must not
   /// increase this.
   size_t snapshot_builds() const { return snapshot_builds_; }
+
+  /// The cached k-hop ball index for `g` at (at least) `depth`, building it
+  /// if needed, or nullptr when the matcher must BFS instead: the index is
+  /// disabled, `depth` is 0 / unbounded / beyond limits.max_depth, or the
+  /// build blew limits.max_total_entries (the failure is memoized per
+  /// (graph, version, limits) so refused queries don't re-pay the build).
+  /// Keyed like SnapshotFor — (address, uid, version) — plus the limits, so
+  /// a per-request cap change never serves an index built under different
+  /// caps. Grow-only in depth within one key: a deeper request rebuilds,
+  /// shallower requests reuse (smaller balls are prefixes of deeper ones).
+  /// Build is additionally *deferred*: the first
+  /// BallIndexOptions::build_after_uses - 1 calls against a fresh key
+  /// return nullptr without building, so only graph versions with
+  /// demonstrated reuse pay the O(n) construction.
+  const KhopIndex* BallIndexFor(const Graph& g, Distance depth,
+                                const BallIndexOptions& limits, uint32_t num_threads);
+
+  /// The already-built index for `g` at its current version, or nullptr —
+  /// never builds, never counts a use. For secondary consumers
+  /// (ResultGraph construction) that ride on whatever the matchers warmed.
+  const KhopIndex* CachedBallIndex(const Graph& g) const {
+    if (ball_index_ != nullptr && ball_graph_ == &g && ball_uid_ == g.uid() &&
+        ball_version_ == g.version()) {
+      return ball_index_.get();
+    }
+    return nullptr;
+  }
+
+  /// Successful ball-index (re)builds, and the matchers' traversal-path
+  /// tallies: ball_hits counts traversals served from the index,
+  /// bfs_fallbacks counts traversals that ran a BFS although the index was
+  /// requested (no index, depth beyond it, overflowed hub).
+  size_t ball_index_builds() const { return ball_index_builds_; }
+  size_t ball_hits() const { return ball_hits_; }
+  size_t bfs_fallbacks() const { return bfs_fallbacks_; }
+
+  /// Matchers report their per-run tallies here (single-owner, like all
+  /// context state — parallel seeding phases accumulate per-worker and
+  /// report once).
+  void AddBallStats(size_t hits, size_t fallbacks) {
+    ball_hits_ += hits;
+    bfs_fallbacks_ += fallbacks;
+  }
 
   /// Makes workers [0, num_workers) usable, each sized for n nodes. Must be
   /// called before Buffers() — in particular before fanning out, since
@@ -97,6 +142,20 @@ class MatchContext {
   uint64_t snapshot_version_ = 0;
   std::unique_ptr<Csr> csr_;
   size_t snapshot_builds_ = 0;
+
+  std::unique_ptr<KhopIndex> ball_index_;
+  const Graph* ball_graph_ = nullptr;
+  uint64_t ball_uid_ = 0;
+  uint64_t ball_version_ = 0;
+  BallIndexOptions ball_limits_;
+  /// Smallest depth whose build failed under the current key (0 = none):
+  /// deeper builds can only be bigger, so they are refused without retrying.
+  Distance ball_failed_depth_ = 0;
+  /// Matcher runs observed against the current key (drives deferred build).
+  size_t ball_key_uses_ = 0;
+  size_t ball_index_builds_ = 0;
+  size_t ball_hits_ = 0;
+  size_t bfs_fallbacks_ = 0;
 
   std::deque<BfsBuffers> buffers_;  // deque: stable addresses across growth
   std::array<std::vector<std::vector<int32_t>>, 2> counters_;

@@ -5,6 +5,7 @@
 
 #include "src/graph/bfs.h"
 #include "src/graph/csr.h"
+#include "src/graph/khop_index.h"
 #include "src/matching/match_context.h"
 #include "src/util/dense_bitset.h"
 
@@ -32,15 +33,19 @@ ResultGraph::ResultGraph(const Graph& g, const Pattern& q, const MatchRelation& 
   if (nodes_.empty() || q.NumEdges() == 0) return;
 
   // Context-provided snapshot/buffers when available; otherwise local (the
-  // standalone construction path used by tests and one-off callers).
+  // standalone construction path used by tests and one-off callers). The
+  // ball index is strictly opportunistic: whatever the matcher that
+  // produced `m` warmed in this context — never built here.
   std::optional<Csr> local_csr;
   BfsBuffers local_buf;
   const Csr* csr;
   BfsBuffers* buf;
+  const KhopIndex* ball = nullptr;
   if (ctx != nullptr) {
     csr = &ctx->SnapshotFor(g);
     ctx->EnsureBuffers(1, g.NumNodes());
     buf = &ctx->Buffers(0);
+    ball = ctx->CachedBallIndex(g);
   } else {
     local_csr.emplace(g);
     csr = &*local_csr;
@@ -54,6 +59,11 @@ ResultGraph::ResultGraph(const Graph& g, const Pattern& q, const MatchRelation& 
   for (PatternNodeId u = 0; u < m.NumPatternNodes(); ++u) {
     for (NodeId v : m.MatchesOf(u)) member.Set(u, v);
   }
+  // Dense node -> result-position map for the traversal loop: one array
+  // read per recorded edge instead of a hash probe (index_ stays for the
+  // PositionOf API). Entries are only meaningful at matched nodes.
+  std::vector<uint32_t> pos(g.NumNodes());
+  for (uint32_t i = 0; i < nodes_.size(); ++i) pos[nodes_[i]] = i;
 
   // For every source match, one bounded BFS up to the node's largest
   // out-bound discovers all shortest distances to potential targets; an edge
@@ -72,31 +82,75 @@ ResultGraph::ResultGraph(const Graph& g, const Pattern& q, const MatchRelation& 
     const auto& out_edges = q.OutEdges(u);
     if (out_edges.empty()) continue;
     Distance depth = q.MaxOutBound(u);
+    const bool indexed = ball != nullptr && depth <= ball->depth();
+    // Hoisted per-edge state: bound + target membership row.
+    struct EdgeRef {
+      Distance bound;
+      DenseBitset::ConstRow dst_member;
+    };
+    std::vector<EdgeRef> erefs;
+    erefs.reserve(out_edges.size());
+    for (uint32_t e : out_edges) {
+      const PatternEdge& pe = q.edges()[e];
+      erefs.push_back({pe.bound, member.Row(pe.dst)});
+    }
+    auto record = [&](uint64_t vkey, NodeId w, Distance d) {
+      for (const EdgeRef& er : erefs) {
+        if (d > er.bound || !er.dst_member[w]) continue;
+        raw.push_back({vkey | pos[w], static_cast<double>(d)});
+        break;
+      }
+    };
     for (NodeId v : m.MatchesOf(u)) {
-      uint64_t vkey = static_cast<uint64_t>(index_.at(v)) << 32;
-      BoundedBfsNonEmpty<true>(*csr, v, depth, buf, [&](NodeId w, Distance d) {
-        for (uint32_t e : out_edges) {
-          const PatternEdge& pe = q.edges()[e];
-          if (d > pe.bound || !member.Test(pe.dst, w)) continue;
-          raw.push_back({vkey | index_.at(w), static_cast<double>(d)});
-          break;
+      uint64_t vkey = static_cast<uint64_t>(pos[v]) << 32;
+      if (indexed && ball->HasOut(v)) {
+        // Same visit set as the BFS, at its shortest nonempty distance.
+        for (Distance d = 1; d <= depth; ++d) {
+          for (NodeId w : ball->StratumOut(v, d)) record(vkey, w, d);
         }
-      });
+      } else {
+        BoundedBfsNonEmpty<true>(*csr, v, depth, buf,
+                                 [&](NodeId w, Distance d) { record(vkey, w, d); });
+      }
     }
   }
-  std::sort(raw.begin(), raw.end());
-  uint64_t prev_key = ~uint64_t{0};
-  for (const RawEdge& edge : raw) {
-    if (edge.key == prev_key) continue;
-    prev_key = edge.key;
-    uint32_t a = static_cast<uint32_t>(edge.key >> 32);
-    uint32_t b = static_cast<uint32_t>(edge.key);
-    out_[a].emplace_back(b, edge.weight);
-    in_[b].emplace_back(a, edge.weight);
-    ++num_edges_;
+  // Counting-sort by source position instead of one global sort: buckets
+  // hold a handful of targets each (the result out-degree), so the
+  // per-bucket sorts are effectively linear, and exact reserves kill the
+  // realloc churn of growing ten thousand small adjacency vectors.
+  const size_t nn = nodes_.size();
+  std::vector<uint32_t> bucket_off(nn + 1, 0);
+  for (const RawEdge& e : raw) ++bucket_off[(e.key >> 32) + 1];
+  for (size_t i = 0; i < nn; ++i) bucket_off[i + 1] += bucket_off[i];
+  std::vector<RawEdge> bucketed(raw.size());
+  {
+    std::vector<uint32_t> cursor(bucket_off.begin(), bucket_off.end() - 1);
+    for (const RawEdge& e : raw) bucketed[cursor[e.key >> 32]++] = e;
   }
-  // out_ lists are emitted sorted already; in_ needs the per-target sort.
-  for (auto& list : in_) std::sort(list.begin(), list.end());
+  std::vector<uint32_t> in_deg(nn, 0);
+  for (uint32_t a = 0; a < nn; ++a) {
+    auto begin = bucketed.begin() + bucket_off[a];
+    auto end = bucketed.begin() + bucket_off[a + 1];
+    if (begin == end) continue;
+    std::sort(begin, end);  // keys share the high word, so this sorts by b
+    auto& out_list = out_[a];
+    out_list.reserve(static_cast<size_t>(end - begin));
+    uint64_t prev_key = ~uint64_t{0};
+    for (auto it = begin; it != end; ++it) {
+      if (it->key == prev_key) continue;  // duplicate derivation, same weight
+      prev_key = it->key;
+      uint32_t b = static_cast<uint32_t>(it->key);
+      out_list.emplace_back(b, it->weight);
+      ++in_deg[b];
+      ++num_edges_;
+    }
+  }
+  // Mirror into in_: iterating sources ascending appends ascending, so the
+  // per-target lists come out sorted without a sort pass.
+  for (uint32_t b = 0; b < nn; ++b) in_[b].reserve(in_deg[b]);
+  for (uint32_t a = 0; a < nn; ++a) {
+    for (const auto& [b, w] : out_[a]) in_[b].emplace_back(a, w);
+  }
 }
 
 std::optional<uint32_t> ResultGraph::PositionOf(NodeId v) const {

@@ -71,6 +71,14 @@ Distance Pattern::MaxBound() const {
   return best;
 }
 
+Distance Pattern::MaxFiniteBound() const {
+  Distance best = 0;
+  for (const auto& e : edges_) {
+    if (e.bound != kUnboundedEdge) best = std::max(best, e.bound);
+  }
+  return best;
+}
+
 bool Pattern::IsSimulationPattern() const {
   return std::all_of(edges_.begin(), edges_.end(),
                      [](const PatternEdge& e) { return e.bound == 1; });

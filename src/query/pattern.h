@@ -84,6 +84,11 @@ class Pattern {
   /// Largest bound over all edges; 0 for edge-less patterns.
   Distance MaxBound() const;
 
+  /// Largest *finite* bound over all edges (kUnboundedEdge reachability
+  /// edges are skipped); 0 when every edge is unbounded or there are none.
+  /// This is the depth the ball index needs to serve every bounded edge.
+  Distance MaxFiniteBound() const;
+
   /// True when every edge bound is exactly 1 (plain graph simulation).
   bool IsSimulationPattern() const;
 

@@ -203,6 +203,7 @@ Result<QueryResponse> ExpFinderService::Serve(const PendingQuery& pending,
         }
         EvalOverrides overrides;
         overrides.match_threads = request.match_threads;
+        overrides.use_ball_index = request.use_ball_index;
         overrides.cancelled = &pending.ticket->cancelled;
         overrides.timer = &timer;
         overrides.time_budget_ms = request.time_budget_ms;

@@ -84,6 +84,11 @@ struct QueryRequest {
   /// Per-request matcher seeding threads; absent = engine default
   /// (see EngineOptions::match_threads).
   std::optional<uint32_t> match_threads;
+  /// Per-request ball-index participation; absent = engine default (see
+  /// EngineOptions::ball_index). Disabling forces the BFS traversal paths
+  /// for this request only — the answer is identical, the cached index
+  /// stays warm for other requests. A debugging / A-B measurement knob.
+  std::optional<bool> use_ball_index;
   /// Soft time budget in milliseconds, counted from Submit (queue wait
   /// included); 0 = unlimited. Best-effort: checked when the request is
   /// dequeued and at evaluation stage boundaries, never preemptively inside

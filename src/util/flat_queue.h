@@ -1,0 +1,61 @@
+// Index-based FIFO over one flat vector — the matchers' worklist.
+//
+// The refinement phase of the bounded/dual fixpoints is event-heavy: every
+// removed pair pushes a burst of follow-up pairs and pops them in strict
+// FIFO order. std::deque preserves that order but pays chunked allocation
+// and pointer-hopping per element; FlatQueue keeps the elements contiguous
+// and replaces pop_front with a head index. The dead prefix is slid out
+// (one memmove) only once it dominates the live tail, so pops stay
+// amortized O(1) and memory stays proportional to the live queue — while
+// the pop order, and therefore the matchers' determinism contract, is
+// exactly the deque's.
+
+#ifndef EXPFINDER_UTIL_FLAT_QUEUE_H_
+#define EXPFINDER_UTIL_FLAT_QUEUE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace expfinder {
+
+/// \brief FIFO queue over a flat std::vector with an explicit head index.
+template <typename T>
+class FlatQueue {
+ public:
+  bool empty() const { return head_ == items_.size(); }
+  size_t size() const { return items_.size() - head_; }
+
+  const T& front() const { return items_[head_]; }
+
+  void pop_front() {
+    ++head_;
+    if (head_ >= kCompactAt && head_ * 2 >= items_.size()) {
+      items_.erase(items_.begin(), items_.begin() + static_cast<ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  void push_back(const T& value) { items_.push_back(value); }
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    items_.emplace_back(std::forward<Args>(args)...);
+  }
+
+  void clear() {
+    items_.clear();
+    head_ = 0;
+  }
+
+ private:
+  /// Compaction is pointless (and would be O(n^2)) for small queues; only
+  /// slide once the dead prefix is both large and the majority.
+  static constexpr size_t kCompactAt = 4096;
+
+  std::vector<T> items_;
+  size_t head_ = 0;
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_UTIL_FLAT_QUEUE_H_

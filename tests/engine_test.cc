@@ -370,6 +370,122 @@ TEST_F(EngineFixture, PlannerShortCircuitOnImpossibleQuery) {
   EXPECT_EQ(engine.stats().planner_short_circuits, 1u);
 }
 
+TEST_F(EngineFixture, BallIndexBuiltOnceInSteadyStateAndInvalidatedByUpdates) {
+  // The ball-index analogue of the CSR snapshot regressions, plus the
+  // deferred-build policy: the first query on a graph version runs on BFS
+  // (no build), the second builds the index, further queries reuse it.
+  // Evaluate -> ApplyUpdates -> Evaluate must never serve a stale ball:
+  // the post-update evaluation runs on BFS again (builds unchanged) and a
+  // repeat rebuilds for the new version (asserted via ball_index_builds).
+  EngineOptions opts;
+  opts.use_cache = false;
+  opts.ball_index.build_after_uses = 2;  // pin the deferred policy under test
+  QueryEngine engine(&g_, opts);
+  ASSERT_TRUE(engine.Evaluate(q_).ok());
+  EXPECT_EQ(engine.stats().ball_index_builds, 0u);  // deferred: no reuse yet
+  ASSERT_TRUE(engine.Evaluate(q_).ok());
+  EXPECT_EQ(engine.stats().ball_index_builds, 1u);
+  EXPECT_GT(engine.stats().ball_hits, 0u);
+  const size_t hits_warm = engine.stats().ball_hits;
+  ASSERT_TRUE(engine.Evaluate(q_).ok());
+  EXPECT_EQ(engine.stats().ball_index_builds, 1u);  // steady state: no rebuild
+  EXPECT_GT(engine.stats().ball_hits, hits_warm);
+
+  auto [src, dst] = gen::Fig1EdgeE1();
+  ASSERT_TRUE(engine.ApplyUpdates({GraphUpdate::Insert(src, dst)}).ok());
+  auto inserted = engine.Evaluate(q_);
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_EQ((*inserted)->matches.TotalPairs(), 8u);  // Fred joined, no stale ball
+  EXPECT_TRUE((*inserted)->matches == ComputeBoundedSimulationNaive(g_, q_));
+  EXPECT_EQ(engine.stats().ball_index_builds, 1u);  // new version: deferred again
+  auto repeat = engine.Evaluate(q_);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(engine.stats().ball_index_builds, 2u);  // rebuilt for the new version
+  EXPECT_TRUE((*repeat)->matches == (*inserted)->matches);
+}
+
+TEST_F(EngineFixture, BallIndexDisabledRunsPureBfsPaths) {
+  EngineOptions opts;
+  opts.use_cache = false;
+  opts.ball_index.enabled = false;
+  QueryEngine engine(&g_, opts);
+  auto answer = engine.Evaluate(q_);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ((*answer)->matches.TotalPairs(), 7u);
+  EXPECT_EQ(engine.stats().ball_index_builds, 0u);
+  EXPECT_EQ(engine.stats().ball_hits, 0u);
+  EXPECT_EQ(engine.stats().bfs_fallbacks, 0u);  // not even counted when off
+}
+
+TEST_F(EngineFixture, PerCallOverrideDisablesBallIndexWithoutInvalidation) {
+  EngineOptions opts;
+  opts.use_cache = false;
+  opts.ball_index.build_after_uses = 1;  // eager, to warm on the first query
+  QueryEngine engine(&g_, opts);
+  ASSERT_TRUE(engine.Evaluate(q_).ok());
+  EXPECT_EQ(engine.stats().ball_index_builds, 1u);
+  const size_t hits_before = engine.stats().ball_hits;
+
+  // The service's per-request knob: same relation, no index traffic, and
+  // the cached index is not invalidated for the next caller.
+  EvalOverrides overrides;
+  overrides.use_ball_index = false;
+  MatchContext ctx, compressed_ctx;
+  EvalPath path = EvalPath::kDirect;
+  auto off = engine.EvaluateWith(q_, MatchSemantics::kBoundedSimulation, overrides,
+                                 &ctx, &compressed_ctx, &path);
+  ASSERT_TRUE(off.ok());
+  EXPECT_TRUE(*off == ComputeBoundedSimulationNaive(g_, q_));
+  EXPECT_EQ(ctx.ball_index_builds(), 0u);
+  EXPECT_EQ(ctx.ball_hits(), 0u);
+
+  ASSERT_TRUE(engine.Evaluate(q_).ok());
+  EXPECT_EQ(engine.stats().ball_index_builds, 1u);  // still the first index
+  EXPECT_GT(engine.stats().ball_hits, hits_before);
+}
+
+TEST(EngineTest, BallIndexMemoryCapFallsBackOnDenseHub) {
+  // A dense hub whose balls blow the per-node cap: the engine must fall
+  // back to BFS for it (bfs_fallbacks > 0) and still produce the exact
+  // relation. The hub ("SA") reaches every "SD", each of which reaches
+  // every "ST".
+  Graph g;
+  NodeId hub = g.AddNode("SA");
+  g.SetAttr(hub, "experience", AttrValue(9));
+  std::vector<NodeId> mids, leaves;
+  for (int i = 0; i < 40; ++i) {
+    NodeId sd = g.AddNode("SD");
+    g.SetAttr(sd, "experience", AttrValue(5));
+    ASSERT_TRUE(g.AddEdge(hub, sd).ok());
+    mids.push_back(sd);
+  }
+  for (int i = 0; i < 40; ++i) leaves.push_back(g.AddNode("ST"));
+  for (NodeId sd : mids) {
+    for (NodeId st : leaves) ASSERT_TRUE(g.AddEdge(sd, st).ok());
+  }
+  Pattern q = gen::TeamQuery(0);
+
+  EngineOptions capped;
+  capped.use_cache = false;
+  capped.ball_index.build_after_uses = 1;
+  capped.ball_index.max_ball_nodes = 8;  // hub ball is 80 nodes at depth 2
+  QueryEngine engine(&g, capped);
+  auto answer = engine.Evaluate(q);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_GT(engine.stats().bfs_fallbacks, 0u);
+  EXPECT_TRUE((*answer)->matches == ComputeBoundedSimulationNaive(g, q));
+
+  // Same graph, uncapped: the hub is indexed, no fallback, same relation.
+  EngineOptions uncapped;
+  uncapped.use_cache = false;
+  uncapped.ball_index.build_after_uses = 1;
+  QueryEngine engine2(&g, uncapped);
+  auto answer2 = engine2.Evaluate(q);
+  ASSERT_TRUE(answer2.ok());
+  EXPECT_EQ(engine2.stats().bfs_fallbacks, 0u);
+  EXPECT_TRUE((*answer2)->matches == (*answer)->matches);
+}
+
 TEST(EngineTest, EndToEndOnCollaborationNetwork) {
   gen::CollaborationConfig cfg;
   cfg.num_people = 400;

@@ -116,8 +116,15 @@ class IncBoundedStreamSweep : public ::testing::TestWithParam<StreamParam> {};
 TEST_P(IncBoundedStreamSweep, AlwaysEqualsBatchRecomputation) {
   const StreamParam p = GetParam();
   Graph g = gen::ErdosRenyi(50, 200, p.seed);
+  Graph g2 = g;  // twin for the always-serve-from-index maintainer
   Pattern q = gen::RandomPattern(4, 5, p.max_bound, 0.4, p.seed * 11 + 3);
   IncrementalBoundedSimulation inc(&g, q);
+  // A twin maintainer that serves every batch from the ball index (the
+  // default gates small batches to BFS, which would leave the index-serving
+  // maintenance paths untested for unit streams).
+  MatchOptions always_index;
+  always_index.ball_index.maintained_min_batch = 1;
+  IncrementalBoundedSimulation inc_indexed(&g2, q, always_index);
   UpdateBatch stream = GenerateUpdateStream(g, p.steps * p.batch_size,
                                             p.insert_fraction, p.seed * 17 + 4);
   for (size_t step = 0; step < p.steps; ++step) {
@@ -125,8 +132,11 @@ TEST_P(IncBoundedStreamSweep, AlwaysEqualsBatchRecomputation) {
                       stream.begin() + (step + 1) * p.batch_size);
     auto delta = inc.ApplyBatch(batch);
     ASSERT_TRUE(delta.ok()) << delta.status();
+    ASSERT_TRUE(inc_indexed.ApplyBatch(batch).ok());
     ASSERT_TRUE(inc.Snapshot() == ComputeBoundedSimulation(g, q))
         << "diverged at step " << step << " seed " << p.seed;
+    ASSERT_TRUE(inc_indexed.Snapshot() == inc.Snapshot())
+        << "indexed maintainer diverged at step " << step << " seed " << p.seed;
   }
 }
 

@@ -87,8 +87,15 @@ class IncDualStreamSweep : public ::testing::TestWithParam<StreamParam> {};
 TEST_P(IncDualStreamSweep, AlwaysEqualsBatchRecomputation) {
   const StreamParam p = GetParam();
   Graph g = gen::ErdosRenyi(50, 200, p.seed);
+  Graph g2 = g;  // twin for the always-serve-from-index maintainer
   Pattern q = gen::RandomPattern(4, 5, p.max_bound, 0.4, p.seed * 19 + 5);
   IncrementalDualSimulation inc(&g, q);
+  // Twin that serves every batch from the ball index (see the bounded
+  // sweep): keeps the index-serving dual maintenance paths covered for
+  // unit-update streams the default policy routes to BFS.
+  MatchOptions always_index;
+  always_index.ball_index.maintained_min_batch = 1;
+  IncrementalDualSimulation inc_indexed(&g2, q, always_index);
   UpdateBatch stream = GenerateUpdateStream(g, p.steps * p.batch_size,
                                             p.insert_fraction, p.seed * 23 + 6);
   for (size_t step = 0; step < p.steps; ++step) {
@@ -96,8 +103,11 @@ TEST_P(IncDualStreamSweep, AlwaysEqualsBatchRecomputation) {
                       stream.begin() + (step + 1) * p.batch_size);
     auto delta = inc.ApplyBatch(batch);
     ASSERT_TRUE(delta.ok()) << delta.status();
+    ASSERT_TRUE(inc_indexed.ApplyBatch(batch).ok());
     ASSERT_TRUE(inc.Snapshot() == ComputeDualSimulation(g, q))
         << "diverged at step " << step << " seed " << p.seed;
+    ASSERT_TRUE(inc_indexed.Snapshot() == inc.Snapshot())
+        << "indexed maintainer diverged at step " << step << " seed " << p.seed;
   }
 }
 

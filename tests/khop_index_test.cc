@@ -1,0 +1,260 @@
+#include "src/graph/khop_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/generator/generators.h"
+#include "src/graph/bfs.h"
+#include "src/graph/csr.h"
+#include "src/incremental/update.h"
+#include "src/util/thread_pool.h"
+
+namespace expfinder {
+namespace {
+
+/// Reference balls straight from BoundedBfsNonEmpty: per depth-stratum, the
+/// nodes in visit order — exactly what the index stores.
+template <bool Forward, typename GraphLike>
+std::vector<std::vector<NodeId>> ReferenceBall(const GraphLike& g, size_t n, NodeId src,
+                                               Distance depth) {
+  BfsBuffers buf;
+  buf.EnsureSize(n);
+  std::vector<std::vector<NodeId>> strata(depth);
+  BoundedBfsNonEmpty<Forward>(g, src, depth, &buf,
+                              [&](NodeId w, Distance d) { strata[d - 1].push_back(w); });
+  return strata;
+}
+
+void ExpectIndexMatchesBfs(const KhopIndex& index, const Csr& csr) {
+  const Distance depth = index.depth();
+  for (NodeId v = 0; v < csr.NumNodes(); ++v) {
+    auto fwd = ReferenceBall<true>(csr, csr.NumNodes(), v, depth);
+    auto rev = ReferenceBall<false>(csr, csr.NumNodes(), v, depth);
+    ASSERT_TRUE(index.HasOut(v)) << "unexpected overflow, node " << v;
+    ASSERT_TRUE(index.HasIn(v));
+    size_t fwd_total = 0, rev_total = 0;
+    for (Distance d = 1; d <= depth; ++d) {
+      auto out_stratum = index.StratumOut(v, d);
+      ASSERT_EQ(std::vector<NodeId>(out_stratum.begin(), out_stratum.end()), fwd[d - 1])
+          << "fwd stratum mismatch: v=" << v << " d=" << d;
+      auto in_stratum = index.StratumIn(v, d);
+      ASSERT_EQ(std::vector<NodeId>(in_stratum.begin(), in_stratum.end()), rev[d - 1])
+          << "rev stratum mismatch: v=" << v << " d=" << d;
+      fwd_total += fwd[d - 1].size();
+      ASSERT_EQ(index.BallOut(v, d).size(), fwd_total);
+      rev_total += rev[d - 1].size();
+      ASSERT_EQ(index.BallIn(v, d).size(), rev_total);
+    }
+  }
+}
+
+TEST(KhopIndexTest, BallsEqualBfsOnRandomGraphs) {
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    Graph g = gen::ErdosRenyi(120, 400, seed);
+    Csr csr(g);
+    for (Distance depth : {1u, 2u, 3u}) {
+      auto index = KhopIndex::Build(csr, depth, {});
+      ASSERT_NE(index, nullptr);
+      ExpectIndexMatchesBfs(*index, csr);
+    }
+  }
+}
+
+TEST(KhopIndexTest, DepthClampAndPrefixProperty) {
+  Graph g = gen::ErdosRenyi(60, 200, 5);
+  Csr csr(g);
+  auto index = KhopIndex::Build(csr, 3, {});
+  ASSERT_NE(index, nullptr);
+  for (NodeId v = 0; v < csr.NumNodes(); ++v) {
+    // Requesting beyond depth() clamps.
+    EXPECT_EQ(index->BallOut(v, 9).data(), index->BallOut(v, 3).data());
+    EXPECT_EQ(index->BallOut(v, 9).size(), index->BallOut(v, 3).size());
+    // A shallower ball is a strict prefix of the deeper one.
+    auto b2 = index->BallOut(v, 2);
+    auto b3 = index->BallOut(v, 3);
+    ASSERT_LE(b2.size(), b3.size());
+    EXPECT_TRUE(std::equal(b2.begin(), b2.end(), b3.begin()));
+  }
+}
+
+TEST(KhopIndexTest, ParallelBuildBitIdenticalToSerial) {
+  Graph g = gen::ErdosRenyi(300, 1500, 11);
+  Csr csr(g);
+  auto serial = KhopIndex::Build(csr, 2, {});
+  ASSERT_NE(serial, nullptr);
+  ThreadPool pool(4);
+  auto parallel = KhopIndex::Build(csr, 2, {}, &pool, 4);
+  ASSERT_NE(parallel, nullptr);
+  ASSERT_EQ(serial->TotalEntries(), parallel->TotalEntries());
+  for (NodeId v = 0; v < csr.NumNodes(); ++v) {
+    for (Distance d = 1; d <= 2; ++d) {
+      auto s = serial->BallOut(v, d);
+      auto p = parallel->BallOut(v, d);
+      ASSERT_TRUE(std::equal(s.begin(), s.end(), p.begin(), p.end())) << v;
+      auto si = serial->BallIn(v, d);
+      auto pi = parallel->BallIn(v, d);
+      ASSERT_TRUE(std::equal(si.begin(), si.end(), pi.begin(), pi.end())) << v;
+    }
+  }
+}
+
+TEST(KhopIndexTest, DenseHubOverflowsPerNodeCapOthersStayIndexed) {
+  // A star: the hub reaches everyone in one hop, spokes reach only hub +
+  // (at depth 2) each other... build with a cap the hub must blow.
+  const size_t n = 64;
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddNode("P");
+  for (NodeId v = 1; v < n; ++v) {
+    ASSERT_TRUE(g.AddEdge(0, v).ok());
+    ASSERT_TRUE(g.AddEdge(v, 0).ok());
+  }
+  Csr csr(g);
+  BallIndexOptions limits;
+  limits.max_ball_nodes = 8;  // hub ball is n-1 = 63 at depth 1
+  auto index = KhopIndex::Build(csr, 2, limits);
+  ASSERT_NE(index, nullptr);
+  EXPECT_FALSE(index->HasOut(0));
+  EXPECT_FALSE(index->HasIn(0));
+  EXPECT_GE(index->OverflowedBalls(), 2u);
+  // Spokes at depth 2 see hub + all other spokes = 63 nodes > cap too.
+  EXPECT_FALSE(index->HasOut(1));
+  // But at a cap that fits the spokes' balls (1 node) yet not the hub's
+  // (63), only the hub overflows.
+  limits.max_ball_nodes = 62;
+  auto wide = KhopIndex::Build(csr, 1, limits);
+  ASSERT_NE(wide, nullptr);
+  EXPECT_TRUE(wide->HasOut(1));
+  EXPECT_FALSE(wide->HasOut(0));
+  auto ball = wide->BallOut(1, 1);
+  ASSERT_EQ(ball.size(), 1u);
+  EXPECT_EQ(ball[0], 0u);
+}
+
+TEST(KhopIndexTest, TotalBudgetFailsBuild) {
+  Graph g = gen::ErdosRenyi(100, 500, 3);
+  Csr csr(g);
+  BallIndexOptions limits;
+  limits.max_total_entries = 16;
+  EXPECT_EQ(KhopIndex::Build(csr, 2, limits), nullptr);
+  limits.max_total_entries = size_t{1} << 25;
+  EXPECT_NE(KhopIndex::Build(csr, 2, limits), nullptr);
+}
+
+// --- MaintainedBallIndex --------------------------------------------------
+
+void ExpectMaintainedMatchesGraph(MaintainedBallIndex& index, const Graph& g) {
+  const Distance depth = index.depth();
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    auto fwd = ReferenceBall<true>(g, g.NumNodes(), v, depth);
+    auto rev = ReferenceBall<false>(g, g.NumNodes(), v, depth);
+    ASSERT_TRUE(index.HasOut(v));
+    ASSERT_TRUE(index.HasIn(v));
+    for (Distance d = 1; d <= depth; ++d) {
+      auto out_stratum = index.StratumOut(v, d);
+      ASSERT_EQ(std::vector<NodeId>(out_stratum.begin(), out_stratum.end()), fwd[d - 1])
+          << "fwd stratum mismatch: v=" << v << " d=" << d;
+      auto in_stratum = index.StratumIn(v, d);
+      ASSERT_EQ(std::vector<NodeId>(in_stratum.begin(), in_stratum.end()), rev[d - 1])
+          << "rev stratum mismatch: v=" << v << " d=" << d;
+    }
+  }
+}
+
+/// The exact dirty sets the maintainers hand to Update(): reverse balls of
+/// touched sources at depth-1 (out side), forward balls of touched targets
+/// (in side) — deletions measured pre-update, insertions post-update.
+struct DirtySets {
+  std::vector<NodeId> out, in;
+  DenseBitset out_seen{1, 0}, in_seen{1, 0};
+
+  explicit DirtySets(size_t n) : out_seen(1, n), in_seen(1, n) {}
+  void MarkOut(NodeId v) {
+    if (!out_seen.Test(0, v)) {
+      out_seen.Set(0, v);
+      out.push_back(v);
+    }
+  }
+  void MarkIn(NodeId v) {
+    if (!in_seen.Test(0, v)) {
+      in_seen.Set(0, v);
+      in.push_back(v);
+    }
+  }
+  void Collect(const Graph& g, const GraphUpdate& upd, Distance depth) {
+    BfsBuffers buf;
+    buf.EnsureSize(g.NumNodes());
+    MarkOut(upd.src);
+    MarkIn(upd.dst);
+    if (depth > 1) {
+      BoundedBfsNonEmpty<false>(g, upd.src, depth - 1, &buf,
+                                [&](NodeId w, Distance) { MarkOut(w); });
+      BoundedBfsNonEmpty<true>(g, upd.dst, depth - 1, &buf,
+                               [&](NodeId w, Distance) { MarkIn(w); });
+    }
+  }
+};
+
+TEST(MaintainedBallIndexTest, PatchingTracksUpdateStream) {
+  // Large enough that per-update dirty sets stay under the rebuild
+  // threshold: the lazy patch path, not the bulk path, is what's verified.
+  Graph g = gen::ErdosRenyi(400, 1200, 17);
+  const Distance depth = 3;
+  auto index = MaintainedBallIndex::Build(g, depth, {});
+  ASSERT_NE(index, nullptr);
+  ExpectMaintainedMatchesGraph(*index, g);
+
+  UpdateBatch stream = GenerateUpdateStream(g, 40, 0.5, 99);
+  for (const GraphUpdate& upd : stream) {
+    DirtySets dirty(g.NumNodes());
+    if (upd.kind == GraphUpdate::Kind::kDeleteEdge) {
+      dirty.Collect(g, upd, depth);  // pre-update reachability
+    }
+    ASSERT_TRUE(ApplyBatch(&g, {upd}).ok());
+    if (upd.kind == GraphUpdate::Kind::kInsertEdge) {
+      dirty.Collect(g, upd, depth);  // post-update reachability
+    }
+    ASSERT_TRUE(index->Update(g, dirty.out, dirty.in, /*will_serve=*/true));
+    ExpectMaintainedMatchesGraph(*index, g);
+  }
+  EXPECT_GT(index->patched_balls(), 0u);
+}
+
+TEST(MaintainedBallIndexTest, LargeDirtySetTriggersRebuild) {
+  Graph g = gen::ErdosRenyi(40, 120, 29);
+  auto index = MaintainedBallIndex::Build(g, 2, {});
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->rebuilds(), 0u);
+  // Dirty "everything": must fold into a full rebuild, not 2n patches.
+  std::vector<NodeId> all(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) all[v] = v;
+  ASSERT_TRUE(index->Update(g, all, all, /*will_serve=*/true));
+  EXPECT_EQ(index->rebuilds(), 1u);
+  EXPECT_EQ(index->patched_balls(), 0u);
+  EXPECT_EQ(index->builds(), 2u);
+  ExpectMaintainedMatchesGraph(*index, g);
+}
+
+TEST(MaintainedBallIndexTest, OnNodeAddedExtendsWithEmptyBalls) {
+  Graph g = gen::ErdosRenyi(30, 90, 31);
+  auto index = MaintainedBallIndex::Build(g, 2, {});
+  ASSERT_NE(index, nullptr);
+  NodeId v = g.AddNode("P");
+  index->OnNodeAdded(v);
+  EXPECT_TRUE(index->HasOut(v));
+  EXPECT_TRUE(index->HasIn(v));
+  EXPECT_TRUE(index->BallOut(v, 2).empty());
+  EXPECT_TRUE(index->BallIn(v, 2).empty());
+  // Wire it in and patch: its balls and its neighbor's must refresh.
+  ASSERT_TRUE(ApplyBatch(&g, {GraphUpdate::Insert(v, 0), GraphUpdate::Insert(0, v)}).ok());
+  DirtySets dirty(g.NumNodes());
+  dirty.Collect(g, GraphUpdate::Insert(v, 0), 2);
+  dirty.Collect(g, GraphUpdate::Insert(0, v), 2);
+  ASSERT_TRUE(index->Update(g, dirty.out, dirty.in, /*will_serve=*/true));
+  ExpectMaintainedMatchesGraph(*index, g);
+}
+
+}  // namespace
+}  // namespace expfinder

@@ -148,18 +148,38 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RngSweep, ::testing::Values(1, 2, 3, 42, 1234, 9
 // --- Randomized equivalence: optimized matchers vs. naive oracles ---------
 //
 // The optimized bounded/dual matchers differ from the references in every
-// dimension the hot-path overhaul touched: they reuse a MatchContext (CSR
-// snapshot, BFS buffers, counter arrays) across calls, store membership in
-// flat bitsets, and fan the seeding phase out over a thread pool. This
+// dimension the hot-path overhauls touched: they reuse a MatchContext (CSR
+// snapshot, BFS buffers, counter arrays, k-hop ball index) across calls,
+// store membership in flat bitsets, traverse precomputed balls instead of
+// re-running BFS, and fan the seeding phase out over a thread pool. This
 // sweep pins all of that to the naive dense-distance-matrix fixpoints on
-// random graph/pattern pairs, for thread counts {1, 4} — the acceptance
-// gate for "parallel seeding is deterministic".
+// random graph/pattern pairs, for thread counts {1, 4} crossed with every
+// ball-index posture — enabled, disabled, and capped so hard that every
+// node overflows into the per-node BFS fallback (plus a budget so small the
+// whole build is refused). The acceptance gate: all of them bit-identical.
 
 TEST(RandomEquivalenceTest, OptimizedMatchersMatchNaiveOraclesAcrossThreadCounts) {
-  // One context per thread count, deliberately reused across all iterations
-  // so snapshot invalidation (new graph identity every round) and counter
-  // re-zeroing are exercised, not just the happy first call.
-  MatchContext ctx_serial, ctx_parallel;
+  struct BallConfig {
+    const char* name;
+    BallIndexOptions options;
+  };
+  // build_after_uses = 1 forces the eager build: each (graph, pattern)
+  // round uses a fresh graph identity, so the default deferred policy would
+  // never build at all and the index paths would go untested.
+  const BallConfig configs[] = {
+      {"ball-on", {.build_after_uses = 1}},
+      {"ball-off", {.enabled = false}},
+      // Every ball overflows the per-node cap: the index exists but each
+      // candidate takes the BFS fallback.
+      {"ball-capped-nodes", {.max_ball_nodes = 0, .build_after_uses = 1}},
+      // The build itself is refused by the entry budget.
+      {"ball-capped-total", {.max_total_entries = 1, .build_after_uses = 1}},
+  };
+  // One context per (thread count, config), deliberately reused across all
+  // iterations so snapshot/index invalidation (new graph identity every
+  // round) and counter re-zeroing are exercised, not just the happy first
+  // call.
+  MatchContext ctxs[2][4];
   for (uint64_t seed = 1; seed <= 50; ++seed) {
     const size_t n = 20 + (seed * 13) % 90;
     const size_t m = 2 * n + seed % 40;
@@ -172,13 +192,18 @@ TEST(RandomEquivalenceTest, OptimizedMatchersMatchNaiveOraclesAcrossThreadCounts
     MatchRelation naive_dual = ComputeDualSimulationNaive(g, q);
 
     for (uint32_t threads : {1u, 4u}) {
-      MatchOptions opts;
-      opts.num_threads = threads;
-      MatchContext& ctx = threads == 1 ? ctx_serial : ctx_parallel;
-      EXPECT_TRUE(ComputeBoundedSimulation(g, q, opts, &ctx) == naive_bounded)
-          << "bounded mismatch: seed=" << seed << " threads=" << threads;
-      EXPECT_TRUE(ComputeDualSimulation(g, q, opts, &ctx) == naive_dual)
-          << "dual mismatch: seed=" << seed << " threads=" << threads;
+      for (size_t c = 0; c < 4; ++c) {
+        MatchOptions opts;
+        opts.num_threads = threads;
+        opts.ball_index = configs[c].options;
+        MatchContext& ctx = ctxs[threads == 1 ? 0 : 1][c];
+        EXPECT_TRUE(ComputeBoundedSimulation(g, q, opts, &ctx) == naive_bounded)
+            << "bounded mismatch: seed=" << seed << " threads=" << threads
+            << " config=" << configs[c].name;
+        EXPECT_TRUE(ComputeDualSimulation(g, q, opts, &ctx) == naive_dual)
+            << "dual mismatch: seed=" << seed << " threads=" << threads
+            << " config=" << configs[c].name;
+      }
     }
   }
 }

@@ -96,6 +96,27 @@ TEST_F(ServiceFixture, PerRequestCacheOptInOverridesDisabledDefault) {
   EXPECT_EQ(service.stats().cache_hits, 0u);
 }
 
+TEST_F(ServiceFixture, PerRequestBallIndexOptOutSameAnswer) {
+  // The per-request A/B knob: disabling the ball index forces the BFS
+  // traversal paths for that request only, with a bit-identical relation.
+  ServiceOptions opts;
+  opts.engine.use_cache = false;  // every request really evaluates
+  opts.engine.ball_index.build_after_uses = 1;
+  ExpFinderService service(&g_, opts);
+  auto indexed = service.Query(Fig1Request());
+  ASSERT_TRUE(indexed.ok());
+  QueryRequest req = Fig1Request();
+  req.use_ball_index = false;
+  auto plain = service.Query(req);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->answer->matches == indexed->answer->matches);
+  EXPECT_EQ(plain->path, ServingPath::kDirect);
+  // And the index stays warm: a third, default request matches too.
+  auto again = service.Query(Fig1Request());
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->answer->matches == indexed->answer->matches);
+}
+
 TEST_F(ServiceFixture, TopKThroughRequest) {
   ExpFinderService service(&g_);
   QueryRequest req = Fig1Request();

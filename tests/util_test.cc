@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "src/util/flat_queue.h"
 #include "src/util/logging.h"
 #include "src/util/result.h"
 #include "src/util/status.h"
@@ -120,6 +125,55 @@ TEST(LoggingTest, CheckPassesQuietly) {
 
 TEST(LoggingTest, CheckFailureAborts) {
   EXPECT_DEATH({ EF_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(FlatQueueTest, FifoOrderMatchesDeque) {
+  // The matchers' worklist contract: identical pop order to std::deque
+  // under an interleaved push/pop workload (including across the
+  // compaction threshold).
+  FlatQueue<int> q;
+  std::deque<int> ref;
+  uint64_t rng = 42;
+  int next = 0;
+  std::vector<int> popped_q, popped_ref;
+  for (int step = 0; step < 200000; ++step) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    if ((rng >> 33) % 3 != 0) {
+      q.emplace_back(next);
+      ref.push_back(next);
+      ++next;
+    } else if (!ref.empty()) {
+      popped_q.push_back(q.front());
+      popped_ref.push_back(ref.front());
+      q.pop_front();
+      ref.pop_front();
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    ASSERT_EQ(q.empty(), ref.empty());
+  }
+  while (!q.empty()) {
+    popped_q.push_back(q.front());
+    popped_ref.push_back(ref.front());
+    q.pop_front();
+    ref.pop_front();
+  }
+  EXPECT_EQ(popped_q, popped_ref);
+}
+
+TEST(FlatQueueTest, DrainAndReuse) {
+  FlatQueue<std::pair<int, int>> q;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10000; ++i) q.emplace_back(round, i);
+    for (int i = 0; i < 10000; ++i) {
+      ASSERT_EQ(q.front(), std::make_pair(round, i));
+      q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+  }
+  q.emplace_back(9, 9);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
 }
 
 TEST(TimerTest, MeasuresElapsed) {
