@@ -11,6 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+
 #include "bench/bench_common.h"
 #include "src/expfinder.h"
 
@@ -147,7 +150,7 @@ BENCHMARK(BM_ServiceConcurrentQueryBatch)->Threads(1)->Threads(2)->Threads(4)
 
 void BM_ServiceConcurrentReaders(benchmark::State& state) {
   // Shared service, one Query stream per benchmark thread: measures the
-  // reader-side scalability of the shared_mutex + context-pool design.
+  // reader-side scalability of the epoch-snapshot + context-pool design.
   static Graph g = *SharedGraph();
   static ExpFinderService service(&g, ReaderOptions());
   QueryRequest request;
@@ -161,6 +164,60 @@ void BM_ServiceConcurrentReaders(benchmark::State& state) {
 }
 BENCHMARK(BM_ServiceConcurrentReaders)->Threads(1)->Threads(4)->Threads(8)
     ->UseRealTime();
+
+/// A service under continuous write pressure: a dedicated thread applies a
+/// Mutate batch (which republishes the epoch snapshot) in a tight loop for
+/// as long as the rig lives. Readers in the benchmark body run against it.
+struct WriteLoadRig {
+  Graph g;
+  ExpFinderService service;
+  std::atomic<bool> stop{false};
+  std::thread writer;
+
+  WriteLoadRig() : g(*SharedGraph()), service(&g, ReaderOptions()) {
+    writer = std::thread([this] {
+      uint64_t seed = 7;
+      while (!stop.load(std::memory_order_acquire)) {
+        // The writer thread owns all mutation, so reading `g` to generate
+        // the next batch races with nothing.
+        UpdateBatch batch = GenerateUpdateStream(g, 4, 0.5, seed++);
+        EF_CHECK(service.Mutate(batch).ok());
+      }
+    });
+  }
+  ~WriteLoadRig() {
+    stop.store(true, std::memory_order_release);
+    writer.join();
+  }
+};
+
+void BM_ServiceReadUnderWriteLoad(benchmark::State& state) {
+  // The ISSUE 6 acceptance benchmark: read latency while a writer
+  // republishes the epoch continuously. Readers pin immutable snapshots —
+  // they never touch the writer lock — so per-read time should track
+  // BM_ServiceConcurrentReaders instead of stretching by the write duty
+  // cycle (under the PR 3 shared_mutex, every in-flight Mutate stalled
+  // every reader). The snapshot lifecycle counters land in
+  // BENCH_service.json so the acquire overhead is part of the trajectory.
+  static WriteLoadRig rig;
+  QueryRequest request;
+  request.pattern = gen::TeamQuery(state.thread_index() % 3);
+  request.use_cache = false;
+  request.match_threads = 1;
+  for (auto _ : state) {
+    auto response = rig.service.Query(request);
+    EF_CHECK(response.ok()) << response.status();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (state.thread_index() == 0) {
+    ServiceStats s = rig.service.stats();
+    state.counters["snapshot_acquires"] = static_cast<double>(s.snapshot_acquires);
+    state.counters["snapshots_published"] =
+        static_cast<double>(s.snapshots_published);
+    state.counters["snapshots_retired"] = static_cast<double>(s.snapshots_retired);
+  }
+}
+BENCHMARK(BM_ServiceReadUnderWriteLoad)->Threads(1)->Threads(4)->UseRealTime();
 
 void BM_ServiceMixedReadWrite(benchmark::State& state) {
   // One writer batch per iteration interleaved with a reader batch: the

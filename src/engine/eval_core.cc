@@ -1,0 +1,76 @@
+#include "src/engine/eval_core.h"
+
+#include "src/matching/bounded_simulation.h"
+#include "src/matching/dual_simulation.h"
+#include "src/matching/simulation.h"
+
+namespace expfinder {
+
+namespace {
+
+MatchRelation RunMatcher(const SnapshotPtr& s, const Pattern& q,
+                         const MatchOptions& opts, MatchContext* ctx) {
+  if (q.IsSimulationPattern()) return ComputeSimulation(s, q, opts, ctx);
+  return ComputeBoundedSimulation(s, q, opts, ctx);
+}
+
+/// The cooperative interruption point polled at evaluation stage
+/// boundaries: cancellation wins over the deadline (a cancelled request
+/// should not masquerade as slow).
+Status CheckInterrupts(const EvalOverrides& overrides) {
+  if (overrides.cancelled != nullptr &&
+      overrides.cancelled->load(std::memory_order_acquire)) {
+    return Status::Cancelled("evaluation cancelled at stage boundary");
+  }
+  if (overrides.timer != nullptr && overrides.time_budget_ms > 0.0 &&
+      overrides.timer->ElapsedMillis() > overrides.time_budget_ms) {
+    return Status::DeadlineExceeded("time budget exhausted at stage boundary");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t QueryCacheKey(const Pattern& q, MatchSemantics semantics) {
+  uint64_t fp = q.Fingerprint();
+  return semantics == MatchSemantics::kBoundedSimulation ? fp
+                                                         : fp ^ 0x9E3779B97F4A7C15ULL;
+}
+
+Result<MatchRelation> EvalCore::Evaluate(const EngineSnapshot& snap,
+                                         const Pattern& q, MatchSemantics semantics,
+                                         const EvalOverrides& overrides,
+                                         MatchContext* ctx,
+                                         MatchContext* compressed_ctx,
+                                         EvalPath* path) const {
+  *path = EvalPath::kDirect;
+  EvalPlan plan = planner_.Plan(snap.graph->graph(), q);
+  plan.match_options.num_threads =
+      overrides.match_threads.value_or(options_.match_threads);
+  plan.match_options.ball_index = options_.ball_index;
+  if (overrides.use_ball_index.has_value()) {
+    plan.match_options.ball_index.enabled = *overrides.use_ball_index;
+  }
+  if (plan.provably_empty) {
+    *path = EvalPath::kPlannerShortCircuit;
+    return MatchRelation(q.NumNodes());
+  }
+  EF_RETURN_NOT_OK(CheckInterrupts(overrides));  // planned, not yet matched
+  if (semantics == MatchSemantics::kDualSimulation) {
+    // The forward-bisimulation quotient does not preserve parent
+    // constraints, so dual queries always run directly on G.
+    return ComputeDualSimulation(snap.graph, q, plan.match_options, ctx);
+  }
+  if (snap.compressed != nullptr && snap.compressed->IsCompatible(q)) {
+    // The compressed view was frozen current at publish time — its
+    // compatibility with snap.graph needs no version check here.
+    *path = EvalPath::kCompressed;
+    MatchRelation compressed =
+        RunMatcher(snap.compressed_graph, q, plan.match_options, compressed_ctx);
+    EF_RETURN_NOT_OK(CheckInterrupts(overrides));  // matched, not decompressed
+    return snap.compressed->Decompress(compressed);
+  }
+  return RunMatcher(snap.graph, q, plan.match_options, ctx);
+}
+
+}  // namespace expfinder

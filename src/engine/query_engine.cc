@@ -3,9 +3,6 @@
 #include <sstream>
 #include <unordered_map>
 
-#include "src/matching/dual_simulation.h"
-#include "src/matching/bounded_simulation.h"
-#include "src/matching/simulation.h"
 #include "src/util/timer.h"
 
 namespace expfinder {
@@ -45,34 +42,7 @@ Status ValidateBatch(const Graph& g, const UpdateBatch& batch) {
   return Status::OK();
 }
 
-MatchRelation RunMatcher(const Graph& g, const Pattern& q, const MatchOptions& opts,
-                         MatchContext* ctx) {
-  if (q.IsSimulationPattern()) return ComputeSimulation(g, q, opts, ctx);
-  return ComputeBoundedSimulation(g, q, opts, ctx);
-}
-
-/// The cooperative interruption point polled at evaluation stage
-/// boundaries: cancellation wins over the deadline (a cancelled request
-/// should not masquerade as slow).
-Status CheckInterrupts(const EvalOverrides& overrides) {
-  if (overrides.cancelled != nullptr &&
-      overrides.cancelled->load(std::memory_order_acquire)) {
-    return Status::Cancelled("evaluation cancelled at stage boundary");
-  }
-  if (overrides.timer != nullptr && overrides.time_budget_ms > 0.0 &&
-      overrides.timer->ElapsedMillis() > overrides.time_budget_ms) {
-    return Status::DeadlineExceeded("time budget exhausted at stage boundary");
-  }
-  return Status::OK();
-}
-
 }  // namespace
-
-uint64_t QueryCacheKey(const Pattern& q, MatchSemantics semantics) {
-  uint64_t fp = q.Fingerprint();
-  return semantics == MatchSemantics::kBoundedSimulation ? fp
-                                                         : fp ^ 0x9E3779B97F4A7C15ULL;
-}
 
 std::string EngineStats::ToString() const {
   std::ostringstream os;
@@ -81,7 +51,11 @@ std::string EngineStats::ToString() const {
      << " compressed_evals=" << compressed_evals << " direct_evals=" << direct_evals
      << " planner_short_circuits=" << planner_short_circuits
      << " batches=" << batches_applied << " updates=" << updates_applied
-     << " csr_builds=" << csr_builds << " ball_index_builds=" << ball_index_builds
+     << " csr_builds=" << csr_builds
+     << " snapshots_published=" << snapshots_published
+     << " snapshot_acquires=" << snapshot_acquires
+     << " snapshots_retired=" << snapshots_retired
+     << " ball_index_builds=" << ball_index_builds
      << " ball_hits=" << ball_hits << " bfs_fallbacks=" << bfs_fallbacks
      << " last_eval_ms=" << last_eval_ms;
   return os.str();
@@ -89,10 +63,9 @@ std::string EngineStats::ToString() const {
 
 QueryEngine::QueryEngine(Graph* g, EngineOptions options)
     : g_(g),
-      options_(options),
-      planner_(options.use_planner),
+      core_(options),
       cache_(options.use_cache ? options.cache_capacity : 0) {
-  if (options_.use_compression) {
+  if (options.use_compression) {
     Status st = CompressNow();
     EF_CHECK(st.ok()) << "initial compression failed: " << st;
   }
@@ -104,12 +77,13 @@ Status QueryEngine::CompressNow() {
     return Status::OK();
   }
   if (compression_ == nullptr) {
-    auto mc = MaintainedCompression::Create(g_, options_.compression_schema);
+    auto mc = MaintainedCompression::Create(g_, core_.options().compression_schema);
     if (!mc.ok()) return mc.status();
     compression_ = std::make_unique<MaintainedCompression>(std::move(mc).value());
   } else {
     compression_->Rebuild();
   }
+  BumpEngineSeq();
   return Status::OK();
 }
 
@@ -117,41 +91,68 @@ const CompressedGraph* QueryEngine::compressed() const {
   return compression_ ? &compression_->current() : nullptr;
 }
 
-Result<MatchRelation> QueryEngine::EvaluateWith(const Pattern& q,
+std::shared_ptr<const EngineSnapshot> QueryEngine::Publish() {
+  ++stats_.snapshot_acquires;
+  if (published_ != nullptr && published_->engine_seq == engine_seq_ &&
+      published_->version == g_->version()) {
+    return published_;
+  }
+  auto next = std::make_shared<EngineSnapshot>();
+  // Reuse the published graph handle when the graph itself didn't change
+  // (e.g. a republish owed to RegisterMaintainedQuery): no copy, no CSR
+  // build, and the shared ball index stays warm.
+  if (published_ != nullptr && published_->graph->uid() == g_->uid() &&
+      published_->graph->version() == g_->version()) {
+    next->graph = published_->graph;
+  } else {
+    next->graph = g_->Publish();
+    ++snapshot_csr_builds_;
+  }
+  const EngineOptions& opts = core_.options();
+  if (opts.use_compression && compression_ != nullptr &&
+      compression_->current().source_version() == g_->version()) {
+    // Freeze the compressed view only when it is current — the snapshot
+    // then needs no version check at evaluation time. The frozen handles
+    // are reused across publishes while the view is unchanged.
+    const CompressedGraph& cg = compression_->current();
+    if (published_ != nullptr && published_->compressed != nullptr &&
+        published_->compressed->source_version() == cg.source_version() &&
+        published_->compressed_graph->uid() == cg.gc().uid() &&
+        published_->compressed_graph->version() == cg.gc().version()) {
+      next->compressed = published_->compressed;
+      next->compressed_graph = published_->compressed_graph;
+    } else {
+      next->compressed = std::make_shared<const CompressedGraph>(cg);
+      next->compressed_graph = next->compressed->gc().Publish();
+      ++snapshot_csr_builds_;
+    }
+  }
+  next->maintained.reserve(maintained_.size());
+  for (const auto& [key, m] : maintained_) {
+    next->maintained.emplace(key, m.Snapshot());
+  }
+  next->version = g_->version();
+  next->engine_seq = engine_seq_;
+  if (published_ != nullptr) ++stats_.snapshots_retired;
+  published_ = std::move(next);
+  ++stats_.snapshots_published;
+  // The engine's own contexts follow the published snapshot, so
+  // Evaluate()/TopK() share the frozen CSR and ball index with any service
+  // worker pinned to the same version.
+  match_ctx_.BindSnapshot(published_->graph);
+  compressed_ctx_.BindSnapshot(published_->compressed_graph);
+  RefreshDerivedStats();
+  return published_;
+}
+
+Result<MatchRelation> QueryEngine::EvaluateWith(const EngineSnapshot& snap,
+                                                const Pattern& q,
                                                 MatchSemantics semantics,
                                                 const EvalOverrides& overrides,
                                                 MatchContext* ctx,
                                                 MatchContext* compressed_ctx,
                                                 EvalPath* path) const {
-  *path = EvalPath::kDirect;
-  EvalPlan plan = planner_.Plan(*g_, q);
-  plan.match_options.num_threads =
-      overrides.match_threads.value_or(options_.match_threads);
-  plan.match_options.ball_index = options_.ball_index;
-  if (overrides.use_ball_index.has_value()) {
-    plan.match_options.ball_index.enabled = *overrides.use_ball_index;
-  }
-  if (plan.provably_empty) {
-    *path = EvalPath::kPlannerShortCircuit;
-    return MatchRelation(q.NumNodes());
-  }
-  EF_RETURN_NOT_OK(CheckInterrupts(overrides));  // planned, not yet matched
-  if (semantics == MatchSemantics::kDualSimulation) {
-    // The forward-bisimulation quotient does not preserve parent
-    // constraints, so dual queries always run directly on G.
-    return ComputeDualSimulation(*g_, q, plan.match_options, ctx);
-  }
-  if (options_.use_compression && compression_ != nullptr) {
-    const CompressedGraph& cg = compression_->current();
-    if (cg.source_version() == g_->version() && cg.IsCompatible(q)) {
-      *path = EvalPath::kCompressed;
-      MatchRelation compressed =
-          RunMatcher(cg.gc(), q, plan.match_options, compressed_ctx);
-      EF_RETURN_NOT_OK(CheckInterrupts(overrides));  // matched, not decompressed
-      return cg.Decompress(compressed);
-    }
-  }
-  return RunMatcher(*g_, q, plan.match_options, ctx);
+  return core_.Evaluate(snap, q, semantics, overrides, ctx, compressed_ctx, path);
 }
 
 std::optional<MatchRelation> QueryEngine::MaintainedSnapshot(
@@ -161,14 +162,9 @@ std::optional<MatchRelation> QueryEngine::MaintainedSnapshot(
   return it->second.Snapshot();
 }
 
-Result<MatchRelation> QueryEngine::EvaluateUncached(const Pattern& q,
-                                                    MatchSemantics semantics,
-                                                    EvalPath* path) {
-  return EvaluateWith(q, semantics, {}, &match_ctx_, &compressed_ctx_, path);
-}
-
 void QueryEngine::RefreshDerivedStats() {
-  stats_.csr_builds = match_ctx_.snapshot_builds() + compressed_ctx_.snapshot_builds();
+  stats_.csr_builds = snapshot_csr_builds_ + match_ctx_.snapshot_builds() +
+                      compressed_ctx_.snapshot_builds();
   size_t builds = match_ctx_.ball_index_builds() + compressed_ctx_.ball_index_builds();
   size_t hits = match_ctx_.ball_hits() + compressed_ctx_.ball_hits();
   size_t fallbacks = match_ctx_.bfs_fallbacks() + compressed_ctx_.bfs_fallbacks();
@@ -186,27 +182,35 @@ Result<std::shared_ptr<const QueryAnswer>> QueryEngine::Evaluate(
     const Pattern& q, MatchSemantics semantics) {
   EF_RETURN_NOT_OK(q.Validate());
   Timer timer;
+  // Stamps last_eval_ms on every exit — all five serving paths and failed
+  // evaluations alike, so the timing telemetry is uniform.
+  struct StampOnExit {
+    const Timer& timer;
+    double& out;
+    ~StampOnExit() { out = timer.ElapsedMillis(); }
+  } stamp{timer, stats_.last_eval_ms};
   ++stats_.queries;
+  auto snap = Publish();
   uint64_t key = QueryCacheKey(q, semantics);
 
-  if (options_.use_cache) {
-    if (auto hit = cache_.Get(key, g_->version())) {
+  if (core_.options().use_cache) {
+    if (auto hit = cache_.Get(key, snap->version)) {
       ++stats_.cache_hits;
-      stats_.last_eval_ms = timer.ElapsedMillis();
       return hit;
     }
   }
 
   MatchRelation matches;
-  if (auto snapshot = MaintainedSnapshot(q, semantics)) {
-    // Maintained queries are their own serving path: they bypass
-    // EvaluateUncached, so they must not fall through to the
-    // direct/compressed classification below.
+  if (const MatchRelation* maintained = snap->Maintained(key)) {
+    // Maintained queries are their own serving path: they bypass the eval
+    // core, so they must not fall through to the direct/compressed
+    // classification below.
     ++stats_.maintained_hits;
-    matches = std::move(*snapshot);
+    matches = *maintained;
   } else {
     EvalPath path = EvalPath::kDirect;
-    auto res = EvaluateUncached(q, semantics, &path);
+    auto res =
+        core_.Evaluate(*snap, q, semantics, {}, &match_ctx_, &compressed_ctx_, &path);
     if (!res.ok()) return res.status();
     matches = std::move(res).value();
     switch (path) {
@@ -222,12 +226,11 @@ Result<std::shared_ptr<const QueryAnswer>> QueryEngine::Evaluate(
     }
   }
 
-  ResultGraph rg(*g_, q, matches, &match_ctx_);
+  ResultGraph rg(snap->graph, q, matches, &match_ctx_);
   auto answer =
       std::make_shared<QueryAnswer>(QueryAnswer{std::move(matches), std::move(rg)});
-  if (options_.use_cache) cache_.Put(key, g_->version(), answer);
+  if (core_.options().use_cache) cache_.Put(key, snap->version, answer);
   RefreshDerivedStats();
-  stats_.last_eval_ms = timer.ElapsedMillis();
   return std::shared_ptr<const QueryAnswer>(answer);
 }
 
@@ -245,9 +248,10 @@ Result<NodeId> QueryEngine::AddNode(
   NodeId v = g_->AddNode(label);
   for (const auto& [key, value] : attrs) g_->SetAttr(v, key, value);
   for (auto& [fp, m] : maintained_) m.OnNodeAdded(v);
-  if (compression_ != nullptr && options_.maintain_compression) {
+  if (compression_ != nullptr && core_.options().maintain_compression) {
     compression_->OnNodeAdded(v);
   }
+  BumpEngineSeq();
   return v;
 }
 
@@ -259,7 +263,7 @@ Status QueryEngine::RegisterMaintainedQuery(const Pattern& q,
     return Status::AlreadyExists("query already maintained");
   }
   MatchOptions match_opts;
-  match_opts.ball_index = options_.ball_index;
+  match_opts.ball_index = core_.options().ball_index;
   Maintained m;
   if (semantics == MatchSemantics::kDualSimulation) {
     m.dual = std::make_unique<IncrementalDualSimulation>(g_, q, match_opts);
@@ -269,6 +273,7 @@ Status QueryEngine::RegisterMaintainedQuery(const Pattern& q,
     m.bounded = std::make_unique<IncrementalBoundedSimulation>(g_, q, match_opts);
   }
   maintained_.emplace(key, std::move(m));
+  BumpEngineSeq();
   RefreshDerivedStats();
   return Status::OK();
 }
@@ -279,14 +284,18 @@ bool QueryEngine::IsMaintained(const Pattern& q, MatchSemantics semantics) const
 
 Status QueryEngine::ApplyUpdates(const UpdateBatch& batch) {
   EF_RETURN_NOT_OK(ValidateBatch(*g_, batch));
+  // The maintainer Pre/PostUpdate pair is the first half of the snapshot
+  // transition; the second half is the next Publish(), which freezes the
+  // post-update state into the successor snapshot readers will pin.
   for (auto& [fp, m] : maintained_) m.PreUpdate(batch);
   EF_RETURN_NOT_OK(ApplyBatch(g_, batch));
   for (auto& [fp, m] : maintained_) m.PostUpdate(batch);
-  if (compression_ != nullptr && options_.maintain_compression) {
+  if (compression_ != nullptr && core_.options().maintain_compression) {
     compression_->OnGraphUpdated(batch);
   }
   ++stats_.batches_applied;
   stats_.updates_applied += batch.size();
+  BumpEngineSeq();
   RefreshDerivedStats();
   return Status::OK();
 }

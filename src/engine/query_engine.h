@@ -1,25 +1,39 @@
 // The ExpFinder query engine (paper §II, Fig. 2): evaluates pattern
 // queries, ranks matches, and coordinates the result cache, the incremental
-// computation module, and the graph compression module:
+// computation module, and the graph compression module.
 //
-//   Evaluate(Q):  cache hit -> return cached M(Q,G)
-//                 maintained query -> snapshot from incremental state
-//                 compressed graph available & compatible -> evaluate on Gc,
-//                    decompress
-//                 otherwise -> direct (bounded) simulation on G
-//   ApplyUpdates: routes batches through every registered incremental
-//                 state, then re-stabilizes the compressed graph.
+// Since ISSUE 6 the engine is a thin stateful facade over the stateless
+// EvalCore (eval_core.h). The facade owns the mutable half — the live
+// graph, the result cache, the incremental maintainers, the compression
+// state — and turns it into immutable EngineSnapshots via Publish():
+//
+//   Publish():     freeze (graph copy + CSR, current compressed view,
+//                  materialized maintained relations) into a refcounted
+//                  EngineSnapshot. Lazy: republishes only when a mutation
+//                  happened since the last publish, and reuses the graph /
+//                  compressed handles that didn't change.
+//   Evaluate(Q):   cache hit -> return cached M(Q,G)
+//                  maintained query -> relation from the pinned snapshot
+//                  compressed view attached & compatible -> evaluate on Gc,
+//                     decompress
+//                  otherwise -> direct (bounded) simulation, all through
+//                  EvalCore against the published snapshot.
+//   ApplyUpdates:  routes batches through every registered incremental
+//                  state, then re-stabilizes the compressed graph. The next
+//                  Publish() carries the transition to readers — maintainer
+//                  PreUpdate/PostUpdate are the first half of the publish
+//                  step (ExpFinderService::Mutate completes it by swapping
+//                  its epoch pointer to the fresh snapshot).
 
 #ifndef EXPFINDER_ENGINE_QUERY_ENGINE_H_
 #define EXPFINDER_ENGINE_QUERY_ENGINE_H_
 
-#include <atomic>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 
 #include "src/compression/maintenance.h"
-#include "src/engine/planner.h"
+#include "src/engine/eval_core.h"
 #include "src/engine/result_cache.h"
 #include "src/incremental/inc_bounded.h"
 #include "src/incremental/inc_dual.h"
@@ -30,76 +44,13 @@
 
 namespace expfinder {
 
-/// \brief Matching semantics the engine can evaluate.
-enum class MatchSemantics {
-  /// Bounded simulation — the paper's notion (bound-1 = plain simulation).
-  kBoundedSimulation,
-  /// Bounded *dual* simulation — parents must match too (extension; see
-  /// dual_simulation.h). Not servable from the compressed graph (the
-  /// forward-bisimulation quotient does not preserve parent constraints) or
-  /// from maintained bounded-simulation states.
-  kDualSimulation,
-};
-
-/// Cache key combining the pattern fingerprint with the semantics; shared by
-/// the engine's result cache and the service-layer cache so both serving
-/// stacks agree on what "the same query" means.
-uint64_t QueryCacheKey(const Pattern& q, MatchSemantics semantics);
-
-/// \brief How an uncached evaluation produced its relation.
-enum class EvalPath { kPlannerShortCircuit, kCompressed, kDirect };
-
-/// \brief Per-call evaluation overrides (the service layer's per-request
-/// knobs). Absent fields fall back to the engine's EngineOptions.
-struct EvalOverrides {
-  std::optional<uint32_t> match_threads;
-  /// Per-call ball-index participation; absent = EngineOptions::ball_index.
-  /// Disabling never changes the relation — only the traversal cost — and a
-  /// request that disables it does not invalidate the cached index.
-  std::optional<bool> use_ball_index;
-  /// Cooperative cancellation flag, polled at evaluation stage boundaries
-  /// (after planning, before each matcher run, before decompression). When
-  /// it reads true the evaluation stops with Status::Cancelled at the next
-  /// boundary; a running fixpoint is never preempted mid-stage. Null =
-  /// not cancellable.
-  const std::atomic<bool>* cancelled = nullptr;
-  /// Deadline enforcement at the same stage boundaries: with `timer` set
-  /// and `time_budget_ms` > 0, a boundary reached after the budget elapsed
-  /// fails the evaluation with Status::DeadlineExceeded. The timer is the
-  /// caller's, so the budget covers the request's whole life (queue wait
-  /// included), not just this call.
-  const Timer* timer = nullptr;
-  double time_budget_ms = 0.0;
-};
-
-/// \brief Engine configuration.
-struct EngineOptions {
-  bool use_cache = true;
-  size_t cache_capacity = 32;
-  /// Build and query a compressed graph when the pattern is compatible.
-  bool use_compression = false;
-  CompressionSchema compression_schema{true, {"experience"}};
-  /// Keep Gc in sync after ApplyUpdates (vs. rebuild-on-demand).
-  bool maintain_compression = true;
-  /// Candidate initialization via label index + selectivity ordering.
-  bool use_planner = true;
-  /// Worker threads for the matchers' parallel seeding phase
-  /// (0 = hardware_concurrency, 1 = serial; results are identical either
-  /// way — see MatchOptions::num_threads).
-  uint32_t match_threads = 0;
-  /// Ball-index participation and memory caps for the matchers and the
-  /// incremental maintainers (see khop_index.h). Relations are identical
-  /// with the index on, off, or capped into BFS fallback.
-  BallIndexOptions ball_index;
-};
-
 /// \brief Execution telemetry (cumulative + last query breakdown).
 ///
 /// Every query is classified into exactly one serving path, so
 ///   queries == cache_hits + maintained_hits + planner_short_circuits +
 ///              compressed_evals + direct_evals
 /// holds at all times (planner short circuits used to be double-counted as
-/// direct evals; maintained hits bypass EvaluateUncached entirely but still
+/// direct evals; maintained hits bypass the eval core entirely but still
 /// set last_eval_ms).
 struct EngineStats {
   size_t queries = 0;
@@ -110,9 +61,17 @@ struct EngineStats {
   size_t planner_short_circuits = 0;
   size_t batches_applied = 0;
   size_t updates_applied = 0;
-  /// CSR snapshot (re)builds across the engine's match contexts. Steady
-  /// state (repeated queries, no updates) must not grow this.
+  /// CSR snapshot (re)builds: one per GraphSnapshot captured at publish
+  /// time, plus any private per-context builds (the pre-snapshot paths).
+  /// Steady state (repeated queries, no updates) must not grow this.
   size_t csr_builds = 0;
+  /// Snapshot lifecycle: EngineSnapshots created by Publish(), handles
+  /// handed out (every Evaluate pins one; every Publish call returns one),
+  /// and snapshots superseded by a newer publish (retired from the
+  /// engine's slot — readers still holding the handle keep it alive).
+  size_t snapshots_published = 0;
+  size_t snapshot_acquires = 0;
+  size_t snapshots_retired = 0;
   /// Ball-index telemetry across the engine's match contexts and every
   /// maintained query: successful index (re)builds (like csr_builds, steady
   /// state must not grow this), traversals served from the index, and
@@ -121,6 +80,8 @@ struct EngineStats {
   size_t ball_index_builds = 0;
   size_t ball_hits = 0;
   size_t bfs_fallbacks = 0;
+  /// Wall time of the last Evaluate, stamped uniformly on every serving
+  /// path *and* on failed evaluations (cancel, deadline, error).
   double last_eval_ms = 0.0;
 
   /// Sum of the per-path counters; equals `queries` by construction.
@@ -132,15 +93,28 @@ struct EngineStats {
   std::string ToString() const;
 };
 
-/// \brief Facade over matching, ranking, incremental maintenance,
-/// compression and caching.
+/// \brief Stateful facade over matching, ranking, incremental maintenance,
+/// compression and caching; publishes immutable EngineSnapshots for the
+/// lock-free serving path.
 class QueryEngine {
  public:
   /// `g` must outlive the engine; the engine mutates it in ApplyUpdates.
   explicit QueryEngine(Graph* g, EngineOptions options = {});
 
   const Graph& graph() const { return *g_; }
-  const EngineOptions& options() const { return options_; }
+  const EngineOptions& options() const { return core_.options(); }
+  /// The stateless evaluation core (shared configuration + planner).
+  const EvalCore& core() const { return core_; }
+
+  /// The current published snapshot, republishing first when any mutation
+  /// happened since the last publish. Cheap when current (two integer
+  /// compares); a republish costs the graph copy + CSR build plus the
+  /// materialization of maintained relations and the compressed view.
+  /// Handles unchanged by the mutation (e.g. the graph after
+  /// RegisterMaintainedQuery) are reused, not recaptured. Not thread-safe
+  /// against other engine calls — the service serializes Publish behind its
+  /// writer lock; readers consume the returned handle, never the engine.
+  std::shared_ptr<const EngineSnapshot> Publish();
 
   /// Evaluates Q under the chosen semantics and returns the match relation
   /// + result graph.
@@ -153,23 +127,24 @@ class QueryEngine {
       RankingMetric metric = RankingMetric::kSocialImpact,
       MatchSemantics semantics = MatchSemantics::kBoundedSimulation);
 
-  /// The uncached evaluation core behind Evaluate, parameterized on the
-  /// scratch contexts so callers can bring their own. Const and
-  /// thread-compatible: any number of threads may call it concurrently as
-  /// long as (a) each call passes contexts no other call is using (`ctx` for
-  /// evaluation over G, `compressed_ctx` over Gc) and (b) nothing mutates
-  /// the graph or the engine for the duration (the service layer enforces
-  /// both with a reader/writer lock and a per-worker context pool). Does not
-  /// consult the cache or maintained state and updates no stats; `path`
-  /// reports the serving path taken.
-  Result<MatchRelation> EvaluateWith(const Pattern& q, MatchSemantics semantics,
+  /// The uncached evaluation core behind Evaluate: EvalCore::Evaluate
+  /// against a pinned snapshot, parameterized on the scratch contexts so
+  /// callers can bring their own. Const and thread-safe: any number of
+  /// threads may call it concurrently as long as each call passes contexts
+  /// no other call is using (`ctx` for evaluation over the snapshot's
+  /// graph, `compressed_ctx` over its Gc) — the snapshot is immutable, so
+  /// no reader ever waits on a writer. Does not consult the cache or
+  /// maintained state and updates no stats; `path` reports the serving
+  /// path taken.
+  Result<MatchRelation> EvaluateWith(const EngineSnapshot& snap, const Pattern& q,
+                                     MatchSemantics semantics,
                                      const EvalOverrides& overrides, MatchContext* ctx,
                                      MatchContext* compressed_ctx,
                                      EvalPath* path) const;
 
   /// Snapshot of a maintained query's relation, or nullopt when (q,
-  /// semantics) was never registered. Const and thread-compatible under the
-  /// same no-concurrent-writer contract as EvaluateWith.
+  /// semantics) was never registered. Reads the *live* maintainer state —
+  /// concurrent readers should use EngineSnapshot::Maintained instead.
   std::optional<MatchRelation> MaintainedSnapshot(const Pattern& q,
                                                   MatchSemantics semantics) const;
 
@@ -242,26 +217,32 @@ class QueryEngine {
     }
   };
 
-  Result<MatchRelation> EvaluateUncached(const Pattern& q, MatchSemantics semantics,
-                                         EvalPath* path);
-
   /// Re-derives the counters that aggregate context and maintained-query
   /// state (csr_builds + the ball-index trio).
   void RefreshDerivedStats();
 
+  /// Marks published state stale; the next Publish() builds a successor.
+  void BumpEngineSeq() { ++engine_seq_; }
+
   Graph* g_;
-  EngineOptions options_;
-  Planner planner_;
+  EvalCore core_;
   ResultCache cache_;
   std::unique_ptr<MaintainedCompression> compression_;
   std::unordered_map<uint64_t, Maintained> maintained_;
-  /// Scratch + versioned CSR snapshot for evaluations over *g_ (matchers
-  /// and ResultGraph construction share it, so a steady-state query builds
-  /// no per-query CSR at all).
+  /// Scratch for evaluations through Evaluate()/TopK(); bound to the
+  /// published snapshot at each Publish, so a steady-state query builds no
+  /// per-query CSR at all.
   MatchContext match_ctx_;
   /// Separate context for evaluations over the compressed graph, so
   /// alternating direct/compressed queries don't thrash one snapshot slot.
   MatchContext compressed_ctx_;
+  /// The current published snapshot (null until the first Publish).
+  std::shared_ptr<const EngineSnapshot> published_;
+  /// Bumped by every mutation; published_->engine_seq trails it exactly
+  /// when a republish is owed.
+  uint64_t engine_seq_ = 0;
+  /// CSRs built inside GraphSnapshot captures (feeds stats_.csr_builds).
+  size_t snapshot_csr_builds_ = 0;
   EngineStats stats_;
 };
 

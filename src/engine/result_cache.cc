@@ -2,19 +2,24 @@
 
 namespace expfinder {
 
+uint64_t ResultCache::Key(uint64_t fingerprint, uint64_t graph_version) {
+  uint64_t x = fingerprint ^ (graph_version + 0x9E3779B97F4A7C15ULL +
+                              (fingerprint << 6) + (fingerprint >> 2));
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
 std::shared_ptr<const QueryAnswer> ResultCache::Get(uint64_t fingerprint,
                                                     uint64_t graph_version) {
   if (capacity_ == 0) return nullptr;  // disabled: no lookup bookkeeping
-  auto it = map_.find(fingerprint);
-  if (it == map_.end()) {
+  auto it = map_.find(Key(fingerprint, graph_version));
+  if (it == map_.end() || it->second->fingerprint != fingerprint ||
+      it->second->graph_version != graph_version) {
     ++misses_;
-    return nullptr;
-  }
-  if (it->second->graph_version != graph_version) {
-    ++stale_drops_;
-    ++misses_;
-    lru_.erase(it->second);
-    map_.erase(it);
     return nullptr;
   }
   ++hits_;
@@ -25,17 +30,19 @@ std::shared_ptr<const QueryAnswer> ResultCache::Get(uint64_t fingerprint,
 void ResultCache::Put(uint64_t fingerprint, uint64_t graph_version,
                       std::shared_ptr<const QueryAnswer> answer) {
   if (capacity_ == 0) return;
-  auto it = map_.find(fingerprint);
+  const uint64_t key = Key(fingerprint, graph_version);
+  auto it = map_.find(key);
   if (it != map_.end()) {
+    it->second->fingerprint = fingerprint;
     it->second->graph_version = graph_version;
     it->second->answer = std::move(answer);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   lru_.push_front({fingerprint, graph_version, std::move(answer)});
-  map_[fingerprint] = lru_.begin();
+  map_[key] = lru_.begin();
   while (map_.size() > capacity_) {
-    map_.erase(lru_.back().fingerprint);
+    map_.erase(Key(lru_.back().fingerprint, lru_.back().graph_version));
     lru_.pop_back();
   }
 }

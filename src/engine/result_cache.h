@@ -1,7 +1,12 @@
 // LRU cache of query answers ("the query engine directly returns M(Q,G) if
-// it is already cached", paper §II). Keys are pattern fingerprints; each
-// entry remembers the graph version it was computed against, so any graph
-// mutation implicitly invalidates stale entries.
+// it is already cached", paper §II). The graph version is folded into the
+// cache key itself (ISSUE 6): an entry is the answer to (pattern
+// fingerprint, graph version), so a lookup either finds the answer computed
+// at exactly the requested version or misses — there is no staleness check
+// to scatter at call sites, and a read pinned to an old snapshot
+// (`as_of_version`) can never be served a newer relation. Entries for
+// superseded versions are not proactively dropped; they keep serving pinned
+// reads until LRU pressure evicts them.
 
 #ifndef EXPFINDER_ENGINE_RESULT_CACHE_H_
 #define EXPFINDER_ENGINE_RESULT_CACHE_H_
@@ -22,7 +27,7 @@ struct QueryAnswer {
   ResultGraph result_graph;
 };
 
-/// \brief LRU map fingerprint -> QueryAnswer@graph-version.
+/// \brief LRU map (fingerprint, graph version) -> QueryAnswer.
 ///
 /// `capacity == 0` means *disabled*: Get always misses and Put is a no-op,
 /// with no map lookups and no hit/miss bookkeeping — the counters stay 0, so
@@ -31,11 +36,13 @@ class ResultCache {
  public:
   explicit ResultCache(size_t capacity) : capacity_(capacity) {}
 
-  /// Fetches the entry if present *and* computed at `graph_version`;
-  /// refreshes recency. Stale entries are dropped on lookup.
+  /// Fetches the answer computed at exactly (fingerprint, graph_version);
+  /// refreshes recency. Entries at other versions neither match nor are
+  /// disturbed.
   std::shared_ptr<const QueryAnswer> Get(uint64_t fingerprint, uint64_t graph_version);
 
-  /// Inserts/overwrites; evicts least-recently-used beyond capacity.
+  /// Inserts/overwrites the (fingerprint, graph_version) entry; evicts
+  /// least-recently-used beyond capacity.
   void Put(uint64_t fingerprint, uint64_t graph_version,
            std::shared_ptr<const QueryAnswer> answer);
 
@@ -45,7 +52,6 @@ class ResultCache {
 
   size_t hits() const { return hits_; }
   size_t misses() const { return misses_; }
-  size_t stale_drops() const { return stale_drops_; }
 
  private:
   struct Entry {
@@ -53,10 +59,17 @@ class ResultCache {
     uint64_t graph_version;
     std::shared_ptr<const QueryAnswer> answer;
   };
+
+  /// The combined map key. Mixes version into the fingerprint
+  /// (splitmix64-style) — entries verify the full (fingerprint, version)
+  /// pair on lookup, so a 64-bit mix collision degrades to a miss, never a
+  /// wrong answer.
+  static uint64_t Key(uint64_t fingerprint, uint64_t graph_version);
+
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
-  size_t hits_ = 0, misses_ = 0, stale_drops_ = 0;
+  size_t hits_ = 0, misses_ = 0;
 };
 
 }  // namespace expfinder

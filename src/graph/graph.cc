@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "src/graph/graph_snapshot.h"
 #include "src/util/logging.h"
 
 namespace expfinder {
@@ -14,6 +15,10 @@ const std::vector<NodeId> kEmptyNodes;
 uint64_t Graph::NextUid() {
   static std::atomic<uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::shared_ptr<const GraphSnapshot> Graph::Publish() const {
+  return GraphSnapshot::Capture(*this);
 }
 
 NodeId Graph::AddNode(std::string_view label) {

@@ -13,6 +13,7 @@
 #ifndef EXPFINDER_GRAPH_GRAPH_H_
 #define EXPFINDER_GRAPH_GRAPH_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -24,6 +25,8 @@
 #include "src/util/status.h"
 
 namespace expfinder {
+
+class GraphSnapshot;
 
 /// \brief Attributed directed graph with dynamic edge updates.
 class Graph {
@@ -104,6 +107,13 @@ class Graph {
 
   /// Bumped on every mutation (node/edge/attr change); used by caches.
   uint64_t version() const { return version_; }
+
+  /// Publishes the current state as an immutable GraphSnapshot (see
+  /// graph_snapshot.h): a refcounted handle bundling a frozen copy of this
+  /// graph, its CSR, and a lazily attached ball index. The snapshot shares
+  /// nothing with this graph — mutating on after Publish never disturbs
+  /// readers holding the handle.
+  std::shared_ptr<const GraphSnapshot> Publish() const;
 
   /// Process-unique construction identity. Every default-constructed Graph
   /// draws a fresh uid; copies/moves carry their source's uid. Snapshot

@@ -153,6 +153,13 @@ MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
   return ComputeBoundedSimulation(g, q, options, &ctx);
 }
 
+MatchRelation ComputeBoundedSimulation(const SnapshotPtr& s, const Pattern& q,
+                                       const MatchOptions& options,
+                                       MatchContext* ctx) {
+  ctx->BindSnapshot(s);
+  return ComputeBoundedSimulation(s->graph(), q, options, ctx);
+}
+
 MatchRelation ComputeBoundedSimulationNaive(const Graph& g, const Pattern& q) {
   const size_t n = g.NumNodes();
   const size_t nq = q.NumNodes();

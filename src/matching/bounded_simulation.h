@@ -16,6 +16,7 @@
 #define EXPFINDER_MATCHING_BOUNDED_SIMULATION_H_
 
 #include "src/graph/graph.h"
+#include "src/graph/graph_snapshot.h"
 #include "src/matching/candidates.h"
 #include "src/matching/match_relation.h"
 #include "src/query/pattern.h"
@@ -34,6 +35,15 @@ MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
                                        const MatchOptions& options, MatchContext* ctx);
 MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
                                        const MatchOptions& options = {});
+
+/// Snapshot form: evaluates against a published immutable GraphSnapshot.
+/// Binds `ctx` (required) to the snapshot — the CSR and ball index come
+/// from the snapshot, shared with every other reader of the same version,
+/// and the binding persists so ResultGraph construction rides the same
+/// state. This is the serving path: any number of threads may evaluate
+/// against one snapshot concurrently, each with its own context.
+MatchRelation ComputeBoundedSimulation(const SnapshotPtr& s, const Pattern& q,
+                                       const MatchOptions& options, MatchContext* ctx);
 
 /// Reference implementation against a dense all-pairs distance matrix;
 /// requires g.NumNodes() <= 4096.

@@ -212,6 +212,12 @@ MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
   return ComputeDualSimulation(g, q, options, &ctx);
 }
 
+MatchRelation ComputeDualSimulation(const SnapshotPtr& s, const Pattern& q,
+                                    const MatchOptions& options, MatchContext* ctx) {
+  ctx->BindSnapshot(s);
+  return ComputeDualSimulation(s->graph(), q, options, ctx);
+}
+
 MatchRelation ComputeDualSimulationNaive(const Graph& g, const Pattern& q) {
   const size_t n = g.NumNodes();
   const size_t nq = q.NumNodes();

@@ -22,6 +22,7 @@
 #define EXPFINDER_MATCHING_DUAL_SIMULATION_H_
 
 #include "src/graph/graph.h"
+#include "src/graph/graph_snapshot.h"
 #include "src/matching/candidates.h"
 #include "src/matching/match_relation.h"
 #include "src/query/pattern.h"
@@ -39,6 +40,11 @@ MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
                                     const MatchOptions& options, MatchContext* ctx);
 MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
                                     const MatchOptions& options = {});
+
+/// Snapshot form: evaluates against a published immutable GraphSnapshot,
+/// binding `ctx` (required) to it. See bounded_simulation.h.
+MatchRelation ComputeDualSimulation(const SnapshotPtr& s, const Pattern& q,
+                                    const MatchOptions& options, MatchContext* ctx);
 
 /// Reference implementation against a dense distance matrix; test oracle
 /// (graphs <= 4096 nodes).

@@ -10,6 +10,7 @@ constexpr size_t kMinSeedItemsPerWorker = 128;
 }  // namespace
 
 const Csr& MatchContext::SnapshotFor(const Graph& g) {
+  if (snapshot_ != nullptr && &snapshot_->graph() == &g) return snapshot_->csr();
   if (csr_ == nullptr || snapshot_graph_ != &g || snapshot_uid_ != g.uid() ||
       snapshot_version_ != g.version()) {
     csr_ = std::make_unique<Csr>(g);
@@ -42,6 +43,19 @@ void MatchContext::InvalidateSnapshot() {
 const KhopIndex* MatchContext::BallIndexFor(const Graph& g, Distance depth,
                                             const BallIndexOptions& limits,
                                             uint32_t num_threads) {
+  if (snapshot_ != nullptr && &snapshot_->graph() == &g) {
+    // Bound path: the index lives on the shared snapshot — built once per
+    // published version, scanned by every reader. A build this call
+    // triggers uses this context's seeding pool and is attributed to this
+    // context's build counter.
+    const size_t workers = SeedWorkers(num_threads, snapshot_->csr().NumNodes());
+    ThreadPool* pool = workers > 1 ? &Pool(workers) : nullptr;
+    bool built_now = false;
+    const KhopIndex* index =
+        snapshot_->BallIndex(depth, limits, pool, workers, &built_now);
+    if (built_now) ++ball_index_builds_;
+    return index;
+  }
   if (!limits.enabled || depth == 0 || depth == kUnreachable ||
       depth > limits.max_depth) {
     return nullptr;

@@ -37,6 +37,7 @@
 #include "src/graph/bfs.h"
 #include "src/graph/csr.h"
 #include "src/graph/graph.h"
+#include "src/graph/graph_snapshot.h"
 #include "src/graph/khop_index.h"
 #include "src/util/thread_pool.h"
 
@@ -49,11 +50,26 @@ class MatchContext {
   MatchContext(const MatchContext&) = delete;
   MatchContext& operator=(const MatchContext&) = delete;
 
+  /// Binds this context to a published GraphSnapshot: while bound, every
+  /// SnapshotFor / BallIndexFor / CachedBallIndex call against the
+  /// snapshot's graph is answered from the snapshot itself — the shared,
+  /// pre-built CSR and the shared lazily-built ball index — instead of the
+  /// context's private (uid, version)-keyed slots. The context retains the
+  /// handle, pinning the snapshot for as long as the binding lasts (a
+  /// worker binds per request; the engine rebinds at each publish).
+  /// Binding nullptr unbinds. The private slots are untouched either way,
+  /// so unbound use (the pre-snapshot paths, tests, oracles) behaves
+  /// exactly as before.
+  void BindSnapshot(SnapshotPtr snapshot) { snapshot_ = std::move(snapshot); }
+  const SnapshotPtr& bound_snapshot() const { return snapshot_; }
+
   /// The CSR snapshot of `g`, rebuilt only when the cached snapshot was
   /// taken from a different graph — keyed on (address, Graph::uid(),
   /// version()); the uid catches a Graph re-constructed in place whose
   /// restarted version counter collides with the cached one. The reference
-  /// stays valid until the next SnapshotFor with a changed graph.
+  /// stays valid until the next SnapshotFor with a changed graph. When `g`
+  /// is the bound snapshot's graph, returns the snapshot's shared CSR
+  /// without building anything.
   const Csr& SnapshotFor(const Graph& g);
 
   /// Drops the cached snapshot and the ball index derived from it (next
@@ -85,6 +101,9 @@ class MatchContext {
   /// never builds, never counts a use. For secondary consumers
   /// (ResultGraph construction) that ride on whatever the matchers warmed.
   const KhopIndex* CachedBallIndex(const Graph& g) const {
+    if (snapshot_ != nullptr && &snapshot_->graph() == &g) {
+      return snapshot_->CachedBallIndex();
+    }
     if (ball_index_ != nullptr && ball_graph_ == &g && ball_uid_ == g.uid() &&
         ball_version_ == g.version()) {
       return ball_index_.get();
@@ -137,6 +156,9 @@ class MatchContext {
   size_t SeedWorkers(uint32_t requested, size_t work_items) const;
 
  private:
+  /// Bound published snapshot (nullptr = unbound, private slots serve).
+  SnapshotPtr snapshot_;
+
   const Graph* snapshot_graph_ = nullptr;
   uint64_t snapshot_uid_ = 0;
   uint64_t snapshot_version_ = 0;

@@ -11,6 +11,15 @@
 
 namespace expfinder {
 
+namespace {
+/// Binds the context to the snapshot, then yields the graph to build over —
+/// lets the snapshot constructor delegate with the binding already in place.
+const Graph& BindAndGraph(const SnapshotPtr& s, MatchContext* ctx) {
+  ctx->BindSnapshot(s);
+  return s->graph();
+}
+}  // namespace
+
 ResultGraph::ResultGraph(const Graph& g, const Pattern& q, const MatchRelation& m,
                          MatchContext* ctx) {
   // Union of matched data nodes, sorted and deduplicated.
@@ -152,6 +161,10 @@ ResultGraph::ResultGraph(const Graph& g, const Pattern& q, const MatchRelation& 
     for (const auto& [b, w] : out_[a]) in_[b].emplace_back(a, w);
   }
 }
+
+ResultGraph::ResultGraph(const SnapshotPtr& s, const Pattern& q,
+                         const MatchRelation& m, MatchContext* ctx)
+    : ResultGraph(BindAndGraph(s, ctx), q, m, ctx) {}
 
 std::optional<uint32_t> ResultGraph::PositionOf(NodeId v) const {
   auto it = index_.find(v);

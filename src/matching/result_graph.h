@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/graph/graph_snapshot.h"
 #include "src/graph/shortest_paths.h"
 #include "src/matching/match_relation.h"
 #include "src/query/pattern.h"
@@ -35,6 +36,12 @@ class ResultGraph {
               MatchContext* ctx);
   ResultGraph(const Graph& g, const Pattern& q, const MatchRelation& m)
       : ResultGraph(g, q, m, nullptr) {}
+
+  /// Snapshot form: builds over a published immutable GraphSnapshot,
+  /// binding `ctx` (required) to it — the construction rides the
+  /// snapshot's shared CSR and whatever ball index the matchers warmed.
+  ResultGraph(const SnapshotPtr& s, const Pattern& q, const MatchRelation& m,
+              MatchContext* ctx);
 
   /// Number of result nodes.
   size_t NumNodes() const { return nodes_.size(); }

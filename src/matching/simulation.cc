@@ -60,6 +60,12 @@ MatchRelation ComputeSimulation(const Graph& g, const Pattern& q,
   return ComputeSimulation(g, q, options, &ctx);
 }
 
+MatchRelation ComputeSimulation(const SnapshotPtr& s, const Pattern& q,
+                                const MatchOptions& options, MatchContext* ctx) {
+  ctx->BindSnapshot(s);
+  return ComputeSimulation(s->graph(), q, options, ctx);
+}
+
 MatchRelation ComputeSimulationNaive(const Graph& g, const Pattern& q) {
   EF_CHECK(q.IsSimulationPattern());
   const size_t nq = q.NumNodes();

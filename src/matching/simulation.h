@@ -14,6 +14,7 @@
 #define EXPFINDER_MATCHING_SIMULATION_H_
 
 #include "src/graph/graph.h"
+#include "src/graph/graph_snapshot.h"
 #include "src/matching/candidates.h"
 #include "src/matching/match_relation.h"
 #include "src/query/pattern.h"
@@ -30,6 +31,11 @@ MatchRelation ComputeSimulation(const Graph& g, const Pattern& q,
                                 const MatchOptions& options, MatchContext* ctx);
 MatchRelation ComputeSimulation(const Graph& g, const Pattern& q,
                                 const MatchOptions& options = {});
+
+/// Snapshot form: evaluates against a published immutable GraphSnapshot,
+/// binding `ctx` (required) to it. See bounded_simulation.h.
+MatchRelation ComputeSimulation(const SnapshotPtr& s, const Pattern& q,
+                                const MatchOptions& options, MatchContext* ctx);
 
 /// Reference implementation (slow, obviously-correct); test oracle.
 MatchRelation ComputeSimulationNaive(const Graph& g, const Pattern& q);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 
 #include "src/matching/result_graph.h"
 #include "src/ranking/topk.h"
@@ -35,6 +36,11 @@ size_t IdleContextCap() {
   return std::max<size_t>(8, 2 * ThreadPool::ResolveThreads(0));
 }
 
+ServiceOptions ClampOptions(ServiceOptions options) {
+  options.retained_snapshots = std::max<size_t>(1, options.retained_snapshots);
+  return options;
+}
+
 }  // namespace
 
 ExpFinderService::ContextLease::ContextLease(ExpFinderService* service)
@@ -58,13 +64,17 @@ ExpFinderService::ContextLease::~ContextLease() {
 
 ExpFinderService::ExpFinderService(Graph* g, ServiceOptions options)
     : g_(g),
-      options_(std::move(options)),
+      options_(ClampOptions(std::move(options))),
       engine_(g, WithEngineCacheDisabled(options_.engine)),
       cache_(options_.engine.use_cache ? options_.engine.cache_capacity : 0),
       queue_(options_.queue_capacity),
       paused_(options_.start_paused),
       executor_(std::make_unique<ThreadPool>(
-          ThreadPool::ResolveThreads(options_.serving_threads) + 1)) {}
+          ThreadPool::ResolveThreads(options_.serving_threads) + 1)) {
+  // The first epoch: no request ever observes a null snapshot.
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  PublishLocked();
+}
 
 ExpFinderService::~ExpFinderService() {
   shutdown_.store(true, std::memory_order_release);
@@ -169,84 +179,100 @@ Result<QueryResponse> ExpFinderService::Serve(const PendingQuery& pending,
   const bool use_cache = UseCache(request);
   const uint64_t key = QueryCacheKey(request.pattern, request.semantics);
 
+  // Pin the snapshot this request evaluates against: the current epoch
+  // (one atomic load), or a retained historical version for as_of reads.
+  // From here on the request touches only frozen state — no lock is shared
+  // with writers, so a long evaluation never delays a Mutate and a Mutate
+  // never invalidates anything this request reads.
+  std::shared_ptr<const EngineSnapshot> snap;
+  if (request.as_of_version.has_value()) {
+    snap = FindRetained(*request.as_of_version);
+    if (snap == nullptr) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::NotFound("as_of_version " +
+                              std::to_string(*request.as_of_version) +
+                              " is not retained (evicted or never published)");
+    }
+  } else {
+    snap = epoch_.load(std::memory_order_acquire);
+  }
+  snapshot_acquires_.fetch_add(1, std::memory_order_relaxed);
+
   QueryResponse response;
   response.queue_ms = queue_ms;
-  {
-    std::shared_lock<std::shared_mutex> reader(state_mu_);
-    response.graph_version = g_->version();
+  response.graph_version = snap->version;
 
+  if (use_cache) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (auto hit = cache_.Get(key, response.graph_version)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      response.answer = std::move(hit);
+      response.path = ServingPath::kCache;
+    }
+  }
+
+  if (response.answer == nullptr) {
+    MatchRelation matches;
+    ContextLease lease(this);
+    if (const MatchRelation* maintained = snap->Maintained(key)) {
+      maintained_hits_.fetch_add(1, std::memory_order_relaxed);
+      response.path = ServingPath::kMaintained;
+      matches = *maintained;  // the snapshot's copy is frozen; ours mutates
+    } else {
+      if (CancelRequested(pending)) {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Cancelled("cancelled before evaluation");
+      }
+      if (OverBudget(request, timer)) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::DeadlineExceeded("time budget exhausted before evaluation");
+      }
+      EvalOverrides overrides;
+      overrides.match_threads = request.match_threads;
+      overrides.use_ball_index = request.use_ball_index;
+      overrides.cancelled = &pending.ticket->cancelled;
+      overrides.timer = &timer;
+      overrides.time_budget_ms = request.time_budget_ms;
+      EvalPath path = EvalPath::kDirect;
+      auto evaluated = engine_.EvaluateWith(*snap, request.pattern,
+                                            request.semantics, overrides,
+                                            &lease.ctx().direct,
+                                            &lease.ctx().compressed, &path);
+      if (!evaluated.ok()) {
+        // A cancel observed at an engine stage boundary is its own
+        // terminal state; everything else (stage deadline, eval error)
+        // counts as rejected.
+        if (evaluated.status().IsCancelled()) {
+          cancelled_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return evaluated.status();
+      }
+      matches = std::move(evaluated).value();
+      switch (path) {
+        case EvalPath::kPlannerShortCircuit:
+          planner_short_circuits_.fetch_add(1, std::memory_order_relaxed);
+          response.path = ServingPath::kPlannerShortCircuit;
+          break;
+        case EvalPath::kCompressed:
+          compressed_evals_.fetch_add(1, std::memory_order_relaxed);
+          response.path = ServingPath::kCompressed;
+          break;
+        case EvalPath::kDirect:
+          direct_evals_.fetch_add(1, std::memory_order_relaxed);
+          response.path = ServingPath::kDirect;
+          break;
+      }
+    }
+    ResultGraph rg(snap->graph, request.pattern, matches, &lease.ctx().direct);
+    response.answer = std::make_shared<const QueryAnswer>(
+        QueryAnswer{std::move(matches), std::move(rg)});
     if (use_cache) {
       std::lock_guard<std::mutex> lock(cache_mu_);
-      if (auto hit = cache_.Get(key, response.graph_version)) {
-        cache_hits_.fetch_add(1, std::memory_order_relaxed);
-        response.answer = std::move(hit);
-        response.path = ServingPath::kCache;
-      }
+      cache_.Put(key, response.graph_version, response.answer);
     }
-
-    if (response.answer == nullptr) {
-      MatchRelation matches;
-      ContextLease lease(this);
-      if (auto snapshot =
-              engine_.MaintainedSnapshot(request.pattern, request.semantics)) {
-        maintained_hits_.fetch_add(1, std::memory_order_relaxed);
-        response.path = ServingPath::kMaintained;
-        matches = std::move(*snapshot);
-      } else {
-        if (CancelRequested(pending)) {
-          cancelled_.fetch_add(1, std::memory_order_relaxed);
-          return Status::Cancelled("cancelled before evaluation");
-        }
-        if (OverBudget(request, timer)) {
-          rejected_.fetch_add(1, std::memory_order_relaxed);
-          return Status::DeadlineExceeded("time budget exhausted before evaluation");
-        }
-        EvalOverrides overrides;
-        overrides.match_threads = request.match_threads;
-        overrides.use_ball_index = request.use_ball_index;
-        overrides.cancelled = &pending.ticket->cancelled;
-        overrides.timer = &timer;
-        overrides.time_budget_ms = request.time_budget_ms;
-        EvalPath path = EvalPath::kDirect;
-        auto evaluated =
-            engine_.EvaluateWith(request.pattern, request.semantics, overrides,
-                                 &lease.ctx().direct, &lease.ctx().compressed, &path);
-        if (!evaluated.ok()) {
-          // A cancel observed at an engine stage boundary is its own
-          // terminal state; everything else (stage deadline, eval error)
-          // counts as rejected.
-          if (evaluated.status().IsCancelled()) {
-            cancelled_.fetch_add(1, std::memory_order_relaxed);
-          } else {
-            rejected_.fetch_add(1, std::memory_order_relaxed);
-          }
-          return evaluated.status();
-        }
-        matches = std::move(evaluated).value();
-        switch (path) {
-          case EvalPath::kPlannerShortCircuit:
-            planner_short_circuits_.fetch_add(1, std::memory_order_relaxed);
-            response.path = ServingPath::kPlannerShortCircuit;
-            break;
-          case EvalPath::kCompressed:
-            compressed_evals_.fetch_add(1, std::memory_order_relaxed);
-            response.path = ServingPath::kCompressed;
-            break;
-          case EvalPath::kDirect:
-            direct_evals_.fetch_add(1, std::memory_order_relaxed);
-            response.path = ServingPath::kDirect;
-            break;
-        }
-      }
-      ResultGraph rg(*g_, request.pattern, matches, &lease.ctx().direct);
-      response.answer = std::make_shared<const QueryAnswer>(
-          QueryAnswer{std::move(matches), std::move(rg)});
-      if (use_cache) {
-        std::lock_guard<std::mutex> lock(cache_mu_);
-        cache_.Put(key, response.graph_version, response.answer);
-      }
-    }
-  }  // reader lock released: ranking reads only the immutable answer.
+  }
 
   if (request.top_k) {
     // Failures past this point keep the serving-path classification the
@@ -285,43 +311,84 @@ std::vector<Result<QueryResponse>> ExpFinderService::QueryBatch(
   return results;
 }
 
+void ExpFinderService::PublishLocked() {
+  auto snap = engine_.Publish();
+  auto current = epoch_.load(std::memory_order_relaxed);
+  if (snap == current) return;  // nothing changed since the last publish
+  epoch_.store(snap, std::memory_order_release);
+  snapshots_published_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> ring(ring_mu_);
+  retained_.push_back(std::move(snap));
+  while (retained_.size() > options_.retained_snapshots) {
+    retained_.pop_front();
+    snapshots_retired_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<const EngineSnapshot> ExpFinderService::FindRetained(
+    uint64_t version) const {
+  std::lock_guard<std::mutex> ring(ring_mu_);
+  // Newest first: the common as_of read pins a recent version.
+  for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
+    if ((*it)->version == version) return *it;
+  }
+  return nullptr;
+}
+
+std::vector<uint64_t> ExpFinderService::RetainedVersions() const {
+  std::lock_guard<std::mutex> ring(ring_mu_);
+  std::vector<uint64_t> versions;
+  versions.reserve(retained_.size());
+  for (const auto& snap : retained_) versions.push_back(snap->version);
+  return versions;
+}
+
 Status ExpFinderService::Mutate(const UpdateBatch& batch) {
-  std::unique_lock<std::shared_mutex> writer(state_mu_);
+  std::lock_guard<std::mutex> writer(writer_mu_);
   EF_RETURN_NOT_OK(engine_.ApplyUpdates(batch));
   batches_applied_.fetch_add(1, std::memory_order_relaxed);
   updates_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
+  PublishLocked();
   return Status::OK();
 }
 
 Result<NodeId> ExpFinderService::AddNode(
     std::string_view label,
     const std::vector<std::pair<std::string, AttrValue>>& attrs) {
-  std::unique_lock<std::shared_mutex> writer(state_mu_);
+  std::lock_guard<std::mutex> writer(writer_mu_);
   auto id = engine_.AddNode(label, attrs);
-  if (id.ok()) nodes_added_.fetch_add(1, std::memory_order_relaxed);
+  if (id.ok()) {
+    nodes_added_.fetch_add(1, std::memory_order_relaxed);
+    PublishLocked();
+  }
   return id;
 }
 
 Status ExpFinderService::RegisterMaintainedQuery(const Pattern& q,
                                                  MatchSemantics semantics) {
-  std::unique_lock<std::shared_mutex> writer(state_mu_);
-  return engine_.RegisterMaintainedQuery(q, semantics);
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  EF_RETURN_NOT_OK(engine_.RegisterMaintainedQuery(q, semantics));
+  PublishLocked();
+  return Status::OK();
 }
 
 bool ExpFinderService::IsMaintained(const Pattern& q,
                                     MatchSemantics semantics) const {
-  std::shared_lock<std::shared_mutex> reader(state_mu_);
-  return engine_.IsMaintained(q, semantics);
+  // Answered from the epoch snapshot — consistent with what a concurrent
+  // Serve would observe, and lock-free like every other read.
+  auto snap = epoch_.load(std::memory_order_acquire);
+  return snap->Maintained(QueryCacheKey(q, semantics)) != nullptr;
 }
 
 Status ExpFinderService::CompressNow() {
-  std::unique_lock<std::shared_mutex> writer(state_mu_);
-  return engine_.CompressNow();
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  EF_RETURN_NOT_OK(engine_.CompressNow());
+  PublishLocked();
+  return Status::OK();
 }
 
 uint64_t ExpFinderService::version() const {
-  std::shared_lock<std::shared_mutex> reader(state_mu_);
-  return g_->version();
+  return epoch_.load(std::memory_order_acquire)->version;
 }
 
 ServiceStats ExpFinderService::stats() const {
@@ -339,6 +406,9 @@ ServiceStats ExpFinderService::stats() const {
   s.batches_applied = batches_applied_.load(std::memory_order_relaxed);
   s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
   s.nodes_added = nodes_added_.load(std::memory_order_relaxed);
+  s.snapshots_published = snapshots_published_.load(std::memory_order_relaxed);
+  s.snapshot_acquires = snapshot_acquires_.load(std::memory_order_relaxed);
+  s.snapshots_retired = snapshots_retired_.load(std::memory_order_relaxed);
   s.queued = queue_.size();
   for (size_t i = 0; i < kQueueLatencyBuckets; ++i) {
     s.queue_latency_histogram[i] = queue_latency_[i].load(std::memory_order_relaxed);

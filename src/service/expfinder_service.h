@@ -19,37 +19,43 @@
 //     boundaries).
 //   * Query / QueryBatch are thin synchronous wrappers over Submit — there
 //     is exactly one serving path, so priorities, deadlines, admission
-//     control, and stats apply uniformly. Concurrent QueryBatch calls
-//     interleave in the shared queue instead of serializing (the PR 3
-//     batch mutex is gone; the executor is reentrant).
+//     control, and stats apply uniformly.
 //
-// Concurrency model — reader/writer isolation (unchanged from PR 3):
+// Concurrency model — epoch-published snapshots (ISSUE 6; replaces the
+// PR 3 reader/writer lock):
 //
-//   * Serving workers take the reader side of a shared_mutex, so every
-//     in-flight evaluation observes one immutable published graph
-//     snapshot; the graph version a response reports is exactly the
-//     version its relation was computed against.
-//   * Mutate / AddNode / RegisterMaintainedQuery / CompressNow take the
-//     writer side: they wait for in-flight evaluations, apply atomically,
-//     and bump the graph version. A batch is all-or-nothing; readers never
-//     see a half-applied batch. Writers bypass the admission queue.
+//   * Writers (Mutate / AddNode / RegisterMaintainedQuery / CompressNow)
+//     serialize on a plain mutex, apply their change to the engine, then
+//     *publish*: the engine freezes an immutable EngineSnapshot (graph copy
+//     + CSR, frozen compressed view, materialized maintained relations) and
+//     the service swaps it into an atomic epoch pointer. Publishing never
+//     waits for readers.
+//   * Readers pin the epoch snapshot (one atomic shared_ptr load) and
+//     evaluate entirely against it — matching, maintained lookups, result
+//     construction all read frozen state, so a reader NEVER blocks on the
+//     writer lock and a writer never waits for evaluations to drain. The
+//     graph version a response reports is exactly the version its relation
+//     was computed against.
+//   * The last ServiceOptions::retained_snapshots published snapshots stay
+//     pinned in a ring; QueryRequest::as_of_version serves time-travel
+//     reads from it (evicted versions fail with NotFound).
 //   * Each worker borrows a MatchContext pair from a pool (contexts are
-//     single-owner scratch; see match_context.h), the shared ResultCache
-//     has its own mutex, QueryAnswers are shared_ptr<const>, and stats are
-//     atomics.
+//     single-owner scratch; see match_context.h) and binds it to the pinned
+//     snapshot; the shared ResultCache keys answers by (query, version), so
+//     pinned reads can never observe a newer relation.
 //
 // QueryEngine remains the single-threaded core: the service composes it,
-// calling its const, context-parameterized EvaluateWith from workers and
-// its mutating operations from writers.
+// calling the stateless EvalCore against pinned snapshots from workers and
+// the engine's mutating operations (followed by Publish) from writers.
 
 #ifndef EXPFINDER_SERVICE_EXPFINDER_SERVICE_H_
 #define EXPFINDER_SERVICE_EXPFINDER_SERVICE_H_
 
 #include <array>
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -78,6 +84,11 @@ struct ServiceOptions {
   /// served requests. A Submit beyond it fails fast with
   /// kResourceExhausted (backpressure), it never blocks.
   size_t queue_capacity = 256;
+  /// How many published snapshots (including the current epoch) stay
+  /// pinned for QueryRequest::as_of_version reads. Each retained snapshot
+  /// holds a full graph copy + CSR, so this is deliberately small; 1 = no
+  /// time travel, current epoch only. Clamped to >= 1.
+  size_t retained_snapshots = 4;
   /// Open for admission but paused for serving: Submit queues requests
   /// (admission control, priorities, and Cancel all work) but nothing
   /// evaluates until Resume(). Useful for maintenance windows — warm the
@@ -89,8 +100,8 @@ struct ServiceOptions {
 };
 
 /// \brief Thread-safe expert-finding service with an asynchronous
-/// Submit/ticket API, priority admission control, snapshot-isolated reads,
-/// and synchronous convenience wrappers.
+/// Submit/ticket API, priority admission control, epoch-published
+/// snapshot-isolated reads, and synchronous convenience wrappers.
 class ExpFinderService {
  public:
   /// `g` must outlive the service; the service mutates it in Mutate/AddNode.
@@ -128,14 +139,17 @@ class ExpFinderService {
   /// are positionally aligned with `requests` and each request succeeds or
   /// fails independently. Responses of one batch are NOT guaranteed to
   /// share a graph version — each is individually snapshot-consistent, but
-  /// a concurrent Mutate may land between two of them. Concurrent
+  /// a concurrent Mutate may land between two of them (pin a shared
+  /// as_of_version to force one version across a batch). Concurrent
   /// QueryBatch calls interleave in the shared admission queue.
   std::vector<Result<QueryResponse>> QueryBatch(
       const std::vector<QueryRequest>& requests);
 
-  /// Applies a batch of edge updates atomically: waits for in-flight
-  /// queries, validates (on failure nothing changes), maintains registered
-  /// queries and the compressed graph, bumps the version.
+  /// Applies a batch of edge updates atomically and publishes the
+  /// successor snapshot: validation failure changes nothing; on success
+  /// maintained queries and the compressed graph are carried over and the
+  /// new epoch becomes visible to subsequent reads. In-flight reads keep
+  /// their pinned snapshot — a Mutate never waits for them.
   Status Mutate(const UpdateBatch& batch);
 
   /// Adds a person to the network (no edges yet; connect via Mutate).
@@ -144,7 +158,7 @@ class ExpFinderService {
       const std::vector<std::pair<std::string, AttrValue>>& attrs = {});
 
   /// Registers Q as an incrementally maintained query (writer-side: the
-  /// initial relation is computed under the exclusive lock).
+  /// initial relation is computed under the writer lock, then published).
   Status RegisterMaintainedQuery(
       const Pattern& q,
       MatchSemantics semantics = MatchSemantics::kBoundedSimulation);
@@ -155,24 +169,28 @@ class ExpFinderService {
   Status CompressNow();
   /// The compressed graph, or nullptr when not built. The pointee is only
   /// stable while no Mutate/CompressNow runs — single-threaded inspection
-  /// use only.
+  /// use only (readers evaluate against the frozen copy in their snapshot).
   const CompressedGraph* compressed() const { return engine_.compressed(); }
 
   /// The underlying graph. Reading it is safe while no Mutate/AddNode is in
   /// flight (e.g. single-threaded sections, display code); the service
-  /// itself never hands it to request threads.
+  /// itself never hands it to request threads — they read pinned snapshots.
   const Graph& graph() const { return *g_; }
 
-  /// Current graph version (consistent snapshot read).
+  /// Graph version of the current epoch snapshot (lock-free read).
   uint64_t version() const;
+
+  /// Versions currently served for as_of_version reads, oldest first (the
+  /// retained ring; the last entry is the current epoch).
+  std::vector<uint64_t> RetainedVersions() const;
 
   /// Snapshot of the cumulative counters.
   ServiceStats stats() const;
 
  private:
-  /// Per-worker scratch: one context for evaluation over G, one over Gc, so
-  /// a worker alternating direct/compressed queries doesn't thrash one
-  /// snapshot slot.
+  /// Per-worker scratch: one context for evaluation over the snapshot's
+  /// graph, one over its Gc, so a worker alternating direct/compressed
+  /// queries doesn't thrash one binding.
   struct WorkerContext {
     MatchContext direct;
     MatchContext compressed;
@@ -196,11 +214,19 @@ class ExpFinderService {
   /// expired budget), and otherwise serves it and completes the ticket.
   void DrainOne();
 
-  /// The evaluation path: cache probe, maintained snapshot, engine
-  /// evaluation with cancellation/deadline checkpoints, ranking. Updates
-  /// the per-outcome counters; `queue_ms` is the admission wait already
-  /// measured by DrainOne.
+  /// The evaluation path: pin a snapshot (epoch or as_of ring), cache
+  /// probe, maintained lookup, EvalCore evaluation with cancellation/
+  /// deadline checkpoints, ranking. Entirely lock-free against writers.
+  /// Updates the per-outcome counters; `queue_ms` is the admission wait
+  /// already measured by DrainOne.
   Result<QueryResponse> Serve(const PendingQuery& pending, double queue_ms);
+
+  /// Publishes the engine's current state as the new epoch and pushes it
+  /// into the retained ring (caller holds writer_mu_).
+  void PublishLocked();
+
+  /// The retained snapshot at `version`, or nullptr when evicted/unknown.
+  std::shared_ptr<const EngineSnapshot> FindRetained(uint64_t version) const;
 
   /// Resolved per-request cache participation.
   bool UseCache(const QueryRequest& request) const {
@@ -210,13 +236,24 @@ class ExpFinderService {
   Graph* g_;
   ServiceOptions options_;
 
-  /// Readers (serving workers) hold shared; writers (Mutate/AddNode/
-  /// RegisterMaintainedQuery/CompressNow) hold exclusive.
-  mutable std::shared_mutex state_mu_;
-  QueryEngine engine_;
+  /// Serializes writers (Mutate/AddNode/RegisterMaintainedQuery/
+  /// CompressNow) and every non-const engine call. Readers never take it.
+  std::mutex writer_mu_;
+  QueryEngine engine_;  // guarded by writer_mu_; readers touch only
+                        // pinned snapshots and const configuration
+
+  /// The current published snapshot. Writers store (under writer_mu_),
+  /// readers load and pin — lock-free on the read side.
+  std::atomic<std::shared_ptr<const EngineSnapshot>> epoch_;
+
+  /// Recently published snapshots, oldest first; back() == current epoch.
+  /// Guarded by ring_mu_ (touched by publishes and as_of lookups only —
+  /// current-epoch reads never take it).
+  mutable std::mutex ring_mu_;
+  std::deque<std::shared_ptr<const EngineSnapshot>> retained_;
 
   mutable std::mutex cache_mu_;
-  ResultCache cache_;  // guarded by cache_mu_
+  ResultCache cache_;  // guarded by cache_mu_; keys fold in the version
 
   std::mutex ctx_mu_;
   std::vector<std::unique_ptr<WorkerContext>> idle_contexts_;  // guarded by ctx_mu_
@@ -246,6 +283,9 @@ class ExpFinderService {
   std::atomic<size_t> batches_applied_{0};
   std::atomic<size_t> updates_applied_{0};
   std::atomic<size_t> nodes_added_{0};
+  std::atomic<size_t> snapshots_published_{0};
+  std::atomic<size_t> snapshot_acquires_{0};
+  std::atomic<size_t> snapshots_retired_{0};
   std::array<std::atomic<size_t>, kQueueLatencyBuckets> queue_latency_{};
 
   /// The serving executor: one Submit()ed drain task per admitted request.

@@ -124,6 +124,9 @@ std::string ServiceStats::ToString() const {
      << " cancelled=" << cancelled << " queued=" << queued
      << " query_batches=" << query_batches << " batches=" << batches_applied
      << " updates=" << updates_applied << " nodes_added=" << nodes_added
+     << " snapshots_published=" << snapshots_published
+     << " snapshot_acquires=" << snapshot_acquires
+     << " snapshots_retired=" << snapshots_retired
      << " queue_latency_ms=[";
   for (size_t i = 0; i < queue_latency_histogram.size(); ++i) {
     if (i > 0) os << " ";

@@ -89,6 +89,13 @@ struct QueryRequest {
   /// for this request only — the answer is identical, the cached index
   /// stays warm for other requests. A debugging / A-B measurement knob.
   std::optional<bool> use_ball_index;
+  /// Pin the evaluation to a specific published graph version instead of
+  /// the current epoch. Served from the service's retained-snapshot ring
+  /// (ServiceOptions::retained_snapshots): the relation is exactly
+  /// M(Q, G@as_of_version) no matter how many Mutates landed since. A
+  /// version no longer retained (evicted, or never published) fails the
+  /// request with Status::NotFound. Absent = the current epoch.
+  std::optional<uint64_t> as_of_version;
   /// Soft time budget in milliseconds, counted from Submit (queue wait
   /// included); 0 = unlimited. Best-effort: checked when the request is
   /// dequeued and at evaluation stage boundaries, never preemptively inside
@@ -235,6 +242,13 @@ struct ServiceStats {
   size_t batches_applied = 0;
   size_t updates_applied = 0;
   size_t nodes_added = 0;
+  /// Snapshot lifecycle (none of these enter ClassifiedQueries):
+  /// engine states published through the epoch pointer, reader pins of a
+  /// published snapshot (one per served request — the acquire overhead the
+  /// bench tracks), and snapshots evicted from the retained ring.
+  size_t snapshots_published = 0;
+  size_t snapshot_acquires = 0;
+  size_t snapshots_retired = 0;
   /// Requests sitting in the admission queue right now (a gauge, not a
   /// cumulative counter; excluded from ClassifiedQueries).
   size_t queued = 0;

@@ -68,7 +68,6 @@ TEST(ResultCacheTest, ZeroCapacityMeansDisabled) {
   EXPECT_EQ(cache.Get(1, 10), nullptr);
   EXPECT_EQ(cache.hits(), 0u);
   EXPECT_EQ(cache.misses(), 0u);
-  EXPECT_EQ(cache.stale_drops(), 0u);
 }
 
 TEST(ResultCacheTest, LruEvictionOrderPinned) {
@@ -96,34 +95,44 @@ TEST(ResultCacheTest, LruEvictionOrderPinned) {
   EXPECT_EQ(cache.size(), 3u);
 }
 
-TEST(ResultCacheTest, StaleEntryDroppedOnLookupAndReinsertable) {
-  // A stale hit is dropped *on lookup* (not just bypassed): the entry is
-  // gone afterwards, its slot is reusable, and the drop is counted once.
+TEST(ResultCacheTest, VersionsCoexistUnderFoldedKeys) {
+  // The graph version is folded into the cache key: entries for different
+  // versions of the same query are distinct. A lookup at a newer version is
+  // a plain miss, and — crucially for snapshot-pinned reads — the
+  // old-version entry is NOT dropped: it keeps serving as_of readers until
+  // LRU eviction retires it.
+  ResultCache cache(4);
+  auto mk = [] {
+    return std::make_shared<const QueryAnswer>(
+        QueryAnswer{MatchRelation(1), ResultGraph(Graph(), Pattern(), MatchRelation())});
+  };
+  cache.Put(1, 10, mk());
+  EXPECT_EQ(cache.Get(1, 11), nullptr);  // version moved on: miss, no drop
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  cache.Put(1, 11, mk());                // the new version joins the old one
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Get(1, 11), nullptr);
+  EXPECT_NE(cache.Get(1, 10), nullptr);  // pinned readers still hit
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(ResultCacheTest, OldVersionsEvictedByLruOnly) {
+  // With versioned keys there is no staleness sweep: old-version entries
+  // leave through the LRU door like everything else.
   ResultCache cache(2);
   auto mk = [] {
     return std::make_shared<const QueryAnswer>(
         QueryAnswer{MatchRelation(1), ResultGraph(Graph(), Pattern(), MatchRelation())});
   };
   cache.Put(1, 10, mk());
-  EXPECT_EQ(cache.Get(1, 11), nullptr);  // version moved on: dropped
-  EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.stale_drops(), 1u);
-  EXPECT_EQ(cache.misses(), 1u);
-  EXPECT_EQ(cache.hits(), 0u);
-  cache.Put(1, 11, mk());                // re-insert at the new version
+  cache.Put(1, 11, mk());  // recency: (1,11), (1,10)
+  cache.Put(1, 12, mk());  // evicts (1,10)
+  EXPECT_EQ(cache.Get(1, 10), nullptr);
   EXPECT_NE(cache.Get(1, 11), nullptr);
-  EXPECT_EQ(cache.hits(), 1u);
-  EXPECT_EQ(cache.stale_drops(), 1u);
-}
-
-TEST(ResultCacheTest, StaleVersionDropped) {
-  ResultCache cache(4);
-  cache.Put(1, 10,
-            std::make_shared<const QueryAnswer>(QueryAnswer{
-                MatchRelation(1), ResultGraph(Graph(), Pattern(), MatchRelation())}));
-  EXPECT_EQ(cache.Get(1, 11), nullptr);
-  EXPECT_EQ(cache.size(), 0u);  // dropped on stale lookup
-  EXPECT_EQ(cache.stale_drops(), 1u);
+  EXPECT_NE(cache.Get(1, 12), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
 }
 
 class EngineFixture : public ::testing::Test {
@@ -302,6 +311,52 @@ TEST_F(EngineFixture, EveryServingPathKeepsQueriesClassified) {
   EXPECT_EQ(s.ClassifiedQueries(), s.queries);
 }
 
+TEST_F(EngineFixture, LastEvalMsStampedUniformlyOnEveryServingPath) {
+  // Timing telemetry is uniform: every Evaluate restamps last_eval_ms no
+  // matter which of the five serving paths answered, including the paths
+  // that bypass the eval core entirely (cache, maintained).
+  EngineOptions opts;
+  opts.use_compression = true;
+  QueryEngine engine(&g_, opts);
+  EXPECT_EQ(engine.stats().last_eval_ms, 0.0);  // nothing served yet
+  std::vector<double> stamps;
+  auto serve = [&](const Pattern& q) {
+    const double before = engine.stats().last_eval_ms;
+    ASSERT_TRUE(engine.Evaluate(q).ok());
+    const double after = engine.stats().last_eval_ms;
+    EXPECT_GT(after, 0.0);
+    // Restamped, not carried over from the previous query (two wall-clock
+    // measurements at nanosecond resolution never coincide).
+    EXPECT_NE(after, before);
+    stamps.push_back(after);
+  };
+  serve(q_);  // compressed eval
+  serve(q_);  // cache hit
+  PatternBuilder direct;
+  direct.Node("SD", "sd").Where("specialty", CmpOp::kEq, "DBA").Output();
+  serve(direct.Build().value());  // direct (compression-incompatible)
+  PatternBuilder empty;
+  empty.Node("NOPE", "x").Output();
+  serve(empty.Build().value());  // planner short circuit
+  QueryEngine uncached(&g_, [] {
+    EngineOptions o;
+    o.use_cache = false;
+    return o;
+  }());
+  ASSERT_TRUE(uncached.RegisterMaintainedQuery(q_).ok());
+  const double before = uncached.stats().last_eval_ms;
+  ASSERT_TRUE(uncached.Evaluate(q_).ok());  // maintained hit
+  EXPECT_EQ(uncached.stats().maintained_hits, 1u);
+  EXPECT_GT(uncached.stats().last_eval_ms, 0.0);
+  EXPECT_NE(uncached.stats().last_eval_ms, before);
+  const EngineStats& s = engine.stats();
+  EXPECT_EQ(s.compressed_evals, 1u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.direct_evals, 1u);
+  EXPECT_EQ(s.planner_short_circuits, 1u);
+  EXPECT_EQ(stamps.size(), 4u);
+}
+
 TEST(EngineTest, CompressedSnapshotNotStaleAfterInPlaceRebuild) {
   // Regression: the compressed graph is rebuilt in place (gc_ = Graph()),
   // so its address is stable and its version counter restarts — an update
@@ -432,8 +487,9 @@ TEST_F(EngineFixture, PerCallOverrideDisablesBallIndexWithoutInvalidation) {
   overrides.use_ball_index = false;
   MatchContext ctx, compressed_ctx;
   EvalPath path = EvalPath::kDirect;
-  auto off = engine.EvaluateWith(q_, MatchSemantics::kBoundedSimulation, overrides,
-                                 &ctx, &compressed_ctx, &path);
+  auto snap = engine.Publish();
+  auto off = engine.EvaluateWith(*snap, q_, MatchSemantics::kBoundedSimulation,
+                                 overrides, &ctx, &compressed_ctx, &path);
   ASSERT_TRUE(off.ok());
   EXPECT_TRUE(*off == ComputeBoundedSimulationNaive(g_, q_));
   EXPECT_EQ(ctx.ball_index_builds(), 0u);

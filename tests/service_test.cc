@@ -450,8 +450,9 @@ TEST_F(ServiceFixture, EvalStageDeadlineAlsoYieldsDeadlineExceeded) {
   EvalOverrides overrides;
   overrides.timer = &started_long_ago;
   overrides.time_budget_ms = 1e-9;  // already expired at the first boundary
-  auto res = engine.EvaluateWith(q, MatchSemantics::kBoundedSimulation, overrides,
-                                 &ctx, &compressed_ctx, &path);
+  auto snap = engine.Publish();
+  auto res = engine.EvaluateWith(*snap, q, MatchSemantics::kBoundedSimulation,
+                                 overrides, &ctx, &compressed_ctx, &path);
   ASSERT_FALSE(res.ok());
   EXPECT_TRUE(res.status().IsDeadlineExceeded()) << res.status();
 }
@@ -467,8 +468,9 @@ TEST_F(ServiceFixture, CancelMidEvaluationStopsAtStageBoundary) {
   std::atomic<bool> cancel_flag{true};
   EvalOverrides overrides;
   overrides.cancelled = &cancel_flag;
-  auto res = engine.EvaluateWith(q, MatchSemantics::kBoundedSimulation, overrides,
-                                 &ctx, &compressed_ctx, &path);
+  auto snap = engine.Publish();
+  auto res = engine.EvaluateWith(*snap, q, MatchSemantics::kBoundedSimulation,
+                                 overrides, &ctx, &compressed_ctx, &path);
   ASSERT_FALSE(res.ok());
   EXPECT_TRUE(res.status().IsCancelled()) << res.status();
   // Cancellation wins over an expired deadline (a cancelled request must
@@ -476,8 +478,8 @@ TEST_F(ServiceFixture, CancelMidEvaluationStopsAtStageBoundary) {
   Timer started_long_ago;
   overrides.timer = &started_long_ago;
   overrides.time_budget_ms = 1e-9;
-  res = engine.EvaluateWith(q, MatchSemantics::kBoundedSimulation, overrides,
-                            &ctx, &compressed_ctx, &path);
+  res = engine.EvaluateWith(*snap, q, MatchSemantics::kBoundedSimulation,
+                            overrides, &ctx, &compressed_ctx, &path);
   ASSERT_FALSE(res.ok());
   EXPECT_TRUE(res.status().IsCancelled()) << res.status();
 }
@@ -571,6 +573,120 @@ TEST_F(ServiceFixture, ShutdownCompletesPendingTicketsAsCancelled) {
     EXPECT_FALSE(resp.ok());
     EXPECT_TRUE(resp.status().IsCancelled()) << resp.status();
   }
+}
+
+// ---------------------------------------------------------------------------
+// as_of_version: time-travel reads from the retained-snapshot ring.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceFixture, AsOfVersionServesRetainedSnapshot) {
+  const MatchRelation before = ComputeBoundedSimulation(g_, gen::BuildFig1Pattern());
+  ExpFinderService service(&g_);
+  const uint64_t v0 = service.version();
+  auto [src, dst] = gen::Fig1EdgeE1();
+  ASSERT_TRUE(service.Mutate({GraphUpdate::Insert(src, dst)}).ok());
+  ASSERT_GT(service.version(), v0);
+
+  // Pinned read: the relation is M(Q, G@v0) although the graph moved on.
+  QueryRequest pinned = Fig1Request();
+  pinned.as_of_version = v0;
+  auto old_resp = service.Query(pinned);
+  ASSERT_TRUE(old_resp.ok()) << old_resp.status();
+  EXPECT_EQ(old_resp->graph_version, v0);
+  EXPECT_TRUE(old_resp->answer->matches == before);
+  EXPECT_EQ(old_resp->answer->matches.TotalPairs(), 7u);
+
+  // Unpinned read sees the current epoch (Fred joined: 8 pairs).
+  auto new_resp = service.Query(Fig1Request());
+  ASSERT_TRUE(new_resp.ok());
+  EXPECT_EQ(new_resp->graph_version, service.version());
+  EXPECT_EQ(new_resp->answer->matches.TotalPairs(), 8u);
+
+  // Pinning the current version explicitly is equivalent to not pinning.
+  QueryRequest current = Fig1Request();
+  current.use_cache = false;
+  current.as_of_version = service.version();
+  auto cur_resp = service.Query(current);
+  ASSERT_TRUE(cur_resp.ok());
+  EXPECT_TRUE(cur_resp->answer->matches == new_resp->answer->matches);
+}
+
+TEST_F(ServiceFixture, AsOfVersionCacheHitsAreVersionScoped) {
+  // The version is folded into the cache key, so a pinned read can be
+  // served from the cache — and only ever by an entry of its own version.
+  ExpFinderService service(&g_);
+  const uint64_t v0 = service.version();
+  ASSERT_TRUE(service.Query(Fig1Request()).ok());  // warm the cache at v0
+  auto [src, dst] = gen::Fig1EdgeE1();
+  ASSERT_TRUE(service.Mutate({GraphUpdate::Insert(src, dst)}).ok());
+
+  QueryRequest pinned = Fig1Request();
+  pinned.as_of_version = v0;
+  auto resp = service.Query(pinned);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->path, ServingPath::kCache);  // the v0 entry still serves
+  EXPECT_EQ(resp->graph_version, v0);
+  EXPECT_EQ(resp->answer->matches.TotalPairs(), 7u);
+
+  auto current = service.Query(Fig1Request());  // miss: different version
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->path, ServingPath::kDirect);
+  EXPECT_EQ(current->answer->matches.TotalPairs(), 8u);
+}
+
+TEST_F(ServiceFixture, AsOfVersionEvictedOrUnknownIsNotFound) {
+  ServiceOptions opts;
+  opts.retained_snapshots = 1;  // current epoch only: no time travel
+  ExpFinderService service(&g_, opts);
+  const uint64_t v0 = service.version();
+  auto [src, dst] = gen::Fig1EdgeE1();
+  ASSERT_TRUE(service.Mutate({GraphUpdate::Insert(src, dst)}).ok());
+  EXPECT_EQ(service.RetainedVersions(),
+            std::vector<uint64_t>{service.version()});
+
+  QueryRequest evicted = Fig1Request();
+  evicted.as_of_version = v0;  // retired when the new epoch was published
+  auto resp = service.Query(evicted);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.status().IsNotFound()) << resp.status();
+
+  QueryRequest unknown = Fig1Request();
+  unknown.as_of_version = service.version() + 100;  // never published
+  auto future = service.Query(unknown);
+  ASSERT_FALSE(future.ok());
+  EXPECT_TRUE(future.status().IsNotFound()) << future.status();
+
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.rejected, 2u);
+  EXPECT_GE(s.snapshots_retired, 1u);
+  EXPECT_EQ(s.ClassifiedQueries(), s.queries);
+}
+
+TEST_F(ServiceFixture, RetainedRingKeepsTheLastKVersions) {
+  ServiceOptions opts;
+  opts.retained_snapshots = 3;
+  ExpFinderService service(&g_, opts);
+  std::vector<uint64_t> published = {service.version()};
+  auto [src, dst] = gen::Fig1EdgeE1();
+  GraphUpdate insert = GraphUpdate::Insert(src, dst);
+  GraphUpdate remove = GraphUpdate::Delete(src, dst);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(service.Mutate({i % 2 == 0 ? insert : remove}).ok());
+    published.push_back(service.version());
+  }
+  // Only the newest 3 of the 5 published versions remain, oldest first.
+  std::vector<uint64_t> want(published.end() - 3, published.end());
+  EXPECT_EQ(service.RetainedVersions(), want);
+  for (uint64_t version : want) {
+    QueryRequest req = Fig1Request();
+    req.use_cache = false;
+    req.as_of_version = version;
+    auto resp = service.Query(req);
+    ASSERT_TRUE(resp.ok()) << "version " << version << ": " << resp.status();
+    EXPECT_EQ(resp->graph_version, version);
+  }
+  EXPECT_EQ(service.stats().snapshots_published, 5u);
+  EXPECT_EQ(service.stats().snapshots_retired, 2u);
 }
 
 // ---------------------------------------------------------------------------
