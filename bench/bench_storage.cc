@@ -1,0 +1,182 @@
+// Experiment D1 — durability cost: WAL append throughput under each fsync
+// policy (the price of the acked-mutation guarantee is the kEveryRecord
+// sync; kInterval group-commit and kNone bound what turning it down buys),
+// recovery time as a function of replayed log length, and the checkpoint
+// write that bounds that length in steady state. Run via
+// BENCH_SUITES=storage scripts/bench.sh — results land in
+// BENCH_storage.json.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/expfinder.h"
+#include "src/storage/checkpoint.h"
+#include "src/storage/durable_graph.h"
+#include "src/storage/wal.h"
+
+using namespace expfinder;
+using namespace expfinder::bench;
+
+namespace {
+
+/// A fresh directory under the system temp root, wiped on construction and
+/// destruction so repeated runs never replay a previous run's log.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_((std::filesystem::temp_directory_path() /
+               ("expfinder_bench_" + tag))
+                  .string()) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// ~100-byte payload shaped like a real edge-batch record.
+std::string SamplePayload() {
+  UpdateBatch batch;
+  for (NodeId v = 0; v < 8; ++v) batch.push_back(GraphUpdate::Insert(v, v + 1));
+  return DurableGraph::EncodeBatch(batch);
+}
+
+void BM_WalAppend(benchmark::State& state) {
+  const FsyncPolicy policy = static_cast<FsyncPolicy>(state.range(0));
+  ScratchDir dir("wal_append_" + std::string(FsyncPolicyName(policy)));
+  WalOptions options;
+  options.dir = dir.path();
+  options.fsync_policy = policy;
+  WalRecovery recovery;
+  auto wal = Wal::Open(options, &recovery);
+  if (!wal.ok()) {
+    state.SkipWithError(wal.status().ToString().c_str());
+    return;
+  }
+  const std::string payload = SamplePayload();
+  for (auto _ : state) {
+    auto lsn = (*wal)->Append(payload);
+    if (!lsn.ok()) {
+      state.SkipWithError(lsn.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*lsn);
+  }
+  state.SetLabel(std::string(FsyncPolicyName(policy)));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() *
+                                               EncodeWalRecord(payload).size()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WalAppend)
+    ->Arg(static_cast<int>(FsyncPolicy::kNone))
+    ->Arg(static_cast<int>(FsyncPolicy::kInterval))
+    ->Arg(static_cast<int>(FsyncPolicy::kEveryRecord));
+
+void BM_WalRecovery(benchmark::State& state) {
+  // Recovery cost grows with the log replayed at boot; checkpoints exist to
+  // bound exactly this. Build the log once, then time clean reopens.
+  const size_t records = static_cast<size_t>(state.range(0));
+  ScratchDir dir("wal_recovery_" + std::to_string(records));
+  WalOptions options;
+  options.dir = dir.path();
+  options.fsync_policy = FsyncPolicy::kNone;
+  const std::string payload = SamplePayload();
+  {
+    WalRecovery recovery;
+    auto wal = Wal::Open(options, &recovery);
+    if (!wal.ok()) {
+      state.SkipWithError(wal.status().ToString().c_str());
+      return;
+    }
+    for (size_t i = 0; i < records; ++i) {
+      auto lsn = (*wal)->Append(payload);
+      if (!lsn.ok()) {
+        state.SkipWithError(lsn.status().ToString().c_str());
+        return;
+      }
+    }
+  }
+  for (auto _ : state) {
+    WalRecovery recovery;
+    auto wal = Wal::Open(options, &recovery);
+    if (!wal.ok() || recovery.records.size() != records) {
+      state.SkipWithError("recovery did not replay the full log");
+      return;
+    }
+    benchmark::DoNotOptimize(recovery.records);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * records));
+}
+BENCHMARK(BM_WalRecovery)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DurableGraphRecovery(benchmark::State& state) {
+  // Full boot path: latest checkpoint + WAL replay + record decode/apply,
+  // with `records` batches past the checkpoint.
+  const size_t records = static_cast<size_t>(state.range(0));
+  ScratchDir dir("durable_recovery_" + std::to_string(records));
+  DurabilityOptions options;
+  options.dir = dir.path();
+  options.fsync_policy = FsyncPolicy::kNone;
+  options.checkpoint_every_n_batches = 0;
+  Graph base = MakeCollab(2000, 3);
+  {
+    Graph g = base;
+    GraphRecoveryInfo info;
+    auto d = DurableGraph::Open(options, &g, &info);
+    if (!d.ok()) {
+      state.SkipWithError(d.status().ToString().c_str());
+      return;
+    }
+    for (size_t i = 0; i < records; ++i) {
+      UpdateBatch batch =
+          GenerateUpdateStream(g, 4, 0.6, static_cast<uint64_t>(i + 1));
+      if (!ApplyBatch(&g, batch).ok() || !(*d)->LogBatch(batch).ok()) {
+        state.SkipWithError("workload append failed");
+        return;
+      }
+    }
+  }
+  for (auto _ : state) {
+    Graph g;
+    GraphRecoveryInfo info;
+    auto d = DurableGraph::Open(options, &g, &info);
+    if (!d.ok() || info.replayed_records != records) {
+      state.SkipWithError("recovery did not replay the full log");
+      return;
+    }
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * records));
+}
+BENCHMARK(BM_DurableGraphRecovery)->Arg(0)->Arg(256)->Arg(2048);
+
+void BM_CheckpointWrite(benchmark::State& state) {
+  // The steady-state cost a background checkpoint pays: serialize the
+  // graph, checksum it, write temp, fsync, rename.
+  const size_t n = static_cast<size_t>(state.range(0));
+  ScratchDir dir("checkpoint_" + std::to_string(n));
+  Graph g = MakeCollab(n, 5);
+  CheckpointOptions options{dir.path(), FileOps::Real(), /*keep=*/2};
+  uint64_t lsn = 0;
+  for (auto _ : state) {
+    Status st = WriteCheckpoint(options, g, ++lsn);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["nodes"] = static_cast<double>(g.NumNodes());
+  state.counters["edges"] = static_cast<double>(g.NumEdges());
+}
+BENCHMARK(BM_CheckpointWrite)->Arg(2000)->Arg(20000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -62,15 +62,38 @@ ExpFinderService::ContextLease::~ContextLease() {
   }  // else: drop — frees the context's snapshots and parked pool threads
 }
 
+std::unique_ptr<DurableGraph> ExpFinderService::OpenDurability(
+    Graph* g, const ServiceOptions& options, GraphRecoveryInfo* info,
+    Status* status) {
+  *info = GraphRecoveryInfo{};
+  *status = Status::OK();
+  if (options.durability.dir.empty()) return nullptr;
+  auto durable = DurableGraph::Open(options.durability, g, info);
+  if (!durable.ok()) {
+    // Environmental bring-up failure: degrade to memory-only serving; the
+    // caller reads durability_status() / stats().durability_errors.
+    *status = durable.status();
+    return nullptr;
+  }
+  return std::move(durable).value();
+}
+
 ExpFinderService::ExpFinderService(Graph* g, ServiceOptions options)
     : g_(g),
       options_(ClampOptions(std::move(options))),
+      durable_(OpenDurability(g, options_, &recovery_info_, &durability_status_)),
       engine_(g, WithEngineCacheDisabled(options_.engine)),
       cache_(options_.engine.use_cache ? options_.engine.cache_capacity : 0),
       queue_(options_.queue_capacity),
       paused_(options_.start_paused),
       executor_(std::make_unique<ThreadPool>(
           ThreadPool::ResolveThreads(options_.serving_threads) + 1)) {
+  if (!durability_status_.ok()) {
+    durability_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (recovery_info_.data_loss) {
+    data_loss_events_.fetch_add(1, std::memory_order_relaxed);
+  }
   // The first epoch: no request ever observes a null snapshot.
   std::lock_guard<std::mutex> writer(writer_mu_);
   PublishLocked();
@@ -348,8 +371,23 @@ Status ExpFinderService::Mutate(const UpdateBatch& batch) {
   EF_RETURN_NOT_OK(engine_.ApplyUpdates(batch));
   batches_applied_.fetch_add(1, std::memory_order_relaxed);
   updates_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
+  // WAL before the epoch swap: the batch is durable (per fsync policy)
+  // before any reader can observe it and before the caller sees OK. On a
+  // WAL failure the in-memory state still advances (and publishes — the
+  // engine already applied) but the caller gets the error: the mutation is
+  // NOT acknowledged durable and will not survive a crash.
+  Status logged = Status::OK();
+  if (durable_ != nullptr) {
+    logged = durable_->LogBatch(batch);
+    if (logged.ok()) {
+      wal_appends_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      durability_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   PublishLocked();
-  return Status::OK();
+  MaybeCheckpointLocked();
+  return logged;
 }
 
 Result<NodeId> ExpFinderService::AddNode(
@@ -359,9 +397,66 @@ Result<NodeId> ExpFinderService::AddNode(
   auto id = engine_.AddNode(label, attrs);
   if (id.ok()) {
     nodes_added_.fetch_add(1, std::memory_order_relaxed);
+    if (durable_ != nullptr) {
+      Status logged = durable_->LogAddNode(*id, label, attrs);
+      if (logged.ok()) {
+        wal_appends_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        durability_errors_.fetch_add(1, std::memory_order_relaxed);
+        PublishLocked();
+        return logged;  // node exists in memory but is not durable
+      }
+    }
     PublishLocked();
+    MaybeCheckpointLocked();
   }
   return id;
+}
+
+void ExpFinderService::MaybeCheckpointLocked() {
+  if (durable_ == nullptr || !durable_->CheckpointDue()) return;
+  if (checkpoint_inflight_.exchange(true, std::memory_order_acq_rel)) return;
+  // Checkpoint the just-published epoch: its frozen graph copy reflects
+  // exactly the records logged so far, so serialization can run off the
+  // writer lock without racing later mutations.
+  auto snap = epoch_.load(std::memory_order_acquire);
+  const uint64_t applied_lsn = durable_->next_lsn();
+  auto work = [this, snap, applied_lsn] {
+    Status st = durable_->Checkpoint(snap->graph->graph(), applied_lsn);
+    if (st.ok()) {
+      checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      durability_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    checkpoint_inflight_.store(false, std::memory_order_release);
+  };
+  if (options_.durability.background_checkpoints) {
+    executor_->Submit(work);
+  } else {
+    work();
+  }
+}
+
+Status ExpFinderService::CheckpointNow() {
+  if (durable_ == nullptr) {
+    return Status::InvalidArgument("durability is not enabled");
+  }
+  std::shared_ptr<const EngineSnapshot> snap;
+  uint64_t applied_lsn;
+  {
+    // Pin a coherent (snapshot, lsn) pair; the write itself runs lock-free
+    // against writers like the periodic checkpoint.
+    std::lock_guard<std::mutex> writer(writer_mu_);
+    snap = epoch_.load(std::memory_order_acquire);
+    applied_lsn = durable_->next_lsn();
+  }
+  Status st = durable_->Checkpoint(snap->graph->graph(), applied_lsn);
+  if (st.ok()) {
+    checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    durability_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
 }
 
 Status ExpFinderService::RegisterMaintainedQuery(const Pattern& q,
@@ -409,6 +504,11 @@ ServiceStats ExpFinderService::stats() const {
   s.snapshots_published = snapshots_published_.load(std::memory_order_relaxed);
   s.snapshot_acquires = snapshot_acquires_.load(std::memory_order_relaxed);
   s.snapshots_retired = snapshots_retired_.load(std::memory_order_relaxed);
+  s.wal_appends = wal_appends_.load(std::memory_order_relaxed);
+  s.checkpoints_written = checkpoints_written_.load(std::memory_order_relaxed);
+  s.recovered_records = recovery_info_.replayed_records;
+  s.durability_errors = durability_errors_.load(std::memory_order_relaxed);
+  s.data_loss_events = data_loss_events_.load(std::memory_order_relaxed);
   s.queued = queue_.size();
   for (size_t i = 0; i < kQueueLatencyBuckets; ++i) {
     s.queue_latency_histogram[i] = queue_latency_[i].load(std::memory_order_relaxed);

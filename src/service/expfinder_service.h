@@ -63,6 +63,7 @@
 #include "src/engine/query_engine.h"
 #include "src/service/admission_queue.h"
 #include "src/service/service_types.h"
+#include "src/storage/durable_graph.h"
 #include "src/util/thread_pool.h"
 
 namespace expfinder {
@@ -89,6 +90,19 @@ struct ServiceOptions {
   /// holds a full graph copy + CSR, so this is deliberately small; 1 = no
   /// time travel, current epoch only. Clamped to >= 1.
   size_t retained_snapshots = 4;
+  /// Durability (ISSUE 7): when `durability.dir` is non-empty the service
+  /// opens a DurableGraph there at construction — recovering any previous
+  /// state into the caller's graph (checkpoint + WAL replay; a fresh
+  /// directory instead checkpoints the caller's initial graph) — and from
+  /// then on every Mutate/AddNode appends a WAL record *before* the new
+  /// epoch is published and before the caller sees OK. Under
+  /// FsyncPolicy::kEveryRecord an acknowledged mutation therefore survives
+  /// any crash. Every `checkpoint_every_n_batches` records a checkpoint of
+  /// the published snapshot is written (on a serving-executor thread by
+  /// default) and covered WAL segments are dropped. Unrecoverable
+  /// corruption at boot degrades: the service starts from the best
+  /// available prefix and counts a data_loss_event rather than aborting.
+  DurabilityOptions durability;
   /// Open for admission but paused for serving: Submit queues requests
   /// (admission control, priorities, and Cancel all work) but nothing
   /// evaluates until Resume(). Useful for maintenance windows — warm the
@@ -187,6 +201,24 @@ class ExpFinderService {
   /// Snapshot of the cumulative counters.
   ServiceStats stats() const;
 
+  /// Whether durability is active (configured AND the directory opened).
+  bool durable() const { return durable_ != nullptr; }
+
+  /// What recovery found at construction (all-defaults when durability is
+  /// off). `data_loss` true means the service is serving a degraded
+  /// prefix; `detail` says why.
+  const GraphRecoveryInfo& recovery_info() const { return recovery_info_; }
+
+  /// Non-OK when durability was requested but could not be brought up
+  /// (environmental failure — e.g. the directory cannot be created); the
+  /// service then runs memory-only, exactly as if durability were off.
+  const Status& durability_status() const { return durability_status_; }
+
+  /// Writes a checkpoint of the current epoch snapshot right now (and
+  /// truncates covered WAL segments). InvalidArgument when durability is
+  /// off. Runs inline on the calling thread.
+  Status CheckpointNow();
+
  private:
   /// Per-worker scratch: one context for evaluation over the snapshot's
   /// graph, one over its Gc, so a worker alternating direct/compressed
@@ -233,8 +265,28 @@ class ExpFinderService {
     return request.use_cache.value_or(options_.engine.use_cache);
   }
 
+  /// Opens the durability subsystem and recovers into `*g` (runs in the
+  /// member-init list BEFORE the engine captures the graph). Returns null
+  /// when durability is off or bring-up failed (`status`/`info` say why).
+  static std::unique_ptr<DurableGraph> OpenDurability(Graph* g,
+                                                      const ServiceOptions& options,
+                                                      GraphRecoveryInfo* info,
+                                                      Status* status);
+
+  /// If a checkpoint is due and none is in flight, checkpoints the current
+  /// epoch snapshot — on the executor by default, inline when
+  /// durability.background_checkpoints is off. Caller holds writer_mu_.
+  void MaybeCheckpointLocked();
+
   Graph* g_;
   ServiceOptions options_;
+
+  /// Durability subsystem; null when off. Declared (and initialized)
+  /// before engine_ so recovery rewrites *g_ before the engine ever reads
+  /// it.
+  GraphRecoveryInfo recovery_info_;
+  Status durability_status_;
+  std::unique_ptr<DurableGraph> durable_;
 
   /// Serializes writers (Mutate/AddNode/RegisterMaintainedQuery/
   /// CompressNow) and every non-const engine call. Readers never take it.
@@ -286,6 +338,13 @@ class ExpFinderService {
   std::atomic<size_t> snapshots_published_{0};
   std::atomic<size_t> snapshot_acquires_{0};
   std::atomic<size_t> snapshots_retired_{0};
+  std::atomic<size_t> wal_appends_{0};
+  std::atomic<size_t> checkpoints_written_{0};
+  std::atomic<size_t> durability_errors_{0};
+  std::atomic<size_t> data_loss_events_{0};
+  /// At most one periodic checkpoint runs at a time; the flag is cleared
+  /// by the checkpoint task itself.
+  std::atomic<bool> checkpoint_inflight_{false};
   std::array<std::atomic<size_t>, kQueueLatencyBuckets> queue_latency_{};
 
   /// The serving executor: one Submit()ed drain task per admitted request.

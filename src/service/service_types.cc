@@ -127,6 +127,11 @@ std::string ServiceStats::ToString() const {
      << " snapshots_published=" << snapshots_published
      << " snapshot_acquires=" << snapshot_acquires
      << " snapshots_retired=" << snapshots_retired
+     << " wal_appends=" << wal_appends
+     << " checkpoints_written=" << checkpoints_written
+     << " recovered_records=" << recovered_records
+     << " durability_errors=" << durability_errors
+     << " data_loss_events=" << data_loss_events
      << " queue_latency_ms=[";
   for (size_t i = 0; i < queue_latency_histogram.size(); ++i) {
     if (i > 0) os << " ";

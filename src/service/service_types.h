@@ -249,6 +249,20 @@ struct ServiceStats {
   size_t snapshots_published = 0;
   size_t snapshot_acquires = 0;
   size_t snapshots_retired = 0;
+  /// Durability telemetry (ServiceOptions::durability; all zero when
+  /// durability is off, none enter ClassifiedQueries):
+  /// WAL records successfully appended (one per acknowledged Mutate /
+  /// AddNode), checkpoints written, WAL records replayed at boot, failed
+  /// durability operations (WAL append or checkpoint — the mutation stayed
+  /// in memory but is NOT durable, and Mutate reported the error), and
+  /// recoveries that detected unrecoverable loss (mid-log corruption,
+  /// all-checkpoints-corrupt; the service degrades to the best available
+  /// prefix and keeps serving instead of aborting).
+  size_t wal_appends = 0;
+  size_t checkpoints_written = 0;
+  size_t recovered_records = 0;
+  size_t durability_errors = 0;
+  size_t data_loss_events = 0;
   /// Requests sitting in the admission queue right now (a gauge, not a
   /// cumulative counter; excluded from ClassifiedQueries).
   size_t queued = 0;

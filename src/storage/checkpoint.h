@@ -1,0 +1,64 @@
+// Checkpoint files: a checksummed, atomically-replaced serialization of a
+// published graph plus the WAL position it covers. Recovery = newest good
+// checkpoint + replay of WAL records at or above its LSN; WAL segments
+// below it can be dropped.
+//
+// On-disk: `<dir>/ckpt-<applied-lsn, 16 hex>.ckpt`, written temp-file +
+// atomic rename (the same hardening GraphStore uses), body:
+//
+//     # checksum crc32c:<8 hex>          over everything after this line
+//     # expfinder checkpoint v1
+//     applied_lsn <n>
+//     <graph text format (graph_io.h)>
+//
+// The newest `keep` checkpoints are retained; a corrupt newest checkpoint
+// degrades to the next older one (counted, reported) instead of failing
+// recovery outright.
+
+#ifndef EXPFINDER_STORAGE_CHECKPOINT_H_
+#define EXPFINDER_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/graph/graph.h"
+#include "src/storage/fault_env.h"
+#include "src/util/result.h"
+
+namespace expfinder {
+
+struct CheckpointOptions {
+  std::string dir;
+  /// nullptr = the real filesystem.
+  FileOps* file_ops = nullptr;
+  /// Checkpoints to retain (>= 1); older ones are pruned after a
+  /// successful write.
+  size_t keep = 2;
+};
+
+/// \brief Result of checkpoint recovery.
+struct RecoveredCheckpoint {
+  Graph graph;
+  /// WAL records with lsn >= applied_lsn are NOT in `graph` and must be
+  /// replayed.
+  uint64_t applied_lsn = 0;
+  /// Newer checkpoint files that failed their checksum / parse and were
+  /// skipped (each one is a degradation the caller should count).
+  size_t corrupt_skipped = 0;
+  std::string detail;
+};
+
+/// Writes a checkpoint of `g` covering WAL records below `applied_lsn`,
+/// then prunes to `options.keep` newest (prune failures are ignored — a
+/// stale extra checkpoint is harmless).
+Status WriteCheckpoint(const CheckpointOptions& options, const Graph& g,
+                       uint64_t applied_lsn);
+
+/// Loads the newest readable checkpoint, falling back over corrupt ones.
+/// NotFound when the directory holds no checkpoint at all; DataLoss when
+/// checkpoints exist but every one is corrupt.
+Result<RecoveredCheckpoint> ReadLatestCheckpoint(const CheckpointOptions& options);
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_STORAGE_CHECKPOINT_H_

@@ -1,0 +1,258 @@
+#include "src/storage/fault_env.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace expfinder {
+
+namespace fs = std::filesystem;
+
+// --- Real filesystem ------------------------------------------------------
+
+namespace {
+
+class RealWritableFile : public WritableFile {
+ public:
+  RealWritableFile(std::ofstream f, std::string path)
+      : f_(std::move(f)), path_(std::move(path)) {}
+
+  ~RealWritableFile() override { Close(); }
+
+  Status Append(std::string_view data) override {
+    if (!f_.is_open()) return Status::IOError("append on closed file: " + path_);
+    f_.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!f_.good()) return Status::IOError("write failed: " + path_);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (!f_.is_open()) return Status::IOError("sync on closed file: " + path_);
+    // ofstream has no portable fsync; flush() pushes bytes to the OS, which
+    // is the durability this process model can promise. The fault layer is
+    // where sync semantics are actually exercised.
+    f_.flush();
+    if (!f_.good()) return Status::IOError("sync failed: " + path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (!f_.is_open()) return Status::OK();
+    f_.flush();
+    bool good = f_.good();
+    f_.close();
+    if (!good) return Status::IOError("close failed: " + path_);
+    return Status::OK();
+  }
+
+ private:
+  std::ofstream f_;
+  std::string path_;
+};
+
+class RealFileOps : public FileOps {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(const std::string& path,
+                                                        bool truncate) override {
+    std::ofstream f(path, std::ios::binary |
+                              (truncate ? std::ios::trunc : std::ios::app));
+    if (!f.is_open()) return Status::IOError("cannot open for writing: " + path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<RealWritableFile>(std::move(f), path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) const override {
+    std::ifstream f(path, std::ios::binary);
+    if (!f.is_open()) return Status::NotFound("no such file: " + path);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    if (f.bad()) return Status::IOError("read failed: " + path);
+    return ss.str();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) return Status::IOError("rename " + from + " -> " + to + ": " + ec.message());
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    std::error_code ec;
+    if (!fs::remove(path, ec) || ec) {
+      return Status::NotFound("cannot remove: " + path);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    std::error_code ec;
+    fs::resize_file(path, size, ec);
+    if (ec) return Status::IOError("truncate " + path + ": " + ec.message());
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) const override {
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.is_regular_file()) out.push_back(entry.path().filename().string());
+    }
+    return out;
+  }
+
+  Status CreateDirs(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) return Status::IOError("cannot create dir " + dir + ": " + ec.message());
+    if (!fs::is_directory(dir)) {
+      return Status::InvalidArgument("not a directory: " + dir);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+FileOps* FileOps::Real() {
+  static RealFileOps* ops = new RealFileOps();
+  return ops;
+}
+
+// --- Fault injection ------------------------------------------------------
+
+/// Writable handle routing every append through the owning FaultyFileOps'
+/// budget before it reaches the base file.
+class FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(FaultyFileOps* owner, std::unique_ptr<WritableFile> base)
+      : owner_(owner), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    int64_t flip_at = -1;
+    size_t admitted = owner_->AdmitWrite(data.size(), &flip_at);
+    std::string_view head = data.substr(0, admitted);
+    Status st;
+    if (flip_at >= 0 && static_cast<size_t>(flip_at) < head.size()) {
+      std::string mutated(head);
+      mutated[static_cast<size_t>(flip_at)] ^=
+          static_cast<char>(owner_->plan_.flip_bit_mask);
+      st = base_->Append(mutated);
+    } else if (!head.empty()) {
+      st = base_->Append(head);
+    }
+    if (!st.ok()) return st;
+    if (admitted < data.size()) {
+      return Status::IOError("injected crash: write torn at byte budget");
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    {
+      std::lock_guard<std::mutex> lock(owner_->mu_);
+      if (owner_->crashed_) return Status::IOError("injected crash: sync");
+      ++owner_->syncs_;
+      if (owner_->plan_.fail_sync_at_count != 0 &&
+          owner_->syncs_ == owner_->plan_.fail_sync_at_count) {
+        return Status::IOError("injected fsync failure");
+      }
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultyFileOps* owner_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+size_t FaultyFileOps::AdmitWrite(size_t n, int64_t* flip_offset_in_write) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *flip_offset_in_write = -1;
+  if (crashed_) return 0;
+  size_t admitted = n;
+  if (plan_.crash_after_bytes >= 0 &&
+      written_ + static_cast<int64_t>(n) > plan_.crash_after_bytes) {
+    admitted = static_cast<size_t>(plan_.crash_after_bytes - written_);
+    crashed_ = true;
+  }
+  if (plan_.flip_bit_at_byte >= 0 && plan_.flip_bit_at_byte >= written_ &&
+      plan_.flip_bit_at_byte < written_ + static_cast<int64_t>(admitted)) {
+    *flip_offset_in_write = plan_.flip_bit_at_byte - written_;
+  }
+  written_ += static_cast<int64_t>(admitted);
+  return admitted;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultyFileOps::NewWritableFile(
+    const std::string& path, bool truncate) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return Status::IOError("injected crash: open " + path);
+  }
+  auto base = base_->NewWritableFile(path, truncate);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultyWritableFile>(this, std::move(base).value()));
+}
+
+Result<std::string> FaultyFileOps::ReadFileToString(const std::string& path) const {
+  return base_->ReadFileToString(path);  // reads survive the crash (reboot model)
+}
+
+Status FaultyFileOps::Rename(const std::string& from, const std::string& to) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return Status::IOError("injected crash: rename");
+    ++renames_;
+    if (plan_.fail_rename_at_count != 0 &&
+        renames_ == plan_.fail_rename_at_count) {
+      return Status::IOError("injected rename failure: " + from + " -> " + to);
+    }
+  }
+  return base_->Rename(from, to);
+}
+
+Status FaultyFileOps::RemoveFile(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return Status::IOError("injected crash: remove");
+  }
+  return base_->RemoveFile(path);
+}
+
+Status FaultyFileOps::TruncateFile(const std::string& path, uint64_t size) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return Status::IOError("injected crash: truncate");
+  }
+  return base_->TruncateFile(path, size);
+}
+
+Result<std::vector<std::string>> FaultyFileOps::ListDir(
+    const std::string& dir) const {
+  return base_->ListDir(dir);
+}
+
+Status FaultyFileOps::CreateDirs(const std::string& dir) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return Status::IOError("injected crash: mkdir");
+  }
+  return base_->CreateDirs(dir);
+}
+
+bool FaultyFileOps::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+int64_t FaultyFileOps::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+}  // namespace expfinder

@@ -15,6 +15,7 @@
 
 #include "src/graph/graph_io.h"
 #include "src/query/pattern_parser.h"
+#include "src/util/crc32c.h"
 #include "src/util/string_util.h"
 
 namespace expfinder {
@@ -24,16 +25,39 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr std::string_view kChecksumPrefix = "# checksum ";
+// New files carry "# checksum crc32c:<8 hex>"; legacy files carry
+// "# checksum <16 hex>" (FNV-1a) and stay readable forever.
+constexpr std::string_view kCrc32cTag = "crc32c:";
 
 std::string WithChecksum(const std::string& body) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(Fnv1a(body)));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", Crc32c(body));
   std::string out(kChecksumPrefix);
+  out += kCrc32cTag;
   out += buf;
   out += "\n";
   out += body;
   return out;
+}
+
+/// Verifies the checksum line against `body`; `hex` is the token after the
+/// prefix (either the crc32c-tagged or the legacy bare-FNV form).
+bool ChecksumMatches(std::string_view hex, const std::string& body) {
+  char buf[32];
+  if (StartsWith(hex, kCrc32cTag)) {
+    std::snprintf(buf, sizeof(buf), "%08x", Crc32c(body));
+    return hex.substr(kCrc32cTag.size()) == buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(Fnv1a(body)));
+  return hex == buf;
+}
+
+/// Appends the offending path to a parse error, so corruption reports name
+/// the file, not just the line inside it.
+Status WithPath(const Status& st, const std::string& path) {
+  if (st.ok()) return st;
+  return Status(st.code(), st.message() + " [" + path + "]");
 }
 
 /// Write-temp-then-rename: the final path only ever holds a complete file.
@@ -69,24 +93,27 @@ Status WriteFileAtomic(const std::string& path, const std::string& content) {
 }
 
 Result<std::string> ReadCheckedFile(const std::string& path) {
-  std::ifstream f(path);
+  std::ifstream f(path, std::ios::binary);
   if (!f.is_open()) return Status::NotFound("no such file: " + path);
   std::ostringstream ss;
   ss << f.rdbuf();
+  if (f.bad()) return Status::IOError("short read: " + path);
   std::string content = ss.str();
+  if (content.empty()) {
+    return Status::Corruption("empty file: " + path);
+  }
   if (!StartsWith(content, kChecksumPrefix)) {
     return Status::Corruption("missing checksum header: " + path);
   }
   size_t eol = content.find('\n');
-  if (eol == std::string::npos) return Status::Corruption("truncated file: " + path);
+  if (eol == std::string::npos) {
+    return Status::Corruption("truncated file (no body after header): " + path);
+  }
   std::string_view hex =
       Trim(std::string_view(content).substr(kChecksumPrefix.size(),
                                             eol - kChecksumPrefix.size()));
   std::string body = content.substr(eol + 1);
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(Fnv1a(body)));
-  if (hex != buf) {
+  if (!ChecksumMatches(hex, body)) {
     return Status::Corruption("checksum mismatch in " + path);
   }
   return body;
@@ -115,10 +142,13 @@ Status GraphStore::PutGraph(const std::string& name, const Graph& g) {
 }
 
 Result<Graph> GraphStore::GetGraph(const std::string& name) const {
-  auto body = ReadCheckedFile(PathFor(name, "graph"));
+  const std::string path = PathFor(name, "graph");
+  auto body = ReadCheckedFile(path);
   if (!body.ok()) return body.status();
   std::istringstream is(body.value());
-  return LoadGraphText(is);
+  auto graph = LoadGraphText(is);
+  if (!graph.ok()) return WithPath(graph.status(), path);
+  return graph;
 }
 
 Status GraphStore::PutPattern(const std::string& name, const Pattern& p) {
@@ -126,9 +156,12 @@ Status GraphStore::PutPattern(const std::string& name, const Pattern& p) {
 }
 
 Result<Pattern> GraphStore::GetPattern(const std::string& name) const {
-  auto body = ReadCheckedFile(PathFor(name, "pattern"));
+  const std::string path = PathFor(name, "pattern");
+  auto body = ReadCheckedFile(path);
   if (!body.ok()) return body.status();
-  return ParsePatternText(body.value());
+  auto pattern = ParsePatternText(body.value());
+  if (!pattern.ok()) return WithPath(pattern.status(), path);
+  return pattern;
 }
 
 Status GraphStore::PutMatches(const std::string& name, const MatchRelation& m) {
@@ -137,9 +170,12 @@ Status GraphStore::PutMatches(const std::string& name, const MatchRelation& m) {
 }
 
 Result<MatchRelation> GraphStore::GetMatches(const std::string& name) const {
-  auto body = ReadCheckedFile(PathFor(name, "matches"));
+  const std::string path = PathFor(name, "matches");
+  auto body = ReadCheckedFile(path);
   if (!body.ok()) return body.status();
-  return ParseMatchRelation(body.value());
+  auto matches = ParseMatchRelation(body.value());
+  if (!matches.ok()) return WithPath(matches.status(), path);
+  return matches;
 }
 
 std::vector<std::string> GraphStore::List(const std::string& kind) const {
@@ -193,6 +229,13 @@ Result<MatchRelation> ParseMatchRelation(const std::string& text) {
       int64_t n;
       if (tokens.size() != 2 || !ParseInt64(tokens[1], &n) || n < 0) {
         return Status::Corruption("bad patternnodes line " + std::to_string(line_no));
+      }
+      // Patterns are small by construction; a huge count is a corrupted
+      // length field, not an allocation request.
+      if (n > (1 << 20)) {
+        return Status::Corruption("oversized patternnodes count " +
+                                  std::to_string(n) + " at line " +
+                                  std::to_string(line_no));
       }
       m = MatchRelation(static_cast<size_t>(n));
       sized = true;

@@ -6,8 +6,11 @@
 //   <dir>/<name>.pattern  — pattern text format (pattern_parser.h)
 //   <dir>/<name>.matches  — match-relation text format (below)
 //
-// Every file starts with "# checksum <hex>" over the remaining bytes
-// (FNV-1a); mismatches surface as Corruption.
+// Every file starts with a checksum header over the remaining bytes:
+// "# checksum crc32c:<8 hex>" (CRC32C, what new writes emit) or the legacy
+// "# checksum <16 hex>" (FNV-1a, still accepted on read). Mismatches,
+// truncation, and garbage surface as Corruption naming the offending path
+// — a bad file never crashes the reader or silently parses.
 
 #ifndef EXPFINDER_STORAGE_GRAPH_STORE_H_
 #define EXPFINDER_STORAGE_GRAPH_STORE_H_

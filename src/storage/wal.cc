@@ -1,0 +1,247 @@
+#include "src/storage/wal.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/crc32c.h"
+
+namespace expfinder {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 8;  // u32 length + u32 crc
+
+uint32_t LoadLE32(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) | (static_cast<uint32_t>(u[3]) << 24);
+}
+
+void AppendLE32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::string SegmentName(uint64_t first_lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%016llx.log",
+                static_cast<unsigned long long>(first_lsn));
+  return buf;
+}
+
+/// Parses "wal-<16 hex>.log"; false for any other filename.
+bool ParseSegmentName(const std::string& name, uint64_t* first_lsn) {
+  if (name.size() != 4 + 16 + 4 || name.compare(0, 4, "wal-") != 0 ||
+      name.compare(20, 4, ".log") != 0) {
+    return false;
+  }
+  uint64_t lsn = 0;
+  for (size_t i = 4; i < 20; ++i) {
+    char c = name[i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<uint64_t>(c - 'a') + 10;
+    else return false;
+    lsn = (lsn << 4) | digit;
+  }
+  *first_lsn = lsn;
+  return true;
+}
+
+}  // namespace
+
+std::string_view FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNone: return "none";
+    case FsyncPolicy::kInterval: return "interval";
+    case FsyncPolicy::kEveryRecord: return "every_record";
+  }
+  return "unknown";
+}
+
+std::string EncodeWalRecord(std::string_view payload) {
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  AppendLE32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendLE32(&frame, Crc32c(payload));
+  frame.append(payload);
+  return frame;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const WalOptions& options,
+                                       WalRecovery* recovery) {
+  FileOps* fops = options.file_ops ? options.file_ops : FileOps::Real();
+  EF_RETURN_NOT_OK(fops->CreateDirs(options.dir));
+  *recovery = WalRecovery{};
+
+  std::vector<Segment> segments;
+  {
+    auto names = fops->ListDir(options.dir);
+    if (!names.ok()) return names.status();
+    for (const std::string& name : *names) {
+      uint64_t first_lsn;
+      if (!ParseSegmentName(name, &first_lsn)) continue;  // foreign file
+      segments.push_back({first_lsn, 0, options.dir + "/" + name});
+    }
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const Segment& a, const Segment& b) { return a.first_lsn < b.first_lsn; });
+
+  std::unique_ptr<Wal> wal(new Wal(options, fops));
+  uint64_t expected_lsn = segments.empty() ? 0 : segments.front().first_lsn;
+  bool stop = false;
+  for (size_t si = 0; si < segments.size() && !stop; ++si) {
+    Segment& seg = segments[si];
+    const bool final_segment = (si + 1 == segments.size());
+    if (seg.first_lsn != expected_lsn) {
+      // A whole segment (or a tail of the previous one) is missing.
+      recovery->data_loss = true;
+      recovery->detail += "LSN gap: expected " + std::to_string(expected_lsn) +
+                          ", segment starts at " + std::to_string(seg.first_lsn) +
+                          " (" + seg.path + "); ";
+      break;
+    }
+    auto content = fops->ReadFileToString(seg.path);
+    if (!content.ok()) {
+      recovery->data_loss = true;
+      recovery->detail += "unreadable segment " + seg.path + ": " +
+                          content.status().message() + "; ";
+      break;
+    }
+    const std::string& bytes = *content;
+    size_t off = 0;
+    while (off < bytes.size()) {
+      std::string why;
+      if (bytes.size() - off < kHeaderBytes) {
+        why = "torn header";
+      } else {
+        uint32_t len = LoadLE32(bytes.data() + off);
+        uint32_t crc = LoadLE32(bytes.data() + off + 4);
+        if (len > kMaxRecordBytes) {
+          why = "oversized length field (" + std::to_string(len) + ")";
+        } else if (bytes.size() - off - kHeaderBytes < len) {
+          why = "torn payload";
+        } else {
+          std::string_view payload(bytes.data() + off + kHeaderBytes, len);
+          if (Crc32c(payload) != crc) {
+            why = "CRC mismatch";
+          } else {
+            recovery->records.push_back({expected_lsn, std::string(payload)});
+            ++expected_lsn;
+            ++seg.record_count;
+            off += kHeaderBytes + len;
+            continue;
+          }
+        }
+      }
+      // Invalid record at `off`: the prefix before it is the longest valid
+      // prefix of this segment.
+      if (final_segment) {
+        recovery->tail_truncated = true;
+        recovery->detail += why + " at byte " + std::to_string(off) + " of " +
+                            seg.path + ", tail truncated; ";
+        // Chop the tail so the next recovery sees a clean final segment
+        // even after newer segments are created.
+        Status st = fops->TruncateFile(seg.path, off);
+        if (!st.ok()) {
+          recovery->detail += "tail truncation failed: " + st.message() + "; ";
+        }
+      } else {
+        recovery->data_loss = true;
+        recovery->detail += why + " at byte " + std::to_string(off) + " of " +
+                            seg.path + " (not the final segment); ";
+      }
+      stop = !final_segment;
+      break;
+    }
+    wal->segments_.push_back(seg);
+  }
+  recovery->next_lsn = expected_lsn;
+  wal->next_lsn_ = expected_lsn;
+  return wal;
+}
+
+Status Wal::OpenFreshSegment() {
+  Segment seg;
+  seg.first_lsn = next_lsn_;
+  seg.path = options_.dir + "/" + SegmentName(next_lsn_);
+  auto writer = fops_->NewWritableFile(seg.path, /*truncate=*/true);
+  if (!writer.ok()) return writer.status();
+  writer_ = std::move(writer).value();
+  writer_bytes_ = 0;
+  segments_.push_back(std::move(seg));
+  return Status::OK();
+}
+
+Result<uint64_t> Wal::Append(std::string_view payload) {
+  if (payload.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument("WAL record too large: " +
+                                   std::to_string(payload.size()) + " bytes");
+  }
+  if (writer_ != nullptr && writer_bytes_ >= options_.segment_bytes) {
+    // Seal (sync per policy, so a sealed segment is never torn by a later
+    // crash under kEveryRecord) and rotate.
+    if (options_.fsync_policy == FsyncPolicy::kEveryRecord) {
+      EF_RETURN_NOT_OK(writer_->Sync());
+    }
+    writer_.reset();
+  }
+  if (writer_ == nullptr) {
+    EF_RETURN_NOT_OK(OpenFreshSegment());
+  }
+  std::string frame = EncodeWalRecord(payload);
+  EF_RETURN_NOT_OK(writer_->Append(frame));
+  writer_bytes_ += frame.size();
+  const uint64_t lsn = next_lsn_++;
+  segments_.back().record_count++;
+  switch (options_.fsync_policy) {
+    case FsyncPolicy::kNone:
+      break;
+    case FsyncPolicy::kEveryRecord:
+      EF_RETURN_NOT_OK(writer_->Sync());
+      break;
+    case FsyncPolicy::kInterval:
+      if (last_sync_.ElapsedMillis() >= options_.fsync_interval_ms) {
+        EF_RETURN_NOT_OK(writer_->Sync());
+        last_sync_.Reset();
+      }
+      break;
+  }
+  return lsn;
+}
+
+Status Wal::Sync() {
+  if (writer_ == nullptr) return Status::OK();
+  EF_RETURN_NOT_OK(writer_->Sync());
+  last_sync_.Reset();
+  return Status::OK();
+}
+
+Status Wal::TruncateBefore(uint64_t lsn) {
+  Status first_error = Status::OK();
+  size_t dropped = 0;
+  for (size_t i = 0; i + 1 < segments_.size(); ++i) {
+    // Sealed segment i holds LSNs [first_lsn, segments_[i+1].first_lsn).
+    if (segments_[i + 1].first_lsn > lsn) break;
+    Status st = fops_->RemoveFile(segments_[i].path);
+    if (!st.ok() && first_error.ok()) first_error = st;
+    ++dropped;
+  }
+  // The active (last) segment is droppable too when fully covered and
+  // already sealed (writer closed, e.g. right after recovery).
+  if (segments_.size() == dropped + 1 && writer_ == nullptr &&
+      !segments_.empty() && next_lsn_ <= lsn) {
+    Status st = fops_->RemoveFile(segments_.back().path);
+    if (st.ok()) {
+      ++dropped;
+    } else if (first_error.ok()) {
+      first_error = st;
+    }
+  }
+  segments_.erase(segments_.begin(), segments_.begin() + dropped);
+  return first_error;
+}
+
+}  // namespace expfinder

@@ -19,6 +19,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     case StatusCode::kCancelled: return "Cancelled";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kDataLoss: return "DataLoss";
   }
   return "Unknown";
 }

@@ -28,6 +28,12 @@ enum class StatusCode : int {
   kDeadlineExceeded = 9,
   kCancelled = 10,
   kResourceExhausted = 11,
+  /// Durable state is unrecoverable beyond a known-good prefix: a WAL
+  /// record corrupted before the final segment, every checkpoint replica
+  /// bad, an LSN gap. Distinct from kCorruption (one object failed its
+  /// checksum — retry/refetch may work): kDataLoss means acknowledged
+  /// writes are provably gone and the caller should degrade, not retry.
+  kDataLoss = 12,
 };
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable
@@ -75,6 +81,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -92,6 +101,7 @@ class Status {
   bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,267 @@
+// Durability at the service layer: Mutate-then-kill-then-recover preserves
+// every acknowledged mutation, failed WAL appends are surfaced (not acked)
+// while the service keeps serving, boot-time corruption degrades instead of
+// aborting, and the durability counters/checkpoint hooks behave.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/generator/generators.h"
+#include "src/graph/graph_io.h"
+#include "src/service/expfinder_service.h"
+#include "src/storage/fault_env.h"
+
+namespace expfinder {
+namespace {
+
+std::string GraphText(const Graph& g) {
+  std::ostringstream os;
+  EXPECT_TRUE(SaveGraphText(g, os).ok());
+  return os.str();
+}
+
+Graph MakeBase() {
+  Graph g;
+  NodeId a = g.AddNode("HR");
+  NodeId b = g.AddNode("DM");
+  NodeId c = g.AddNode("PRG");
+  EXPECT_TRUE(g.AddEdge(a, b).ok());
+  EXPECT_TRUE(g.AddEdge(b, c).ok());
+  return g;
+}
+
+class DurableServiceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/dsvc_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);  // stale state from a previous run
+  }
+
+  ServiceOptions Options() {
+    ServiceOptions o;
+    o.durability.dir = dir_;
+    o.durability.background_checkpoints = false;  // deterministic
+    o.durability.checkpoint_every_n_batches = 0;  // explicit only
+    return o;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DurableServiceFixture, MutateKillRecoverPreservesAckedMutations) {
+  Graph g = MakeBase();
+  {
+    ExpFinderService service(&g, Options());
+    ASSERT_TRUE(service.durable());
+    ASSERT_TRUE(service.durability_status().ok());
+    ASSERT_TRUE(service.Mutate({GraphUpdate::Insert(0, 2)}).ok());
+    auto id = service.AddNode("ST", {{"years", AttrValue(int64_t{3})}});
+    ASSERT_TRUE(id.ok()) << id.status();
+    ASSERT_TRUE(service.Mutate({GraphUpdate::Insert(2, *id)}).ok());
+    EXPECT_EQ(service.stats().wal_appends, 3u);
+  }  // "kill": destructor persists nothing — acked means already durable
+
+  const std::string want = GraphText(g);  // service mutated the caller graph
+  Graph recovered;  // a reboot starts from nothing
+  ExpFinderService service(&recovered, Options());
+  ASSERT_TRUE(service.durable());
+  EXPECT_EQ(GraphText(service.graph()), want);
+  EXPECT_EQ(service.stats().recovered_records, 3u);
+  EXPECT_TRUE(service.recovery_info().from_checkpoint);
+  EXPECT_FALSE(service.recovery_info().data_loss);
+  EXPECT_EQ(service.stats().data_loss_events, 0u);
+}
+
+TEST_F(DurableServiceFixture, FreshDirectoryMakesSeedGraphDurable) {
+  Graph g = MakeBase();
+  const std::string want = GraphText(g);
+  { ExpFinderService service(&g, Options()); }  // no mutations at all
+  Graph recovered;
+  ExpFinderService service(&recovered, Options());
+  EXPECT_EQ(GraphText(service.graph()), want);
+}
+
+TEST_F(DurableServiceFixture, FailedWalAppendIsNotAckedButServiceKeepsServing) {
+  // Seed the directory cleanly so the injected faults land on the mutation
+  // path, not on bring-up.
+  Graph seed = MakeBase();
+  { ExpFinderService service(&seed, Options()); }
+
+  FaultPlan plan;
+  plan.crash_after_bytes = 30;  // first WAL record (22 bytes) fits, not two
+  FaultyFileOps faulty(plan);
+  Graph g = MakeBase();
+  std::string after_first;
+  {
+    ServiceOptions o = Options();
+    o.durability.file_ops = &faulty;
+    ExpFinderService service(&g, o);
+    ASSERT_TRUE(service.durable());
+
+    ASSERT_TRUE(service.Mutate({GraphUpdate::Insert(0, 2)}).ok());  // acked
+    after_first = GraphText(service.graph());
+    const uint64_t v1 = service.version();
+
+    Status second = service.Mutate({GraphUpdate::Delete(0, 2)});
+    EXPECT_TRUE(second.IsIOError());  // applied in memory, NOT acked durable
+    EXPECT_GT(service.version(), v1);  // still published — readers advance
+    EXPECT_EQ(service.graph().HasEdge(0, 2), false);
+
+    Status third = service.Mutate({GraphUpdate::Insert(0, 2)});
+    EXPECT_FALSE(third.ok());  // WAL sealed after the torn append
+
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.wal_appends, 1u);
+    EXPECT_GE(s.durability_errors, 2u);
+  }
+
+  // Reboot: exactly the acked prefix comes back.
+  Graph recovered;
+  ExpFinderService service(&recovered, Options());
+  EXPECT_EQ(GraphText(service.graph()), after_first);
+}
+
+TEST_F(DurableServiceFixture, CorruptStateDegradesToServingNotAborting) {
+  Graph seed = MakeBase();
+  {
+    ExpFinderService service(&seed, Options());
+    ASSERT_TRUE(service.Mutate({GraphUpdate::Insert(0, 2)}).ok());
+  }
+  // Trash every durable file: checkpoints and WAL segments alike.
+  auto names = FileOps::Real()->ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  for (const auto& n : *names) {
+    auto f = FileOps::Real()->NewWritableFile(dir_ + "/" + n, /*truncate=*/true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("garbage that parses as nothing\n").ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+
+  Graph g;
+  ExpFinderService service(&g, Options());
+  ASSERT_TRUE(service.durable());  // open succeeded; state degraded
+  EXPECT_TRUE(service.recovery_info().data_loss);
+  EXPECT_GE(service.stats().data_loss_events, 1u);
+  // Still serving: a valid query against the degraded graph completes.
+  QueryRequest req;
+  req.pattern = gen::BuildFig1Pattern();
+  auto resp = service.Query(req);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->answer->matches.TotalPairs(), 0u);
+  // And still durable: new mutations append and survive.
+  auto id = service.AddNode("fresh");
+  ASSERT_TRUE(id.ok()) << id.status();
+}
+
+TEST_F(DurableServiceFixture, CheckpointNowFoldsWalIntoCheckpoint) {
+  Graph g = MakeBase();
+  {
+    ExpFinderService service(&g, Options());
+    ASSERT_TRUE(service.Mutate({GraphUpdate::Insert(0, 2)}).ok());
+    ASSERT_TRUE(service.Mutate({GraphUpdate::Delete(0, 2)}).ok());
+    ASSERT_TRUE(service.CheckpointNow().ok());
+    EXPECT_EQ(service.stats().checkpoints_written, 1u);
+  }
+  Graph recovered;
+  ExpFinderService service(&recovered, Options());
+  EXPECT_EQ(GraphText(service.graph()), GraphText(g));
+  // Everything was folded into the checkpoint — nothing to replay.
+  EXPECT_EQ(service.stats().recovered_records, 0u);
+}
+
+TEST_F(DurableServiceFixture, PeriodicCheckpointTriggersFromMutatePath) {
+  Graph g = MakeBase();
+  ServiceOptions o = Options();
+  o.durability.checkpoint_every_n_batches = 2;
+  {
+    ExpFinderService service(&g, o);
+    for (int i = 0; i < 4; ++i) {
+      UpdateBatch b = {i % 2 == 0 ? GraphUpdate::Insert(0, 2)
+                                  : GraphUpdate::Delete(0, 2)};
+      ASSERT_TRUE(service.Mutate(b).ok());
+    }
+    EXPECT_GE(service.stats().checkpoints_written, 1u);
+  }
+  Graph recovered;
+  ExpFinderService service(&recovered, o);
+  EXPECT_EQ(GraphText(service.graph()), GraphText(g));
+  EXPECT_LT(service.stats().recovered_records, 4u);  // some were folded in
+}
+
+TEST_F(DurableServiceFixture, BackgroundCheckpointDrainsBeforeShutdown) {
+  Graph g = MakeBase();
+  ServiceOptions o = Options();
+  o.durability.checkpoint_every_n_batches = 2;
+  o.durability.background_checkpoints = true;  // the executor path
+  {
+    ExpFinderService service(&g, o);
+    for (int i = 0; i < 6; ++i) {
+      UpdateBatch b = {i % 2 == 0 ? GraphUpdate::Insert(0, 2)
+                                  : GraphUpdate::Delete(0, 2)};
+      ASSERT_TRUE(service.Mutate(b).ok());
+    }
+  }  // destructor drains the executor, and with it any in-flight checkpoint
+  Graph recovered;
+  ExpFinderService service(&recovered, o);
+  EXPECT_EQ(GraphText(service.graph()), GraphText(g));
+}
+
+TEST_F(DurableServiceFixture, SingleRetainedSnapshotRecoversCleanly) {
+  // retained_snapshots = 1: every publish evicts the previous snapshot
+  // immediately, including during post-recovery startup publishes.
+  Graph g = MakeBase();
+  ServiceOptions o = Options();
+  o.retained_snapshots = 1;
+  {
+    ExpFinderService service(&g, o);
+    for (int i = 0; i < 5; ++i) {
+      UpdateBatch b = {i % 2 == 0 ? GraphUpdate::Insert(0, 2)
+                                  : GraphUpdate::Delete(0, 2)};
+      ASSERT_TRUE(service.Mutate(b).ok());
+    }
+    EXPECT_EQ(service.RetainedVersions().size(), 1u);
+  }
+  Graph recovered;
+  ExpFinderService service(&recovered, o);
+  EXPECT_EQ(GraphText(service.graph()), GraphText(g));
+  EXPECT_EQ(service.RetainedVersions().size(), 1u);
+  EXPECT_EQ(service.stats().recovered_records, 5u);
+}
+
+TEST_F(DurableServiceFixture, MemoryOnlyWhenDurabilityOff) {
+  Graph g = MakeBase();
+  ExpFinderService service(&g);  // default options: no durability
+  EXPECT_FALSE(service.durable());
+  EXPECT_TRUE(service.durability_status().ok());
+  ASSERT_TRUE(service.Mutate({GraphUpdate::Insert(0, 2)}).ok());
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.wal_appends, 0u);
+  EXPECT_TRUE(service.CheckpointNow().IsInvalidArgument());
+}
+
+TEST_F(DurableServiceFixture, BringupFailureFallsBackToMemoryOnly) {
+  // Point the durability dir at a regular file: CreateDirs cannot succeed.
+  const std::string file_path = dir_ + "_file";
+  auto f = FileOps::Real()->NewWritableFile(file_path, true);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Close().ok());
+
+  Graph g = MakeBase();
+  ServiceOptions o;
+  o.durability.dir = file_path;
+  ExpFinderService service(&g, o);
+  EXPECT_FALSE(service.durable());
+  EXPECT_FALSE(service.durability_status().ok());
+  EXPECT_GE(service.stats().durability_errors, 1u);
+  // The service still works, exactly as if durability were off.
+  ASSERT_TRUE(service.Mutate({GraphUpdate::Insert(0, 2)}).ok());
+}
+
+}  // namespace
+}  // namespace expfinder

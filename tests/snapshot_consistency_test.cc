@@ -129,9 +129,15 @@ void RunSnapshotSweep(const SweepConfig& cfg) {
   std::atomic<bool> writer_done{false};
   std::thread writer([&] {
     for (size_t b = 0; b < batches.size(); ++b) {
+      // Advertise the bound BEFORE publishing: a reader can pin the new
+      // epoch the instant Mutate publishes it, racing ahead of a store
+      // placed after Mutate returns. Readers can never observe a version
+      // that was not actually published, so the early store never masks a
+      // real monotonicity violation — anything beyond this batch still
+      // trips the check.
+      newest_published.store(versions[b + 1]);
       Status st = service.Mutate(batches[b]);
       if (!st.ok()) record_failure("mutate failed: " + st.ToString());
-      newest_published.store(versions[b + 1]);
       std::this_thread::sleep_for(std::chrono::milliseconds(3));
     }
     writer_done.store(true);

@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "src/generator/generators.h"
+#include "src/graph/graph_io.h"
 #include "src/matching/bounded_simulation.h"
 #include "src/storage/graph_store.h"
+#include "src/util/crc32c.h"
+#include "src/util/string_util.h"
 
 namespace expfinder {
 namespace {
@@ -154,6 +159,70 @@ TEST_F(StoreFixture, ConcurrentPutsOfOneNameNeverTearTheFile) {
               loaded->NumNodes() == big.NumNodes());
 }
 
+TEST_F(StoreFixture, EmptyFileIsCorruptionNamingThePath) {
+  std::ofstream(dir_ + "/empty.graph").close();
+  Status st = store_->GetGraph("empty").status();
+  EXPECT_TRUE(st.IsCorruption()) << st;
+  EXPECT_NE(st.message().find("empty.graph"), std::string::npos) << st;
+}
+
+TEST_F(StoreFixture, HeaderOnlyFileIsCorruption) {
+  // A checksum line with no newline: there is no body to verify against.
+  std::ofstream out(dir_ + "/headeronly.graph");
+  out << "# checksum crc32c:00000000";
+  out.close();
+  EXPECT_TRUE(store_->GetGraph("headeronly").status().IsCorruption());
+}
+
+TEST_F(StoreFixture, NewWritesCarryTaggedCrc32cChecksum) {
+  // Known-answer check on the on-disk format: first line is
+  // "# checksum crc32c:<8 hex>" and the hex is CRC32C of the exact body.
+  Graph g = gen::BuildFig1Graph();
+  ASSERT_TRUE(store_->PutGraph("fig1", g).ok());
+  std::ifstream in(dir_ + "/fig1.graph", std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  size_t eol = content.find('\n');
+  ASSERT_NE(eol, std::string::npos);
+  const std::string header = content.substr(0, eol);
+  const std::string body = content.substr(eol + 1);
+  char expect[32];
+  std::snprintf(expect, sizeof(expect), "# checksum crc32c:%08x", Crc32c(body));
+  EXPECT_EQ(header, expect);
+
+  std::ostringstream os;
+  ASSERT_TRUE(SaveGraphText(g, os).ok());
+  EXPECT_EQ(body, os.str());
+}
+
+TEST_F(StoreFixture, LegacyFnvChecksumStaysReadable) {
+  // Files written before the CRC32C migration carry a bare 16-hex FNV-1a
+  // checksum; they must stay readable forever.
+  Graph g = gen::BuildFig1Graph();
+  std::ostringstream os;
+  ASSERT_TRUE(SaveGraphText(g, os).ok());
+  const std::string body = os.str();
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv1a(body)));
+  std::ofstream out(dir_ + "/legacy.graph", std::ios::binary);
+  out << "# checksum " << hex << "\n" << body;
+  out.close();
+
+  auto loaded = store_->GetGraph("legacy");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->NumNodes(), g.NumNodes());
+  EXPECT_EQ(loaded->NumEdges(), g.NumEdges());
+
+  // A flipped body byte still fails the legacy verification.
+  std::ofstream tampered(dir_ + "/legacy2.graph", std::ios::binary);
+  std::string bad = body;
+  bad[bad.size() / 2] ^= 1;
+  tampered << "# checksum " << hex << "\n" << bad;
+  tampered.close();
+  EXPECT_TRUE(store_->GetGraph("legacy2").status().IsCorruption());
+}
+
 TEST_F(StoreFixture, MissingChecksumHeaderRejected) {
   std::ofstream out(dir_ + "/raw.graph");
   out << "node 0 A\n";
@@ -188,6 +257,16 @@ TEST(MatchRelationSerializationTest, RejectsMalformed) {
   EXPECT_TRUE(
       ParseMatchRelation("patternnodes 1\nmatch 0 3 1\n").status().IsCorruption());
   EXPECT_TRUE(ParseMatchRelation("").status().IsCorruption());
+}
+
+TEST(MatchRelationSerializationTest, OversizedCountIsCorruptionNotAllocation) {
+  // A corrupted length field far beyond any real pattern must be rejected
+  // up front, not turned into a giant allocation.
+  auto r = ParseMatchRelation("patternnodes 9999999999\n");
+  ASSERT_TRUE(r.status().IsCorruption());
+  EXPECT_NE(r.status().message().find("patternnodes"), std::string::npos);
+  EXPECT_TRUE(
+      ParseMatchRelation("patternnodes 1048577\n").status().IsCorruption());
 }
 
 TEST(GraphStoreTest, OpenRejectsFilePath) {
