@@ -386,7 +386,10 @@ Status ExpFinderService::Mutate(const UpdateBatch& batch) {
     }
   }
   PublishLocked();
-  MaybeCheckpointLocked();
+  // Checkpoint only on the success path: after a failed append the WAL may
+  // hold the record appended-but-unsynced (LSN advanced), and an immediate
+  // checkpoint at that LSN would make the just-refused mutation durable.
+  if (logged.ok()) MaybeCheckpointLocked();
   return logged;
 }
 

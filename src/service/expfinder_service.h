@@ -164,6 +164,13 @@ class ExpFinderService {
   /// maintained queries and the compressed graph are carried over and the
   /// new epoch becomes visible to subsequent reads. In-flight reads keep
   /// their pinned snapshot — a Mutate never waits for them.
+  ///
+  /// Durability failure (non-OK with durability enabled): the batch was
+  /// still applied in memory and published — it is merely NOT acknowledged
+  /// durable. It may nevertheless persist later (an appended-but-unsynced
+  /// WAL record can reach disk; any later checkpoint captures the published
+  /// graph), so an error-returned batch must not be blindly re-submitted:
+  /// non-idempotent update sequences could apply twice after a recovery.
   Status Mutate(const UpdateBatch& batch);
 
   /// Adds a person to the network (no edges yet; connect via Mutate).

@@ -1,5 +1,10 @@
 #include "src/storage/fault_env.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -13,53 +18,114 @@ namespace fs = std::filesystem;
 
 namespace {
 
+std::string DirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// fsyncs a directory so entries created/renamed in it survive power loss,
+/// not just process death.
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory for fsync: " + dir + ": " +
+                           std::strerror(errno));
+  }
+  Status st = Status::OK();
+  if (::fsync(fd) != 0) {
+    st = Status::IOError("fsync directory " + dir + ": " + std::strerror(errno));
+  }
+  ::close(fd);
+  return st;
+}
+
 class RealWritableFile : public WritableFile {
  public:
-  RealWritableFile(std::ofstream f, std::string path)
-      : f_(std::move(f)), path_(std::move(path)) {}
+  RealWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
 
   ~RealWritableFile() override { Close(); }
 
   Status Append(std::string_view data) override {
-    if (!f_.is_open()) return Status::IOError("append on closed file: " + path_);
-    f_.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!f_.good()) return Status::IOError("write failed: " + path_);
+    if (fd_ < 0) return Status::IOError("append on closed file: " + path_);
+    buf_.append(data);
+    if (buf_.size() >= kBufferBytes) return FlushBuffered();
     return Status::OK();
   }
 
   Status Sync() override {
-    if (!f_.is_open()) return Status::IOError("sync on closed file: " + path_);
-    // ofstream has no portable fsync; flush() pushes bytes to the OS, which
-    // is the durability this process model can promise. The fault layer is
-    // where sync semantics are actually exercised.
-    f_.flush();
-    if (!f_.good()) return Status::IOError("sync failed: " + path_);
+    if (fd_ < 0) return Status::IOError("sync on closed file: " + path_);
+    EF_RETURN_NOT_OK(FlushBuffered());
+    if (::fsync(fd_) != 0) {
+      return Status::IOError("fsync failed: " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    if (dir_sync_pending_) {
+      // The file's bytes are durable but its directory entry may not be:
+      // sync the parent once so the first durable record also makes the
+      // (possibly just-created) file reachable after power loss.
+      EF_RETURN_NOT_OK(SyncDir(DirOf(path_)));
+      dir_sync_pending_ = false;
+    }
     return Status::OK();
   }
 
   Status Close() override {
-    if (!f_.is_open()) return Status::OK();
-    f_.flush();
-    bool good = f_.good();
-    f_.close();
-    if (!good) return Status::IOError("close failed: " + path_);
-    return Status::OK();
+    if (fd_ < 0) return Status::OK();
+    Status st = FlushBuffered();
+    if (::close(fd_) != 0 && st.ok()) {
+      st = Status::IOError("close failed: " + path_ + ": " +
+                           std::strerror(errno));
+    }
+    fd_ = -1;
+    return st;
   }
 
  private:
-  std::ofstream f_;
+  // Small user-space buffer so kNone/kInterval appends are not one write(2)
+  // per record; Sync/Close always flush it first.
+  static constexpr size_t kBufferBytes = 64u << 10;
+
+  Status FlushBuffered() {
+    const char* p = buf_.data();
+    size_t left = buf_.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        buf_.erase(0, buf_.size() - left);
+        return Status::IOError("write failed: " + path_ + ": " +
+                               std::strerror(errno));
+      }
+      p += static_cast<size_t>(n);
+      left -= static_cast<size_t>(n);
+    }
+    buf_.clear();
+    return Status::OK();
+  }
+
+  int fd_;
   std::string path_;
+  std::string buf_;
+  /// The parent directory is fsync'd on the first Sync of this handle.
+  bool dir_sync_pending_ = true;
 };
 
 class RealFileOps : public FileOps {
  public:
   Result<std::unique_ptr<WritableFile>> NewWritableFile(const std::string& path,
                                                         bool truncate) override {
-    std::ofstream f(path, std::ios::binary |
-                              (truncate ? std::ios::trunc : std::ios::app));
-    if (!f.is_open()) return Status::IOError("cannot open for writing: " + path);
+    const int flags =
+        O_WRONLY | O_CREAT | O_CLOEXEC | (truncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return Status::IOError("cannot open for writing: " + path + ": " +
+                             std::strerror(errno));
+    }
     return std::unique_ptr<WritableFile>(
-        std::make_unique<RealWritableFile>(std::move(f), path));
+        std::make_unique<RealWritableFile>(fd, path));
   }
 
   Result<std::string> ReadFileToString(const std::string& path) const override {
@@ -75,14 +141,16 @@ class RealFileOps : public FileOps {
     std::error_code ec;
     fs::rename(from, to, ec);
     if (ec) return Status::IOError("rename " + from + " -> " + to + ": " + ec.message());
-    return Status::OK();
+    // The atomic-replace pattern (checkpoints) is only durable once the
+    // directory entry itself is: sync the target's parent.
+    return SyncDir(DirOf(to));
   }
 
   Status RemoveFile(const std::string& path) override {
     std::error_code ec;
-    if (!fs::remove(path, ec) || ec) {
-      return Status::NotFound("cannot remove: " + path);
-    }
+    const bool removed = fs::remove(path, ec);
+    if (ec) return Status::IOError("cannot remove " + path + ": " + ec.message());
+    if (!removed) return Status::NotFound("no such file: " + path);
     return Status::OK();
   }
 

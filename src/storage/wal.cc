@@ -91,8 +91,24 @@ Result<std::unique_ptr<Wal>> Wal::Open(const WalOptions& options,
 
   std::unique_ptr<Wal> wal(new Wal(options, fops));
   uint64_t expected_lsn = segments.empty() ? 0 : segments.front().first_lsn;
-  bool stop = false;
-  for (size_t si = 0; si < segments.size() && !stop; ++si) {
+
+  // On data_loss the on-disk chain must physically converge to the
+  // recovered prefix: segments past the stop point can never be replayed
+  // (their LSNs are beyond the lost records), and left behind they would
+  // make the NEXT recovery stop at the same point — silently discarding
+  // appends acknowledged after this (degraded) boot — or splice stale
+  // old-era records onto a shorter chain.
+  auto drop_segments_from = [&](size_t from) {
+    for (size_t i = from; i < segments.size(); ++i) {
+      Status st = fops->RemoveFile(segments[i].path);
+      if (!st.ok() && !st.IsNotFound()) {
+        recovery->detail += "failed to remove unreachable segment " +
+                            segments[i].path + ": " + st.message() + "; ";
+      }
+    }
+  };
+
+  for (size_t si = 0; si < segments.size(); ++si) {
     Segment& seg = segments[si];
     const bool final_segment = (si + 1 == segments.size());
     if (seg.first_lsn != expected_lsn) {
@@ -100,63 +116,82 @@ Result<std::unique_ptr<Wal>> Wal::Open(const WalOptions& options,
       recovery->data_loss = true;
       recovery->detail += "LSN gap: expected " + std::to_string(expected_lsn) +
                           ", segment starts at " + std::to_string(seg.first_lsn) +
-                          " (" + seg.path + "); ";
+                          " (" + seg.path + "), unreachable segments removed; ";
+      drop_segments_from(si);
       break;
     }
     auto content = fops->ReadFileToString(seg.path);
     if (!content.ok()) {
       recovery->data_loss = true;
       recovery->detail += "unreadable segment " + seg.path + ": " +
-                          content.status().message() + "; ";
+                          content.status().message() +
+                          ", segment and successors removed; ";
+      drop_segments_from(si);
       break;
     }
     const std::string& bytes = *content;
     size_t off = 0;
-    while (off < bytes.size()) {
-      std::string why;
+    std::string why;
+    while (off < bytes.size() && why.empty()) {
       if (bytes.size() - off < kHeaderBytes) {
         why = "torn header";
-      } else {
-        uint32_t len = LoadLE32(bytes.data() + off);
-        uint32_t crc = LoadLE32(bytes.data() + off + 4);
-        if (len > kMaxRecordBytes) {
-          why = "oversized length field (" + std::to_string(len) + ")";
-        } else if (bytes.size() - off - kHeaderBytes < len) {
-          why = "torn payload";
-        } else {
-          std::string_view payload(bytes.data() + off + kHeaderBytes, len);
-          if (Crc32c(payload) != crc) {
-            why = "CRC mismatch";
-          } else {
-            recovery->records.push_back({expected_lsn, std::string(payload)});
-            ++expected_lsn;
-            ++seg.record_count;
-            off += kHeaderBytes + len;
-            continue;
-          }
-        }
+        break;
       }
-      // Invalid record at `off`: the prefix before it is the longest valid
-      // prefix of this segment.
-      if (final_segment) {
-        recovery->tail_truncated = true;
-        recovery->detail += why + " at byte " + std::to_string(off) + " of " +
-                            seg.path + ", tail truncated; ";
-        // Chop the tail so the next recovery sees a clean final segment
-        // even after newer segments are created.
-        Status st = fops->TruncateFile(seg.path, off);
-        if (!st.ok()) {
-          recovery->detail += "tail truncation failed: " + st.message() + "; ";
-        }
-      } else {
-        recovery->data_loss = true;
-        recovery->detail += why + " at byte " + std::to_string(off) + " of " +
-                            seg.path + " (not the final segment); ";
+      uint32_t len = LoadLE32(bytes.data() + off);
+      uint32_t crc = LoadLE32(bytes.data() + off + 4);
+      if (len > kMaxRecordBytes) {
+        why = "oversized length field (" + std::to_string(len) + ")";
+        break;
       }
-      stop = !final_segment;
-      break;
+      if (bytes.size() - off - kHeaderBytes < len) {
+        why = "torn payload";
+        break;
+      }
+      std::string_view payload(bytes.data() + off + kHeaderBytes, len);
+      if (Crc32c(payload) != crc) {
+        why = "CRC mismatch";
+        break;
+      }
+      recovery->records.push_back({expected_lsn, std::string(payload)});
+      ++expected_lsn;
+      ++seg.record_count;
+      off += kHeaderBytes + len;
     }
-    wal->segments_.push_back(seg);
+    if (why.empty()) {
+      wal->segments_.push_back(seg);
+      continue;
+    }
+    // Invalid record at `off`: the prefix before it is the longest valid
+    // prefix of the whole log (later segments could only continue past the
+    // records lost here).
+    recovery->detail += why + " at byte " + std::to_string(off) + " of " + seg.path;
+    if (final_segment) {
+      recovery->tail_truncated = true;
+      recovery->detail += ", tail truncated; ";
+    } else {
+      recovery->data_loss = true;
+      recovery->detail += " (not the final segment), unreachable segments removed; ";
+      drop_segments_from(si + 1);
+    }
+    // Physically chop the invalid suffix so the next recovery sees a clean
+    // final segment whatever happens after this boot.
+    if (off == 0) {
+      // No valid record at all: remove the file outright — the fresh
+      // segment a post-recovery append creates carries this same LSN in
+      // its name and must not collide with a half-dead twin.
+      Status st = fops->RemoveFile(seg.path);
+      if (!st.ok() && !st.IsNotFound()) {
+        recovery->detail += "removal of invalid segment failed: " +
+                            st.message() + "; ";
+      }
+    } else {
+      Status st = fops->TruncateFile(seg.path, off);
+      if (!st.ok()) {
+        recovery->detail += "tail truncation failed: " + st.message() + "; ";
+      }
+      wal->segments_.push_back(seg);
+    }
+    break;
   }
   recovery->next_lsn = expected_lsn;
   wal->next_lsn_ = expected_lsn;
@@ -181,11 +216,12 @@ Result<uint64_t> Wal::Append(std::string_view payload) {
                                    std::to_string(payload.size()) + " bytes");
   }
   if (writer_ != nullptr && writer_bytes_ >= options_.segment_bytes) {
-    // Seal (sync per policy, so a sealed segment is never torn by a later
-    // crash under kEveryRecord) and rotate.
-    if (options_.fsync_policy == FsyncPolicy::kEveryRecord) {
-      EF_RETURN_NOT_OK(writer_->Sync());
-    }
+    // Seal and rotate. Sync regardless of policy: a torn tail in a sealed
+    // (no-longer-final) segment reads as data_loss at recovery, not the
+    // bounded tail loss kInterval/kNone signed up for — one sync per
+    // segment_bytes closes that window cheaply.
+    EF_RETURN_NOT_OK(writer_->Sync());
+    last_sync_.Reset();
     writer_.reset();
   }
   if (writer_ == nullptr) {
@@ -226,17 +262,22 @@ Status Wal::TruncateBefore(uint64_t lsn) {
     // Sealed segment i holds LSNs [first_lsn, segments_[i+1].first_lsn).
     if (segments_[i + 1].first_lsn > lsn) break;
     Status st = fops_->RemoveFile(segments_[i].path);
-    if (!st.ok() && first_error.ok()) first_error = st;
+    if (!st.ok() && !st.IsNotFound()) {
+      // The file may still be on disk: keep it (and its successors) listed
+      // so the next checkpoint retries, and surface the I/O error.
+      first_error = st;
+      break;
+    }
     ++dropped;
   }
   // The active (last) segment is droppable too when fully covered and
   // already sealed (writer closed, e.g. right after recovery).
-  if (segments_.size() == dropped + 1 && writer_ == nullptr &&
-      !segments_.empty() && next_lsn_ <= lsn) {
+  if (first_error.ok() && segments_.size() == dropped + 1 &&
+      writer_ == nullptr && !segments_.empty() && next_lsn_ <= lsn) {
     Status st = fops_->RemoveFile(segments_.back().path);
-    if (st.ok()) {
+    if (st.ok() || st.IsNotFound()) {
       ++dropped;
-    } else if (first_error.ok()) {
+    } else {
       first_error = st;
     }
   }

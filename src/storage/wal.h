@@ -24,8 +24,16 @@
 //     segments, means acknowledged records are gone — replay stops at the
 //     last good prefix and data_loss is reported so the caller can degrade
 //     instead of aborting.
+// In both cases recovery physically converges the directory to exactly the
+// replayed prefix: the invalid suffix is truncated (the whole file removed
+// when nothing in it was valid) and every later segment — unreachable by
+// definition, its LSNs past the lost records — is deleted. A data_loss
+// boot is therefore degraded ONCE: records appended after it are reachable
+// by the next recovery instead of being shadowed by the old corruption.
 // Appends after recovery always start a fresh segment, so recovery never
-// re-appends into a file another process version half-wrote.
+// re-appends into a file another process version half-wrote. Rotation
+// syncs the sealed segment under every fsync policy — a sealed segment is
+// never torn, so kInterval/kNone keep their bounded-tail-loss semantics.
 
 #ifndef EXPFINDER_STORAGE_WAL_H_
 #define EXPFINDER_STORAGE_WAL_H_

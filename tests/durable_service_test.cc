@@ -127,6 +127,33 @@ TEST_F(DurableServiceFixture, FailedWalAppendIsNotAckedButServiceKeepsServing) {
   EXPECT_EQ(GraphText(service.graph()), after_first);
 }
 
+TEST_F(DurableServiceFixture, FailedAppendDoesNotTriggerAnImmediateCheckpoint) {
+  Graph seed = MakeBase();
+  { ExpFinderService service(&seed, Options()); }
+
+  FaultPlan plan;
+  plan.fail_sync_at_count = 1;  // first Mutate: record appended, fsync fails
+  FaultyFileOps faulty(plan);
+  Graph g = MakeBase();
+  ServiceOptions o = Options();
+  o.durability.file_ops = &faulty;
+  o.durability.checkpoint_every_n_batches = 1;  // checkpoint after every batch
+  ExpFinderService service(&g, o);
+  ASSERT_TRUE(service.durable());
+
+  // Appended-but-unsynced: the LSN advanced, the caller got an error. The
+  // error path must not fold the un-acked record into a checkpoint — that
+  // would make a refused mutation durable and double-apply it if the caller
+  // retries after a restart.
+  Status first = service.Mutate({GraphUpdate::Insert(0, 2)});
+  EXPECT_TRUE(first.IsIOError());
+  EXPECT_EQ(service.stats().checkpoints_written, 0u);
+
+  // The next acked mutation checkpoints as usual.
+  ASSERT_TRUE(service.Mutate({GraphUpdate::Delete(0, 2)}).ok());
+  EXPECT_GE(service.stats().checkpoints_written, 1u);
+}
+
 TEST_F(DurableServiceFixture, CorruptStateDegradesToServingNotAborting) {
   Graph seed = MakeBase();
   {

@@ -227,6 +227,17 @@ TEST_F(WalFixture, CorruptionInEarlierSegmentIsDataLoss) {
   ASSERT_TRUE(wal.ok()) << wal.status();  // degrades, never fails Open
   EXPECT_TRUE(rec.data_loss);
   EXPECT_TRUE(rec.records.empty());  // nothing before the corrupt record
+
+  // Recovery converged the directory to the (empty) replayed prefix: the
+  // corrupt segment and its unreachable successors are gone, so the next
+  // recovery starts clean instead of re-reporting the same loss.
+  EXPECT_TRUE(SegmentFiles().empty());
+  WalRecovery rec2;
+  auto wal2 = Wal::Open(o, &rec2);
+  ASSERT_TRUE(wal2.ok());
+  EXPECT_FALSE(rec2.data_loss);
+  EXPECT_TRUE(rec2.records.empty());
+  EXPECT_EQ(rec2.next_lsn, 0u);
 }
 
 TEST_F(WalFixture, MissingMiddleSegmentIsDataLoss) {
@@ -246,6 +257,98 @@ TEST_F(WalFixture, MissingMiddleSegmentIsDataLoss) {
   ASSERT_TRUE(wal.ok());
   EXPECT_TRUE(rec.data_loss);  // LSN gap between segments 0 and 2
   EXPECT_EQ(rec.records.size(), 1u);
+
+  // The orphaned third segment (unreachable past the gap) was removed: a
+  // second recovery sees a contiguous one-segment chain and is clean.
+  EXPECT_EQ(SegmentFiles().size(), 1u);
+  WalRecovery rec2;
+  auto wal2 = Wal::Open(o, &rec2);
+  ASSERT_TRUE(wal2.ok());
+  EXPECT_FALSE(rec2.data_loss);
+  EXPECT_EQ(rec2.records.size(), 1u);
+}
+
+TEST_F(WalFixture, MidLogCorruptionConvergesAndLaterAppendsSurviveRestart) {
+  const std::string payload = "0123456789";
+  const size_t frame = EncodeWalRecord(payload).size();
+  WalOptions o = Options();
+  o.segment_bytes = 2 * frame;  // two records per segment
+  {
+    WalRecovery rec;
+    auto wal = Wal::Open(o, &rec);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE((*wal)->Append(payload).ok());
+  }
+  auto segs = SegmentFiles();
+  ASSERT_EQ(segs.size(), 2u);  // [rec0, rec1], [rec2]
+  // Corrupt record 1 — the second record of the sealed first segment.
+  const std::string path = dir_ + "/" + segs.front();
+  auto content = FileOps::Real()->ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  std::string tampered = *content;
+  tampered[tampered.size() - 1] ^= 0x01;
+  auto f = FileOps::Real()->NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append(tampered).ok());
+  ASSERT_TRUE((*f)->Close().ok());
+
+  // Degraded boot: only record 0 survives. The corrupt suffix is truncated
+  // and the unreachable second segment removed, so the chain on disk is
+  // exactly the replayed prefix.
+  WalRecovery rec;
+  auto wal = Wal::Open(o, &rec);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE(rec.data_loss);
+  ASSERT_EQ(rec.records.size(), 1u);
+  EXPECT_EQ(rec.next_lsn, 1u);
+  EXPECT_EQ(SegmentFiles().size(), 1u);
+
+  // Appends acknowledged after the degraded boot...
+  ASSERT_TRUE((*wal)->Append("after-1").ok());
+  ASSERT_TRUE((*wal)->Append("after-2").ok());
+  (*wal).reset();
+
+  // ...are reachable by the NEXT recovery: the fresh segment continues the
+  // contiguous chain and nothing abnormal is reported anymore.
+  WalRecovery rec2;
+  auto wal2 = Wal::Open(o, &rec2);
+  ASSERT_TRUE(wal2.ok());
+  EXPECT_FALSE(rec2.data_loss);
+  EXPECT_FALSE(rec2.tail_truncated);
+  ASSERT_EQ(rec2.records.size(), 3u);
+  EXPECT_EQ(rec2.records[0].payload, payload);
+  EXPECT_EQ(rec2.records[1].lsn, 1u);
+  EXPECT_EQ(rec2.records[1].payload, "after-1");
+  EXPECT_EQ(rec2.records[2].payload, "after-2");
+}
+
+TEST_F(WalFixture, RotationSyncsSealedSegmentUnderEveryPolicy) {
+  // A torn tail in a SEALED segment reads as data_loss, so sealing must
+  // sync even when the policy never would — otherwise kInterval/kNone lose
+  // whole later segments instead of a bounded tail.
+  for (FsyncPolicy policy : {FsyncPolicy::kNone, FsyncPolicy::kInterval}) {
+    FaultyFileOps faulty(FaultPlan{});  // no faults: just the sync counter
+    WalOptions o = Options();
+    o.dir = dir_ + "/" + std::string(FsyncPolicyName(policy));
+    o.file_ops = &faulty;
+    o.fsync_policy = policy;
+    o.segment_bytes = EncodeWalRecord("p").size();  // 1 record/segment
+    WalRecovery rec;
+    auto wal = Wal::Open(o, &rec);
+    ASSERT_TRUE(wal.ok());
+    const uint64_t before = faulty.syncs();
+    ASSERT_TRUE((*wal)->Append("p").ok());  // fills segment 1
+    ASSERT_TRUE((*wal)->Append("p").ok());  // seals segment 1 first
+    EXPECT_GE(faulty.syncs(), before + 1) << FsyncPolicyName(policy);
+  }
+}
+
+TEST_F(WalFixture, RemoveFileDistinguishesMissingFromRemoved) {
+  EXPECT_TRUE(FileOps::Real()->RemoveFile(dir_ + "/absent").IsNotFound());
+  auto f = FileOps::Real()->NewWritableFile(dir_ + "/present", /*truncate=*/true);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Close().ok());
+  EXPECT_TRUE(FileOps::Real()->RemoveFile(dir_ + "/present").ok());
 }
 
 TEST_F(WalFixture, TruncateBeforeDropsCoveredSegments) {
