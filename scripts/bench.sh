@@ -1,8 +1,7 @@
 #!/usr/bin/env bash
 # Benchmark-trajectory harness: builds the Google-Benchmark binaries with
-# -DEXPFINDER_BUILD_BENCH=ON, runs the matching, engine, and service suites
-# with JSON output, and appends one labelled entry per suite to
-# BENCH_matching.json / BENCH_engine.json / BENCH_service.json at the repo
+# -DEXPFINDER_BUILD_BENCH=ON, runs the benchmark suites with JSON output,
+# and appends one labelled entry per suite to BENCH_<suite>.json at the repo
 # root. Successive PRs run this to extend the trajectory, so every
 # optimization lands with comparable before/after numbers on the same
 # machine.
@@ -23,7 +22,7 @@
 #                    from PR 5 on, entries are Release unless explicitly
 #                    overridden.
 #   BENCH_SUITES    space-separated subset of "matching engine service
-#                   storage" (default: all four) — e.g. record an async
+#                   storage index" (default: all five) — e.g. record an async
 #                   serving baseline alone with
 #                   BENCH_SUITES=service BENCH_LABEL=pr4 scripts/bench.sh
 set -euo pipefail
@@ -34,7 +33,7 @@ BUILD_DIR=${BENCH_BUILD_DIR:-build}
 LABEL=${BENCH_LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabelled)}
 MIN_TIME=${BENCH_MIN_TIME:-0.2}
 FILTER=${BENCH_FILTER:-}
-SUITES=${BENCH_SUITES:-"matching engine service storage"}
+SUITES=${BENCH_SUITES:-"matching engine service storage index"}
 BUILD_TYPE=${BENCH_BUILD_TYPE:-Release}
 
 targets=()

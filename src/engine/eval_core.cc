@@ -51,6 +51,10 @@ Result<MatchRelation> EvalCore::Evaluate(const EngineSnapshot& snap,
   if (overrides.use_ball_index.has_value()) {
     plan.match_options.ball_index.enabled = *overrides.use_ball_index;
   }
+  plan.match_options.topic_index = options_.topic_index;
+  if (overrides.use_topic_index.has_value()) {
+    plan.match_options.topic_index.enabled = *overrides.use_topic_index;
+  }
   if (plan.provably_empty) {
     *path = EvalPath::kPlannerShortCircuit;
     return MatchRelation(q.NumNodes());

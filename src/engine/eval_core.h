@@ -67,6 +67,9 @@ struct EvalOverrides {
   /// Disabling never changes the relation — only the traversal cost — and a
   /// request that disables it does not invalidate the cached index.
   std::optional<bool> use_ball_index;
+  /// Per-call topic-index participation; absent = EngineOptions::topic_index.
+  /// Same contract as use_ball_index: never changes the relation.
+  std::optional<bool> use_topic_index;
   /// Cooperative cancellation flag, polled at evaluation stage boundaries
   /// (after planning, before each matcher run, before decompression). When
   /// it reads true the evaluation stops with Status::Cancelled at the next
@@ -101,6 +104,10 @@ struct EngineOptions {
   /// incremental maintainers (see khop_index.h). Relations are identical
   /// with the index on, off, or capped into BFS fallback.
   BallIndexOptions ball_index;
+  /// Topic inverted-index participation for text-predicate seeding (see
+  /// index/topic_index.h). Relations are identical with the index on, off,
+  /// or capped into scan fallback.
+  TopicIndexOptions topic_index;
 };
 
 /// \brief One published, immutable engine state: everything a read needs,

@@ -26,9 +26,11 @@ EvalPlan Planner::Plan(const Graph& g, const Pattern& q) const {
       }
     }
     // Independence heuristic: each condition halves the candidates; unknown
-    // attribute keys cannot match at all.
+    // attribute keys cannot match at all. Any-attribute ("*") conditions are
+    // evaluated over every value a node carries, so they never prove
+    // emptiness here.
     for (const Condition& c : n.conditions) {
-      if (!g.FindAttrKey(c.attr())) {
+      if (!c.is_any_attr() && !g.FindAttrKey(c.attr())) {
         plan.provably_empty = true;
         estimate = 0;
         break;

@@ -57,6 +57,9 @@ std::string EngineStats::ToString() const {
      << " snapshots_retired=" << snapshots_retired
      << " ball_index_builds=" << ball_index_builds
      << " ball_hits=" << ball_hits << " bfs_fallbacks=" << bfs_fallbacks
+     << " topic_index_builds=" << topic_index_builds
+     << " posting_hits=" << posting_hits
+     << " seed_scan_fallbacks=" << seed_scan_fallbacks
      << " last_eval_ms=" << last_eval_ms;
   return os.str();
 }
@@ -176,6 +179,13 @@ void QueryEngine::RefreshDerivedStats() {
   stats_.ball_index_builds = builds;
   stats_.ball_hits = hits;
   stats_.bfs_fallbacks = fallbacks;
+  size_t topic_builds =
+      match_ctx_.topic_index_builds() + compressed_ctx_.topic_index_builds();
+  if (maintained_topics_ != nullptr) topic_builds += maintained_topics_->builds();
+  stats_.topic_index_builds = topic_builds;
+  stats_.posting_hits = match_ctx_.posting_hits() + compressed_ctx_.posting_hits();
+  stats_.seed_scan_fallbacks =
+      match_ctx_.seed_scan_fallbacks() + compressed_ctx_.seed_scan_fallbacks();
 }
 
 Result<std::shared_ptr<const QueryAnswer>> QueryEngine::Evaluate(
@@ -247,6 +257,7 @@ Result<NodeId> QueryEngine::AddNode(
     const std::vector<std::pair<std::string, AttrValue>>& attrs) {
   NodeId v = g_->AddNode(label);
   for (const auto& [key, value] : attrs) g_->SetAttr(v, key, value);
+  if (maintained_topics_ != nullptr) maintained_topics_->OnNodeAdded(*g_, v);
   for (auto& [fp, m] : maintained_) m.OnNodeAdded(v);
   if (compression_ != nullptr && core_.options().maintain_compression) {
     compression_->OnNodeAdded(v);
@@ -264,13 +275,23 @@ Status QueryEngine::RegisterMaintainedQuery(const Pattern& q,
   }
   MatchOptions match_opts;
   match_opts.ball_index = core_.options().ball_index;
+  match_opts.topic_index = core_.options().topic_index;
+  if (match_opts.topic_index.enabled && maintained_topics_ == nullptr &&
+      HasTextPredicates(q)) {
+    // Maintained queries are reused by construction, so build eagerly (the
+    // deferred-use policy guards the per-snapshot slots, not this one).
+    // A budget refusal leaves registration on the scan path.
+    maintained_topics_ = MaintainedTopicIndex::Build(*g_, match_opts.topic_index);
+  }
+  MaintainedTopicIndex* topics = maintained_topics_.get();
   Maintained m;
   if (semantics == MatchSemantics::kDualSimulation) {
-    m.dual = std::make_unique<IncrementalDualSimulation>(g_, q, match_opts);
+    m.dual = std::make_unique<IncrementalDualSimulation>(g_, q, match_opts, topics);
   } else if (q.IsSimulationPattern()) {
-    m.sim = std::make_unique<IncrementalSimulation>(g_, q);
+    m.sim = std::make_unique<IncrementalSimulation>(g_, q, match_opts, topics);
   } else {
-    m.bounded = std::make_unique<IncrementalBoundedSimulation>(g_, q, match_opts);
+    m.bounded =
+        std::make_unique<IncrementalBoundedSimulation>(g_, q, match_opts, topics);
   }
   maintained_.emplace(key, std::move(m));
   BumpEngineSeq();

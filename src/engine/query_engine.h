@@ -80,6 +80,14 @@ struct EngineStats {
   size_t ball_index_builds = 0;
   size_t ball_hits = 0;
   size_t bfs_fallbacks = 0;
+  /// Topic-index telemetry (see index/topic_index.h): successful inverted
+  /// index builds (snapshot slots + the maintained index, steady state must
+  /// not grow this), pattern nodes seeded from a posting list, and pattern
+  /// nodes with text predicates that scanned anyway (index deferred,
+  /// refused, disabled, or not cheaper than the scan).
+  size_t topic_index_builds = 0;
+  size_t posting_hits = 0;
+  size_t seed_scan_fallbacks = 0;
   /// Wall time of the last Evaluate, stamped uniformly on every serving
   /// path *and* on failed evaluations (cancel, deadline, error).
   double last_eval_ms = 0.0;
@@ -229,6 +237,11 @@ class QueryEngine {
   ResultCache cache_;
   std::unique_ptr<MaintainedCompression> compression_;
   std::unordered_map<uint64_t, Maintained> maintained_;
+  /// Incrementally maintained topic index over the live graph, built lazily
+  /// the first time a maintained query with text predicates registers (the
+  /// registration itself seeds from it). AddNode patches it in place;
+  /// engine edge updates never touch content, so it stays exact.
+  std::unique_ptr<MaintainedTopicIndex> maintained_topics_;
   /// Scratch for evaluations through Evaluate()/TopK(); bound to the
   /// published snapshot at each Publish, so a steady-state query builds no
   /// per-query CSR at all.

@@ -38,6 +38,9 @@
 #include "src/query/pattern.h"
 #include "src/query/pattern_parser.h"
 
+// Topic inverted index (free-text expert search).
+#include "src/index/topic_index.h"
+
 // Matching engines.
 #include "src/matching/bounded_simulation.h"
 #include "src/matching/candidates.h"
@@ -50,6 +53,7 @@
 #include "src/matching/vf2.h"
 
 // Ranking.
+#include "src/ranking/fusion.h"
 #include "src/ranking/metrics.h"
 #include "src/ranking/social_impact.h"
 #include "src/ranking/topk.h"

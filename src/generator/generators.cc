@@ -29,6 +29,15 @@ NodeId AddModelNode(Graph* g, Rng* rng, const LabelModel& model, size_t index) {
     size_t si = static_cast<size_t>(rng->NextBounded(model.specialties.size()));
     g->SetAttr(v, "specialty", AttrValue(model.specialties[si]));
   }
+  if (!model.topics.empty() && model.topics_per_node > 0) {
+    std::string joined;
+    for (size_t i = 0; i < model.topics_per_node; ++i) {
+      size_t ti = static_cast<size_t>(rng->NextBounded(model.topics.size()));
+      if (i > 0) joined += "; ";
+      joined += model.topics[ti];
+    }
+    g->SetAttr(v, "topics", AttrValue(std::move(joined)));
+  }
   return v;
 }
 
@@ -40,6 +49,15 @@ LabelModel DefaultExpertiseModel() {
   m.zipf_s = 1.0;
   m.max_experience = 15;
   m.specialties = {"backend", "frontend", "database", "embedded"};
+  return m;
+}
+
+LabelModel TopicExpertiseModel() {
+  LabelModel m = DefaultExpertiseModel();
+  m.topics = {"graph databases",      "query optimization", "stream processing",
+              "distributed systems",  "machine learning",   "information retrieval",
+              "compilers",            "operating systems",  "computer vision",
+              "network security",     "frontend tooling",   "site reliability"};
   return m;
 }
 

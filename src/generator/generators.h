@@ -31,10 +31,20 @@ struct LabelModel {
   int max_experience = 15;
   /// Optional "specialty" attribute pool (uniform); empty disables it.
   std::vector<std::string> specialties;
+  /// Optional "topics" attribute: `topics_per_node` phrases sampled
+  /// uniformly (with replacement) from this pool, joined with "; ". Empty
+  /// pool disables it. Fodder for the topic inverted index and the
+  /// "find experts about X" workloads (see index/topic_index.h).
+  std::vector<std::string> topics;
+  size_t topics_per_node = 2;
 };
 
 /// Eight-field expertise model used across examples and benchmarks.
 LabelModel DefaultExpertiseModel();
+
+/// DefaultExpertiseModel plus a twelve-phrase "topics" pool — the model the
+/// topic-search examples, tests, and benches share.
+LabelModel TopicExpertiseModel();
 
 /// Assigns label + attributes to every node of an unlabeled topology is not
 /// exposed; generators label nodes as they create them using this model.

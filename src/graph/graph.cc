@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "src/graph/graph_snapshot.h"
+#include "src/index/topic_index.h"
 #include "src/util/logging.h"
 
 namespace expfinder {
@@ -31,6 +32,8 @@ NodeId Graph::AddNode(std::string_view label) {
   if (lid >= label_index_.size()) label_index_.resize(lid + 1);
   label_index_[lid].push_back(id);
   ++version_;
+  // Content changed: stop sharing the topic slot with earlier copies.
+  topic_slot_ = std::make_shared<TopicIndexSlot>();
   return id;
 }
 
@@ -90,6 +93,8 @@ const std::vector<NodeId>& Graph::NodesWithLabel(LabelId id) const {
 
 void Graph::SetAttr(NodeId v, std::string_view key, AttrValue value) {
   EF_CHECK(IsValidNode(v)) << "SetAttr on invalid node " << v;
+  // Content changed: stop sharing the topic slot with earlier copies.
+  topic_slot_ = std::make_shared<TopicIndexSlot>();
   AttrKeyId kid = attr_interner_.Intern(key);
   for (auto& [k, val] : attrs_[v]) {
     if (k == kid) {

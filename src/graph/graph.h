@@ -27,6 +27,7 @@
 namespace expfinder {
 
 class GraphSnapshot;
+class TopicIndexSlot;
 
 /// \brief Attributed directed graph with dynamic edge updates.
 class Graph {
@@ -123,6 +124,16 @@ class Graph {
   /// restarts and can land on the same value — the fresh uid disambiguates.
   uint64_t uid() const { return uid_; }
 
+  /// The lazily built topic inverted index shared by every graph with this
+  /// graph's *content* (labels + attributes; see index/topic_index.h).
+  /// Copies — including the frozen copies inside snapshots — share the slot,
+  /// so an index built against one published snapshot serves every snapshot
+  /// published across pure edge churn. Content mutations (AddNode, SetAttr)
+  /// swap in a fresh slot, which also covers copies that diverge after the
+  /// share: whoever mutates stops sharing. nullptr until the first content
+  /// mutation (an empty graph has nothing to index).
+  const std::shared_ptr<TopicIndexSlot>& topic_slot() const { return topic_slot_; }
+
  private:
   static uint64_t NextUid();
 
@@ -133,6 +144,7 @@ class Graph {
   std::vector<std::vector<NodeId>> in_;              // reverse adjacency
   std::vector<std::vector<std::pair<AttrKeyId, AttrValue>>> attrs_;  // per node
   std::vector<std::vector<NodeId>> label_index_;     // label id -> nodes
+  std::shared_ptr<TopicIndexSlot> topic_slot_;       // see topic_slot()
   size_t num_edges_ = 0;
   uint64_t version_ = 0;
   uint64_t uid_ = NextUid();

@@ -1,5 +1,7 @@
 #include "src/graph/graph_snapshot.h"
 
+#include "src/index/topic_index.h"
+
 namespace expfinder {
 
 std::shared_ptr<const GraphSnapshot> GraphSnapshot::Capture(const Graph& g) {
@@ -57,6 +59,22 @@ const KhopIndex* GraphSnapshot::BallIndex(Distance depth,
   published_ball_.store(ball_index_.get(), std::memory_order_release);
   if (built_now != nullptr) *built_now = true;
   return ball_index_.get();
+}
+
+const TopicIndex* GraphSnapshot::TopicIndexFor(const TopicIndexOptions& limits,
+                                               bool* built_now) const {
+  const std::shared_ptr<TopicIndexSlot>& slot = graph_.topic_slot();
+  if (slot == nullptr) {
+    // Only an empty graph has no slot — nothing to index.
+    if (built_now != nullptr) *built_now = false;
+    return nullptr;
+  }
+  return slot->Get(graph_, limits, built_now);
+}
+
+const TopicIndex* GraphSnapshot::CachedTopicIndex() const {
+  const std::shared_ptr<TopicIndexSlot>& slot = graph_.topic_slot();
+  return slot != nullptr ? slot->Cached() : nullptr;
 }
 
 }  // namespace expfinder

@@ -40,6 +40,8 @@
 namespace expfinder {
 
 class ThreadPool;
+class TopicIndex;
+struct TopicIndexOptions;
 
 /// \brief One published, immutable version of a Graph: private graph copy +
 /// CSR + lazily attached shared ball index.
@@ -86,6 +88,21 @@ class GraphSnapshot {
   const KhopIndex* CachedBallIndex() const {
     return published_ball_.load(std::memory_order_acquire);
   }
+
+  /// The shared topic inverted index (see index/topic_index.h), building it
+  /// if this call crosses its deferred threshold. Unlike the ball slot,
+  /// which this snapshot owns, the topic slot rides on the frozen graph
+  /// copy and is *shared across snapshots* published over pure edge churn —
+  /// content mutations replace it, so a hit here is always current. Returns
+  /// nullptr when there is nothing to index yet, the build is deferred or
+  /// refused, or the index is disabled. Thread-safe; `built_now` (optional)
+  /// reports whether this call paid the build.
+  const TopicIndex* TopicIndexFor(const TopicIndexOptions& limits,
+                                  bool* built_now) const;
+
+  /// The already-built topic index, or nullptr — never builds, never counts
+  /// a use. Lock-free.
+  const TopicIndex* CachedTopicIndex() const;
 
  private:
   explicit GraphSnapshot(const Graph& g) : graph_(g), csr_(graph_) {}

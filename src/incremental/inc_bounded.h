@@ -58,7 +58,11 @@ class IncrementalBoundedSimulation {
   /// Computes the initial relation; `g` must outlive this object. Any
   /// pattern accepted by ComputeBoundedSimulation works (bounds >= 1,
   /// cyclic patterns included).
-  IncrementalBoundedSimulation(Graph* g, Pattern q, const MatchOptions& options = {});
+  /// `topics` (optional) seeds the initial candidate computation from the
+  /// engine's maintained topic index (see index/topic_index.h); the
+  /// maintained relation is identical with or without it.
+  IncrementalBoundedSimulation(Graph* g, Pattern q, const MatchOptions& options = {},
+                               MaintainedTopicIndex* topics = nullptr);
 
   const Pattern& pattern() const { return q_; }
 

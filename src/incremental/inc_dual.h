@@ -34,7 +34,11 @@ namespace expfinder {
 /// updates and node additions.
 class IncrementalDualSimulation {
  public:
-  IncrementalDualSimulation(Graph* g, Pattern q, const MatchOptions& options = {});
+  /// `topics` (optional) seeds the initial candidate computation from the
+  /// engine's maintained topic index; the maintained relation is
+  /// identical with or without it.
+  IncrementalDualSimulation(Graph* g, Pattern q, const MatchOptions& options = {},
+                            MaintainedTopicIndex* topics = nullptr);
 
   const Pattern& pattern() const { return q_; }
 

@@ -39,7 +39,11 @@ class IncrementalSimulation {
  public:
   /// Computes the initial match relation; `g` must outlive this object.
   /// The pattern must satisfy IsSimulationPattern().
-  IncrementalSimulation(Graph* g, Pattern q, const MatchOptions& options = {});
+  /// `topics` (optional) seeds the initial candidate computation from the
+  /// engine's maintained topic index; the maintained relation is
+  /// identical with or without it.
+  IncrementalSimulation(Graph* g, Pattern q, const MatchOptions& options = {},
+                        MaintainedTopicIndex* topics = nullptr);
 
   const Pattern& pattern() const { return q_; }
 

@@ -15,7 +15,7 @@ MatchRelation ComputeBoundedSimulation(const Graph& g, const Pattern& q,
   const size_t n = g.NumNodes();
   const size_t ne = q.NumEdges();
 
-  CandidateSets cand = ComputeCandidates(g, q, options);
+  CandidateSets cand = ComputeCandidates(g, q, options, ctx);
   DenseBitset mat = cand.bitmap;
   auto& cnt = ctx->Counters(0, ne, n);
 

@@ -1,8 +1,11 @@
 #include "src/matching/candidates.h"
 
 #include <algorithm>
+#include <string>
 
+#include "src/matching/match_context.h"
 #include "src/util/logging.h"
+#include "src/util/string_util.h"
 
 namespace expfinder {
 
@@ -14,6 +17,8 @@ struct CompiledNode {
   LabelId label = kInvalidLabel;
   // (resolved key, condition) pairs.
   std::vector<std::pair<AttrKeyId, const Condition*>> conds;
+  // Any-attribute ("*") conditions, evaluated over every value of a node.
+  std::vector<const Condition*> any_conds;
 };
 
 CompiledNode Compile(const Graph& g, const PatternNode& n) {
@@ -29,6 +34,12 @@ CompiledNode Compile(const Graph& g, const PatternNode& n) {
     c.label = *lid;
   }
   for (const Condition& cond : n.conditions) {
+    if (cond.is_any_attr()) {
+      // "*" ranges over label + every attribute: it can match nodes even
+      // when no attribute key does, so it never proves impossibility.
+      c.any_conds.push_back(&cond);
+      continue;
+    }
     auto key = g.FindAttrKey(cond.attr());
     if (!key) {
       c.impossible = true;  // attribute key never set on any node
@@ -44,18 +55,39 @@ bool Satisfies(const Graph& g, NodeId v, const CompiledNode& c) {
   for (const auto& [key, cond] : c.conds) {
     if (!cond->Eval(g.GetAttr(v, key))) return false;
   }
+  for (const Condition* cond : c.any_conds) {
+    if (!AnyAttrSatisfies(g, v, *cond)) return false;
+  }
   return true;
 }
 
-}  // namespace
+/// Tokens every match of `n` must carry in its token set (see the soundness
+/// contract in index/topic_index.h): the tokens of string constants under
+/// kEq and kHasToken, named-attribute or any-attribute alike. kContains is
+/// excluded — substrings cross token boundaries.
+void AppendNecessaryTokens(const PatternNode& n, std::vector<std::string>* out) {
+  for (const Condition& cond : n.conditions) {
+    if (!cond.rhs().is_string()) continue;
+    if (cond.op() != CmpOp::kEq && cond.op() != CmpOp::kHasToken) continue;
+    AppendTopicTokens(cond.rhs().AsString(), out);
+  }
+}
 
-CandidateSets ComputeCandidates(const Graph& g, const Pattern& q,
-                                const MatchOptions& options) {
+/// `Topics` is TopicIndex (const) or MaintainedTopicIndex; nullptr means no
+/// index. Every candidate a posting list proposes is re-verified by
+/// Satisfies, so the output is bit-identical to the scan paths — ascending
+/// order included, since postings are ascending like the label index.
+template <typename Topics>
+CandidateSets ComputeCandidatesImpl(const Graph& g, const Pattern& q,
+                                    const MatchOptions& options, Topics* topics,
+                                    TopicSeedStats* stats) {
   const size_t n = g.NumNodes();
   const size_t nq = q.NumNodes();
   CandidateSets out;
   out.bitmap = DenseBitset(nq, n);
   out.list.resize(nq);
+  std::vector<std::string> tokens;
+  std::vector<NodeId> posting;
   for (PatternNodeId u = 0; u < nq; ++u) {
     CompiledNode c = Compile(g, q.node(u));
     if (c.impossible) continue;
@@ -65,6 +97,47 @@ CandidateSets ComputeCandidates(const Graph& g, const Pattern& q,
         out.list[u].push_back(v);
       }
     };
+    tokens.clear();
+    AppendNecessaryTokens(q.node(u), &tokens);
+    const size_t scan_cost = (options.use_label_index && !c.label_wildcard)
+                                 ? g.NodesWithLabel(c.label).size()
+                                 : n;
+    bool seeded = false;
+    if (!tokens.empty() && topics != nullptr) {
+      // A matching node must carry every necessary token, so any single
+      // posting list is a sound universe — pick the rarest term.
+      bool missing = false;
+      uint32_t best_term = 0;
+      size_t best_df = SIZE_MAX;
+      for (const std::string& t : tokens) {
+        auto term = topics->FindTerm(t);
+        if (!term) {
+          missing = true;  // token on no node: the set is provably empty
+          break;
+        }
+        const size_t df = topics->DocFreq(*term);
+        if (df < best_df) {
+          best_df = df;
+          best_term = *term;
+        }
+      }
+      if (missing) {
+        seeded = true;
+        if (stats != nullptr) ++stats->posting_hits;
+      } else if (best_df < scan_cost) {
+        posting.clear();
+        topics->AppendPostings(best_term, &posting);
+        for (NodeId v : posting) consider(v);
+        EF_DCHECK(std::is_sorted(out.list[u].begin(), out.list[u].end()));
+        seeded = true;
+        if (stats != nullptr) ++stats->posting_hits;
+      } else if (stats != nullptr) {
+        ++stats->seed_scan_fallbacks;  // the scan is no worse than the posting
+      }
+    } else if (!tokens.empty() && stats != nullptr) {
+      ++stats->seed_scan_fallbacks;  // text predicates but no index available
+    }
+    if (seeded) continue;
     if (options.use_label_index && !c.label_wildcard) {
       // Graph::AddNode appends each new (dense, increasing) node id to its
       // label's index list, so NodesWithLabel is already ascending and the
@@ -75,6 +148,37 @@ CandidateSets ComputeCandidates(const Graph& g, const Pattern& q,
       for (NodeId v = 0; v < n; ++v) consider(v);
     }
   }
+  return out;
+}
+
+}  // namespace
+
+CandidateSets ComputeCandidates(const Graph& g, const Pattern& q,
+                                const MatchOptions& options) {
+  return ComputeCandidatesImpl<const TopicIndex>(g, q, options, nullptr, nullptr);
+}
+
+CandidateSets ComputeCandidates(const Graph& g, const Pattern& q,
+                                const MatchOptions& options,
+                                const TopicIndex* topics, TopicSeedStats* stats) {
+  return ComputeCandidatesImpl(g, q, options, topics, stats);
+}
+
+CandidateSets ComputeCandidates(const Graph& g, const Pattern& q,
+                                const MatchOptions& options,
+                                MaintainedTopicIndex* topics, TopicSeedStats* stats) {
+  return ComputeCandidatesImpl(g, q, options, topics, stats);
+}
+
+CandidateSets ComputeCandidates(const Graph& g, const Pattern& q,
+                                const MatchOptions& options, MatchContext* ctx) {
+  if (ctx == nullptr || !options.topic_index.enabled || !HasTextPredicates(q)) {
+    return ComputeCandidates(g, q, options);
+  }
+  const TopicIndex* topics = ctx->TopicIndexFor(g, options.topic_index);
+  TopicSeedStats stats;
+  CandidateSets out = ComputeCandidatesImpl(g, q, options, topics, &stats);
+  ctx->AddTopicStats(stats.posting_hits, stats.seed_scan_fallbacks);
   return out;
 }
 

@@ -14,10 +14,13 @@
 
 #include "src/graph/graph.h"
 #include "src/graph/khop_index.h"
+#include "src/index/topic_index.h"
 #include "src/query/pattern.h"
 #include "src/util/dense_bitset.h"
 
 namespace expfinder {
+
+class MatchContext;
 
 /// \brief Tunables shared by the matchers.
 struct MatchOptions {
@@ -33,6 +36,11 @@ struct MatchOptions {
   /// relation is bit-identical with the index enabled, disabled, or capped
   /// into fallback; only the traversal cost changes.
   BallIndexOptions ball_index;
+  /// Topic-index participation for text-predicate seeding (see
+  /// index/topic_index.h). Same contract as the ball index: relations are
+  /// bit-identical enabled, disabled, or capped — only who gets probed
+  /// changes.
+  TopicIndexOptions topic_index;
 };
 
 /// \brief Per-pattern-node candidate sets in both bitmap and list form.
@@ -44,9 +52,43 @@ struct CandidateSets {
   std::vector<std::vector<NodeId>> list;
 };
 
+/// \brief Telemetry from one topic-seeded candidate computation.
+struct TopicSeedStats {
+  /// Pattern nodes whose candidates came from a posting list (including the
+  /// degenerate "token unknown, set provably empty" hit).
+  size_t posting_hits = 0;
+  /// Pattern nodes with text predicates that scanned anyway: index missing,
+  /// deferred, refused, or the best posting list no smaller than the scan.
+  size_t seed_scan_fallbacks = 0;
+};
+
 /// Computes candidate sets for every pattern node.
 CandidateSets ComputeCandidates(const Graph& g, const Pattern& q,
                                 const MatchOptions& options = {});
+
+/// Topic-seeded variant: pattern nodes carrying text predicates (string
+/// equality / has_token) draw their candidate universe from the smallest
+/// applicable posting list of `topics` instead of a label scan, then
+/// re-verify exactly — the result is bit-identical to the plain overload.
+/// `topics` may be nullptr (plain seeding; text nodes count as fallbacks).
+/// `stats` may be nullptr.
+CandidateSets ComputeCandidates(const Graph& g, const Pattern& q,
+                                const MatchOptions& options,
+                                const TopicIndex* topics, TopicSeedStats* stats);
+/// Same, over the engine's incrementally maintained index (non-const: dirty
+/// terms re-derive lazily on access).
+CandidateSets ComputeCandidates(const Graph& g, const Pattern& q,
+                                const MatchOptions& options,
+                                MaintainedTopicIndex* topics, TopicSeedStats* stats);
+
+/// Matcher entry point: resolves the snapshot topic index through `ctx`
+/// (building it when the deferred threshold is crossed) for patterns with
+/// text predicates, seeds from postings, and accounts the telemetry into
+/// `ctx`. Falls back to the plain overload when `ctx` is null, the index is
+/// disabled, or the pattern has no text predicates — non-text queries never
+/// touch (or age) the slot.
+CandidateSets ComputeCandidates(const Graph& g, const Pattern& q,
+                                const MatchOptions& options, MatchContext* ctx);
 
 }  // namespace expfinder
 

@@ -26,7 +26,7 @@ MatchRelation ComputeDualSimulation(const Graph& g, const Pattern& q,
   const size_t n = g.NumNodes();
   const size_t ne = q.NumEdges();
 
-  CandidateSets cand = ComputeCandidates(g, q, options);
+  CandidateSets cand = ComputeCandidates(g, q, options, ctx);
   DenseBitset mat = cand.bitmap;
   // Two counter families per pattern edge e = (u,u'):
   //   fwd[e][v]  = |{v' in mat(u') : 0 < dist(v,v')  <= bound}|  (v cand of u)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/index/topic_index.h"
+
 namespace expfinder {
 
 namespace {
@@ -91,6 +93,15 @@ const KhopIndex* MatchContext::BallIndexFor(const Graph& g, Distance depth,
   ball_index_ = std::move(built);
   ++ball_index_builds_;
   return ball_index_.get();
+}
+
+const TopicIndex* MatchContext::TopicIndexFor(const Graph& g,
+                                              const TopicIndexOptions& limits) {
+  if (snapshot_ == nullptr || &snapshot_->graph() != &g) return nullptr;
+  bool built_now = false;
+  const TopicIndex* topics = snapshot_->TopicIndexFor(limits, &built_now);
+  if (built_now) ++topic_index_builds_;
+  return topics;
 }
 
 void MatchContext::EnsureBuffers(size_t num_workers, size_t n) {

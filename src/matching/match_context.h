@@ -127,6 +127,25 @@ class MatchContext {
     bfs_fallbacks_ += fallbacks;
   }
 
+  /// The shared topic inverted index of the bound snapshot's graph, building
+  /// it if this call crosses its deferred threshold (counted in
+  /// topic_index_builds). The topic index lives on published snapshots only:
+  /// an unbound context — or a call against some other graph — returns
+  /// nullptr and the caller keeps its scans, which preserves the
+  /// pre-snapshot paths (tests, oracles, incremental bases) untouched.
+  const TopicIndex* TopicIndexFor(const Graph& g, const TopicIndexOptions& limits);
+
+  /// Topic-index builds this context triggered, and the seeding tallies
+  /// reported by AddTopicStats (see TopicSeedStats in candidates.h).
+  size_t topic_index_builds() const { return topic_index_builds_; }
+  size_t posting_hits() const { return posting_hits_; }
+  size_t seed_scan_fallbacks() const { return seed_scan_fallbacks_; }
+
+  void AddTopicStats(size_t posting_hits, size_t scan_fallbacks) {
+    posting_hits_ += posting_hits;
+    seed_scan_fallbacks_ += scan_fallbacks;
+  }
+
   /// Makes workers [0, num_workers) usable, each sized for n nodes. Must be
   /// called before Buffers() — in particular before fanning out, since
   /// growing the worker list from inside workers would race.
@@ -178,6 +197,10 @@ class MatchContext {
   size_t ball_index_builds_ = 0;
   size_t ball_hits_ = 0;
   size_t bfs_fallbacks_ = 0;
+
+  size_t topic_index_builds_ = 0;
+  size_t posting_hits_ = 0;
+  size_t seed_scan_fallbacks_ = 0;
 
   std::deque<BfsBuffers> buffers_;  // deque: stable addresses across growth
   std::array<std::vector<std::vector<int32_t>>, 2> counters_;

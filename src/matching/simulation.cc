@@ -14,7 +14,7 @@ MatchRelation ComputeSimulation(const Graph& g, const Pattern& q,
   const size_t n = g.NumNodes();
   const size_t ne = q.NumEdges();
 
-  CandidateSets cand = ComputeCandidates(g, q, options);
+  CandidateSets cand = ComputeCandidates(g, q, options, ctx);
   DenseBitset mat = cand.bitmap;  // in-relation bit matrix
   auto& cnt = ctx->Counters(0, ne, n);
 

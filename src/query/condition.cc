@@ -1,5 +1,10 @@
 #include "src/query/condition.h"
 
+#include <algorithm>
+
+#include "src/graph/graph.h"
+#include "src/util/string_util.h"
+
 namespace expfinder {
 
 std::string_view CmpOpToken(CmpOp op) {
@@ -11,6 +16,7 @@ std::string_view CmpOpToken(CmpOp op) {
     case CmpOp::kGt: return ">";
     case CmpOp::kGe: return ">=";
     case CmpOp::kContains: return "contains";
+    case CmpOp::kHasToken: return "has_token";
   }
   return "?";
 }
@@ -23,6 +29,7 @@ std::optional<CmpOp> ParseCmpOp(std::string_view token) {
   if (token == ">") return CmpOp::kGt;
   if (token == ">=") return CmpOp::kGe;
   if (token == "contains") return CmpOp::kContains;
+  if (token == "has_token") return CmpOp::kHasToken;
   return std::nullopt;
 }
 
@@ -49,6 +56,25 @@ bool Condition::Eval(const AttrValue* lhs) const {
     case CmpOp::kContains:
       if (!lhs->is_string() || !rhs_.is_string()) return false;
       return lhs->AsString().find(rhs_.AsString()) != std::string::npos;
+    case CmpOp::kHasToken: {
+      if (!lhs->is_string() || !rhs_.is_string()) return false;
+      const std::vector<std::string> need = TopicTokens(rhs_.AsString());
+      if (need.empty()) return false;  // a tokenless constant matches nothing
+      const std::vector<std::string> have = TopicTokens(lhs->AsString());
+      for (const std::string& t : need) {
+        if (std::find(have.begin(), have.end(), t) == have.end()) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AnyAttrSatisfies(const Graph& g, NodeId v, const Condition& c) {
+  const AttrValue label(g.NodeLabelName(v));
+  if (c.Eval(&label)) return true;
+  for (const auto& [key, value] : g.Attrs(v)) {
+    if (c.Eval(&value)) return true;
   }
   return false;
 }

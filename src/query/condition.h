@@ -10,14 +10,21 @@
 #include <string_view>
 
 #include "src/graph/attribute.h"
+#include "src/graph/types.h"
 
 namespace expfinder {
 
-/// Comparison operator of a search condition.
-enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+class Graph;
+
+/// Comparison operator of a search condition. kContains is a case-sensitive
+/// substring test; kHasToken is the topic layer's case-insensitive token
+/// match — every topic token of the constant (see TopicTokens) must appear
+/// among the tokens of the node's string value. A constant with no tokens
+/// matches nothing.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains, kHasToken };
 
 /// Token used by the text formats ("==", "!=", "<", "<=", ">", ">=",
-/// "contains").
+/// "contains", "has_token").
 std::string_view CmpOpToken(CmpOp op);
 
 /// Parses an operator token; nullopt when unknown.
@@ -41,6 +48,14 @@ class Condition {
   /// in information).
   bool Eval(const AttrValue* lhs) const;
 
+  /// True for the reserved attribute name "*": the condition is satisfied
+  /// when ANY of the node's values — its label name or any attribute value —
+  /// satisfies it (see AnyAttrSatisfies). The topic layer compiles free-text
+  /// expertise terms into `* has_token "term"` predicates, so a term matches
+  /// wherever it appears (specialty, name, label, ...). "*" is reserved: a
+  /// graph attribute literally named "*" cannot be addressed by conditions.
+  bool is_any_attr() const { return attr_ == "*"; }
+
   /// Round-trippable rendering: `attr OP value`.
   std::string ToString() const;
 
@@ -53,6 +68,14 @@ class Condition {
   CmpOp op_;
   AttrValue rhs_;
 };
+
+/// Evaluates an any-attribute condition (attr "*") against node `v`: true
+/// when the label name or any attribute value of `v` satisfies `c`. The
+/// label participates as a string value, so `* == "SA"` matches label SA
+/// and `* has_token "x"` sees label tokens too — which keeps the topic
+/// index (which tokenizes labels and string attributes alike) a sound
+/// pre-filter for these conditions.
+bool AnyAttrSatisfies(const Graph& g, NodeId v, const Condition& c);
 
 }  // namespace expfinder
 

@@ -10,7 +10,11 @@ namespace expfinder {
 bool PatternNode::Matches(const Graph& g, NodeId v) const {
   if (!label.empty() && g.NodeLabelName(v) != label) return false;
   for (const Condition& c : conditions) {
-    if (!c.Eval(g.GetAttr(v, c.attr()))) return false;
+    if (c.is_any_attr()) {
+      if (!AnyAttrSatisfies(g, v, c)) return false;
+    } else if (!c.Eval(g.GetAttr(v, c.attr()))) {
+      return false;
+    }
   }
   return true;
 }

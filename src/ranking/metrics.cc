@@ -13,6 +13,7 @@ std::string_view RankingMetricName(RankingMetric metric) {
     case RankingMetric::kCloseness: return "closeness";
     case RankingMetric::kDegree: return "degree";
     case RankingMetric::kPageRank: return "pagerank";
+    case RankingMetric::kTopicFusion: return "topic-fusion";
   }
   return "?";
 }
@@ -22,6 +23,7 @@ std::optional<RankingMetric> ParseRankingMetric(std::string_view name) {
   if (name == "closeness") return RankingMetric::kCloseness;
   if (name == "degree") return RankingMetric::kDegree;
   if (name == "pagerank") return RankingMetric::kPageRank;
+  if (name == "topic-fusion") return RankingMetric::kTopicFusion;
   return std::nullopt;
 }
 
@@ -73,6 +75,10 @@ double MetricScore(const ResultGraph& gr, uint32_t pos, RankingMetric metric) {
       // Note: recomputes per call; TopKMatchesWith amortizes via MetricScores.
       return -ResultGraphPageRank(gr)[pos];
     }
+    case RankingMetric::kTopicFusion:
+      // The structure-only degenerate: without topic terms the fusion
+      // reduces to its structure half. Real fusion is TopKTopicFusion.
+      return SocialImpactScore(gr, pos);
   }
   return 0.0;
 }

@@ -24,6 +24,12 @@ enum class RankingMetric {
   kDegree,
   /// Negated PageRank over the result graph.
   kPageRank,
+  /// Topic relevance fused with structure (ranking/fusion.h). Needs the
+  /// query's topic terms and the data graph, so TopKMatchesWith rejects it —
+  /// rank through TopKTopicFusion (the service routes
+  /// QueryRequest::topic_terms there). MetricScore alone degenerates to the
+  /// structure half (kSocialImpact).
+  kTopicFusion,
 };
 
 std::string_view RankingMetricName(RankingMetric metric);

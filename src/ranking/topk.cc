@@ -47,6 +47,11 @@ Result<std::vector<RankedMatch>> TopKMatches(const ResultGraph& gr, const Patter
 Result<std::vector<RankedMatch>> TopKMatchesWith(const ResultGraph& gr,
                                                  const Pattern& q, size_t k,
                                                  RankingMetric metric) {
+  if (metric == RankingMetric::kTopicFusion) {
+    return Status::InvalidArgument(
+        "topic-fusion needs the query's topic terms and the data graph; rank "
+        "through TopKTopicFusion (service: set QueryRequest::topic_terms)");
+  }
   if (metric == RankingMetric::kPageRank) {
     // Amortize the power iteration across all matches.
     std::vector<double> pr = ResultGraphPageRank(gr);

@@ -4,7 +4,9 @@
 #include <optional>
 #include <string>
 
+#include "src/index/topic_index.h"
 #include "src/matching/result_graph.h"
+#include "src/ranking/fusion.h"
 #include "src/ranking/topk.h"
 #include "src/util/timer.h"
 
@@ -200,7 +202,17 @@ Result<QueryResponse> ExpFinderService::Serve(const PendingQuery& pending,
   const QueryRequest& request = pending.request;
   const Timer& timer = pending.submitted;
   const bool use_cache = UseCache(request);
-  const uint64_t key = QueryCacheKey(request.pattern, request.semantics);
+  // Topic terms compile into extra output-node predicates; everything below
+  // — cache key, evaluation, result construction, ranking — serves the
+  // compiled pattern, so a topic query is an ordinary pattern query to every
+  // stage (including as_of serving and the cache, which key on it).
+  Pattern compiled_pattern;
+  if (!request.topic_terms.empty()) {
+    compiled_pattern = CompileTopicTerms(request.pattern, request.topic_terms);
+  }
+  const Pattern& pattern =
+      request.topic_terms.empty() ? request.pattern : compiled_pattern;
+  const uint64_t key = QueryCacheKey(pattern, request.semantics);
 
   // Pin the snapshot this request evaluates against: the current epoch
   // (one atomic load), or a retained historical version for as_of reads.
@@ -253,14 +265,29 @@ Result<QueryResponse> ExpFinderService::Serve(const PendingQuery& pending,
       EvalOverrides overrides;
       overrides.match_threads = request.match_threads;
       overrides.use_ball_index = request.use_ball_index;
+      overrides.use_topic_index = request.use_topic_index;
       overrides.cancelled = &pending.ticket->cancelled;
       overrides.timer = &timer;
       overrides.time_budget_ms = request.time_budget_ms;
       EvalPath path = EvalPath::kDirect;
-      auto evaluated = engine_.EvaluateWith(*snap, request.pattern,
+      MatchContext& dctx = lease.ctx().direct;
+      MatchContext& cctx = lease.ctx().compressed;
+      // The lease's contexts accumulate across requests; publish this
+      // request's topic-seeding telemetry as a before/after delta.
+      const size_t builds0 = dctx.topic_index_builds() + cctx.topic_index_builds();
+      const size_t hits0 = dctx.posting_hits() + cctx.posting_hits();
+      const size_t falls0 = dctx.seed_scan_fallbacks() + cctx.seed_scan_fallbacks();
+      auto evaluated = engine_.EvaluateWith(*snap, pattern,
                                             request.semantics, overrides,
-                                            &lease.ctx().direct,
-                                            &lease.ctx().compressed, &path);
+                                            &dctx, &cctx, &path);
+      topic_index_builds_.fetch_add(
+          dctx.topic_index_builds() + cctx.topic_index_builds() - builds0,
+          std::memory_order_relaxed);
+      posting_hits_.fetch_add(dctx.posting_hits() + cctx.posting_hits() - hits0,
+                              std::memory_order_relaxed);
+      seed_scan_fallbacks_.fetch_add(
+          dctx.seed_scan_fallbacks() + cctx.seed_scan_fallbacks() - falls0,
+          std::memory_order_relaxed);
       if (!evaluated.ok()) {
         // A cancel observed at an engine stage boundary is its own
         // terminal state; everything else (stage deadline, eval error)
@@ -288,7 +315,7 @@ Result<QueryResponse> ExpFinderService::Serve(const PendingQuery& pending,
           break;
       }
     }
-    ResultGraph rg(snap->graph, request.pattern, matches, &lease.ctx().direct);
+    ResultGraph rg(snap->graph, pattern, matches, &lease.ctx().direct);
     response.answer = std::make_shared<const QueryAnswer>(
         QueryAnswer{std::move(matches), std::move(rg)});
     if (use_cache) {
@@ -307,8 +334,13 @@ Result<QueryResponse> ExpFinderService::Serve(const PendingQuery& pending,
     if (OverBudget(request, timer)) {
       return Status::DeadlineExceeded("time budget exhausted before ranking");
     }
-    auto ranked = TopKMatchesWith(response.answer->result_graph, request.pattern,
-                                  *request.top_k, request.metric);
+    Result<std::vector<RankedMatch>> ranked =
+        request.metric == RankingMetric::kTopicFusion
+            ? TopKTopicFusion(response.answer->result_graph, pattern,
+                              snap->graph->graph(), request.topic_terms,
+                              *request.top_k)
+            : TopKMatchesWith(response.answer->result_graph, pattern,
+                              *request.top_k, request.metric);
     if (!ranked.ok()) return ranked.status();  // classification kept (see above)
     response.ranked = std::move(ranked).value();
   }
@@ -507,6 +539,9 @@ ServiceStats ExpFinderService::stats() const {
   s.snapshots_published = snapshots_published_.load(std::memory_order_relaxed);
   s.snapshot_acquires = snapshot_acquires_.load(std::memory_order_relaxed);
   s.snapshots_retired = snapshots_retired_.load(std::memory_order_relaxed);
+  s.topic_index_builds = topic_index_builds_.load(std::memory_order_relaxed);
+  s.posting_hits = posting_hits_.load(std::memory_order_relaxed);
+  s.seed_scan_fallbacks = seed_scan_fallbacks_.load(std::memory_order_relaxed);
   s.wal_appends = wal_appends_.load(std::memory_order_relaxed);
   s.checkpoints_written = checkpoints_written_.load(std::memory_order_relaxed);
   s.recovered_records = recovery_info_.replayed_records;

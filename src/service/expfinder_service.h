@@ -345,6 +345,9 @@ class ExpFinderService {
   std::atomic<size_t> snapshots_published_{0};
   std::atomic<size_t> snapshot_acquires_{0};
   std::atomic<size_t> snapshots_retired_{0};
+  std::atomic<size_t> topic_index_builds_{0};
+  std::atomic<size_t> posting_hits_{0};
+  std::atomic<size_t> seed_scan_fallbacks_{0};
   std::atomic<size_t> wal_appends_{0};
   std::atomic<size_t> checkpoints_written_{0};
   std::atomic<size_t> durability_errors_{0};

@@ -132,6 +132,9 @@ std::string ServiceStats::ToString() const {
      << " recovered_records=" << recovered_records
      << " durability_errors=" << durability_errors
      << " data_loss_events=" << data_loss_events
+     << " topic_index_builds=" << topic_index_builds
+     << " posting_hits=" << posting_hits
+     << " seed_scan_fallbacks=" << seed_scan_fallbacks
      << " queue_latency_ms=[";
   for (size_t i = 0; i < queue_latency_histogram.size(); ++i) {
     if (i > 0) os << " ";

@@ -89,6 +89,20 @@ struct QueryRequest {
   /// for this request only — the answer is identical, the cached index
   /// stays warm for other requests. A debugging / A-B measurement knob.
   std::optional<bool> use_ball_index;
+  /// Free-text expertise terms — the "find experts about X" entry point.
+  /// Tokenized (TopicTokens) and compiled into conjunctive
+  /// `* has_token "<token>"` predicates on the pattern's output node, so the
+  /// served relation is exactly M(Q', G) for the compiled pattern Q' — every
+  /// stage (evaluation, caching, ranking, as_of serving) sees Q'. Seeding
+  /// draws candidates from the topic inverted index when built (see
+  /// index/topic_index.h; identical answers either way). With
+  /// metric == kTopicFusion the ranked list orders by fused TF-IDF topic
+  /// relevance + structure (ranking/fusion.h) instead of structure alone.
+  std::vector<std::string> topic_terms;
+  /// Per-request topic-index participation; absent = engine default (see
+  /// EngineOptions::topic_index). Like use_ball_index this never changes
+  /// the relation — only the seeding cost. A debugging / A-B knob.
+  std::optional<bool> use_topic_index;
   /// Pin the evaluation to a specific published graph version instead of
   /// the current epoch. Served from the service's retained-snapshot ring
   /// (ServiceOptions::retained_snapshots): the relation is exactly
@@ -263,6 +277,13 @@ struct ServiceStats {
   size_t recovered_records = 0;
   size_t durability_errors = 0;
   size_t data_loss_events = 0;
+  /// Topic-index telemetry (mirrors the EngineStats trio; none enter
+  /// ClassifiedQueries): inverted-index builds paid by serving workers,
+  /// pattern nodes seeded from a posting list, and pattern nodes with text
+  /// predicates that scanned anyway.
+  size_t topic_index_builds = 0;
+  size_t posting_hits = 0;
+  size_t seed_scan_fallbacks = 0;
   /// Requests sitting in the admission queue right now (a gauge, not a
   /// cumulative counter; excluded from ClassifiedQueries).
   size_t queued = 0;

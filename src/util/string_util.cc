@@ -93,6 +93,26 @@ std::string EscapeQuoted(std::string_view s) {
   return out;
 }
 
+void AppendTopicTokens(std::string_view s, std::vector<std::string>* out) {
+  std::string token;
+  for (char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      token.push_back(static_cast<char>(std::tolower(u)));
+    } else if (!token.empty()) {
+      out->push_back(std::move(token));
+      token.clear();
+    }
+  }
+  if (!token.empty()) out->push_back(std::move(token));
+}
+
+std::vector<std::string> TopicTokens(std::string_view s) {
+  std::vector<std::string> out;
+  AppendTopicTokens(s, &out);
+  return out;
+}
+
 uint64_t Fnv1a(std::string_view s, uint64_t seed) {
   uint64_t h = seed;
   for (unsigned char c : s) {

@@ -37,6 +37,16 @@ bool ParseDouble(std::string_view s, double* out);
 /// Escapes `"` and `\` for embedding in quoted fields / DOT labels.
 std::string EscapeQuoted(std::string_view s);
 
+/// Appends the topic tokens of `s` to `*out`: maximal runs of ASCII
+/// alphanumerics, lowercased; every other byte separates. This is the one
+/// normalization the whole topic layer shares — the inverted index, the
+/// `has_token` operator, and topic-term compilation must agree byte for
+/// byte, so none of them may tokenize any other way.
+void AppendTopicTokens(std::string_view s, std::vector<std::string>* out);
+
+/// Convenience form of AppendTopicTokens returning a fresh vector.
+std::vector<std::string> TopicTokens(std::string_view s);
+
 /// FNV-1a 64-bit hash, used for cache fingerprints and file checksums.
 uint64_t Fnv1a(std::string_view s, uint64_t seed = 0xCBF29CE484222325ULL);
 

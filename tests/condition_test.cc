@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/graph/graph.h"
 #include "src/query/condition.h"
 
 namespace expfinder {
@@ -7,7 +8,7 @@ namespace {
 
 TEST(CmpOpTest, TokenRoundTrip) {
   for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
-                   CmpOp::kGe, CmpOp::kContains}) {
+                   CmpOp::kGe, CmpOp::kContains, CmpOp::kHasToken}) {
     auto parsed = ParseCmpOp(CmpOpToken(op));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, op);
@@ -45,9 +46,40 @@ TEST(ConditionTest, StringComparisons) {
 
 TEST(ConditionTest, AbsentAttributeFailsEveryOp) {
   for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
-                   CmpOp::kGe, CmpOp::kContains}) {
+                   CmpOp::kGe, CmpOp::kContains, CmpOp::kHasToken}) {
     EXPECT_FALSE(Condition("x", op, 1).Eval(nullptr)) << CmpOpToken(op);
   }
+}
+
+TEST(ConditionTest, HasTokenIsCaseInsensitiveTokenConjunction) {
+  AttrValue s("Graph Databases; Compilers");
+  EXPECT_TRUE(Condition("x", CmpOp::kHasToken, "graph").Eval(&s));
+  EXPECT_TRUE(Condition("x", CmpOp::kHasToken, "GRAPH databases").Eval(&s));
+  EXPECT_TRUE(Condition("x", CmpOp::kHasToken, "compilers graph").Eval(&s));
+  // Tokens match whole, not by substring, and a missing token fails the
+  // conjunction.
+  EXPECT_FALSE(Condition("x", CmpOp::kHasToken, "data").Eval(&s));
+  EXPECT_FALSE(Condition("x", CmpOp::kHasToken, "graph theory").Eval(&s));
+  // A tokenless constant matches nothing; non-strings never match.
+  EXPECT_FALSE(Condition("x", CmpOp::kHasToken, "!!!").Eval(&s));
+  EXPECT_FALSE(Condition("x", CmpOp::kHasToken, 5).Eval(&s));
+  AttrValue num(5);
+  EXPECT_FALSE(Condition("x", CmpOp::kHasToken, "5").Eval(&num));
+}
+
+TEST(ConditionTest, AnyAttrSatisfiesChecksLabelAndEveryValue) {
+  Graph g;
+  NodeId v = g.AddNode("Site Reliability");
+  g.SetAttr(v, "topics", AttrValue("graph databases"));
+  g.SetAttr(v, "experience", AttrValue(7));
+  // Matches via an attribute value, via the label, and via equality.
+  EXPECT_TRUE(AnyAttrSatisfies(g, v, Condition("*", CmpOp::kHasToken, "databases")));
+  EXPECT_TRUE(AnyAttrSatisfies(g, v, Condition("*", CmpOp::kHasToken, "reliability")));
+  EXPECT_TRUE(AnyAttrSatisfies(g, v, Condition("*", CmpOp::kEq, "Site Reliability")));
+  EXPECT_TRUE(AnyAttrSatisfies(g, v, Condition("*", CmpOp::kEq, 7)));
+  EXPECT_FALSE(AnyAttrSatisfies(g, v, Condition("*", CmpOp::kHasToken, "compilers")));
+  EXPECT_TRUE(Condition("*", CmpOp::kHasToken, AttrValue("x")).is_any_attr());
+  EXPECT_FALSE(Condition("topics", CmpOp::kHasToken, AttrValue("x")).is_any_attr());
 }
 
 TEST(ConditionTest, TypeMismatchFailsOrderOps) {

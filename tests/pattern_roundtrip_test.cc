@@ -17,8 +17,9 @@
 namespace expfinder {
 namespace {
 
-constexpr CmpOp kAllOps[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe,
-                             CmpOp::kGt, CmpOp::kGe, CmpOp::kContains};
+constexpr CmpOp kAllOps[] = {CmpOp::kEq,       CmpOp::kNe, CmpOp::kLt,
+                             CmpOp::kLe,       CmpOp::kGt, CmpOp::kGe,
+                             CmpOp::kContains, CmpOp::kHasToken};
 
 AttrValue RandomValue(Rng& rng) {
   switch (rng.NextBounded(4)) {
