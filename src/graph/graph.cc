@@ -32,9 +32,18 @@ NodeId Graph::AddNode(std::string_view label) {
   if (lid >= label_index_.size()) label_index_.resize(lid + 1);
   label_index_[lid].push_back(id);
   ++version_;
-  // Content changed: stop sharing the topic slot with earlier copies.
-  topic_slot_ = std::make_shared<TopicIndexSlot>();
+  InvalidateTopicSlot();
   return id;
+}
+
+void Graph::InvalidateTopicSlot() {
+  // use_count() is exact here: mutation is single-writer, and a reading
+  // snapshot holding a reference keeps the count above 1 for as long as it
+  // could observe the slot.
+  if (topic_slot_ == nullptr || topic_slot_.use_count() > 1 ||
+      topic_slot_->Consumed()) {
+    topic_slot_ = std::make_shared<TopicIndexSlot>();
+  }
 }
 
 Status Graph::AddEdge(NodeId src, NodeId dst) {
@@ -93,8 +102,7 @@ const std::vector<NodeId>& Graph::NodesWithLabel(LabelId id) const {
 
 void Graph::SetAttr(NodeId v, std::string_view key, AttrValue value) {
   EF_CHECK(IsValidNode(v)) << "SetAttr on invalid node " << v;
-  // Content changed: stop sharing the topic slot with earlier copies.
-  topic_slot_ = std::make_shared<TopicIndexSlot>();
+  InvalidateTopicSlot();
   AttrKeyId kid = attr_interner_.Intern(key);
   for (auto& [k, val] : attrs_[v]) {
     if (k == kid) {

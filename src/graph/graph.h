@@ -137,6 +137,12 @@ class Graph {
  private:
   static uint64_t NextUid();
 
+  /// Content mutated: ensure earlier copies (snapshots) stop sharing the
+  /// topic slot. A slot nobody else holds and no query has ever touched
+  /// carries no derived state, so bulk loads keep one fresh slot instead of
+  /// churning an allocation per AddNode/SetAttr.
+  void InvalidateTopicSlot();
+
   StringInterner label_interner_;
   StringInterner attr_interner_;
   std::vector<LabelId> labels_;                      // per node

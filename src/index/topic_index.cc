@@ -96,6 +96,7 @@ const TopicIndex* TopicIndexSlot::Get(const Graph& g, const TopicIndexOptions& l
     return p;
   }
   std::lock_guard<std::mutex> lock(mu_);
+  touched_.store(true, std::memory_order_release);
   if (!limits_set_) {
     limits_ = limits;
     limits_set_ = true;

@@ -161,6 +161,12 @@ class TopicIndexSlot {
     return published_.load(std::memory_order_acquire);
   }
 
+  /// True once any enabled Get() has touched the slot's state (use counting,
+  /// a build, or a memoized refusal). An untouched slot holds nothing derived
+  /// from graph content, so a sole owner may keep it across content mutations
+  /// (see Graph::InvalidateTopicSlot) instead of replacing it.
+  bool Consumed() const { return touched_.load(std::memory_order_acquire); }
+
  private:
   mutable std::mutex mu_;
   mutable std::atomic<const TopicIndex*> published_{nullptr};
@@ -169,6 +175,7 @@ class TopicIndexSlot {
   mutable bool limits_set_ = false;
   mutable bool failed_ = false;
   mutable size_t uses_ = 0;
+  mutable std::atomic<bool> touched_{false};  // see Consumed()
 };
 
 /// \brief Incrementally maintained topic index for the engine's update path:

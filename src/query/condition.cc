@@ -1,11 +1,85 @@
 #include "src/query/condition.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdint>
 
 #include "src/graph/graph.h"
 #include "src/util/string_util.h"
 
 namespace expfinder {
+
+namespace {
+
+/// Three-way comparison of the lowercased alnum run `run` against an
+/// already-normalized token. Runs are raw slices of the node value, so the
+/// lowercasing the tokenizer would apply happens inline here.
+int CompareLoweredRun(std::string_view run, const std::string& token) {
+  const size_t n = std::min(run.size(), token.size());
+  for (size_t i = 0; i < n; ++i) {
+    const char c =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(run[i])));
+    if (c != token[i]) return c < token[i] ? -1 : 1;
+  }
+  if (run.size() == token.size()) return 0;
+  return run.size() < token.size() ? -1 : 1;
+}
+
+/// True when every token of `need` (sorted, unique, normalized) occurs among
+/// the topic tokens of `s`. Streams the maximal alnum runs of `s` without
+/// materializing them, tracking matches in a bitmask; conditions with more
+/// than 64 tokens (never produced by the topic layer) take the tokenizing
+/// path.
+bool HasAllTopicTokens(std::string_view s, const std::vector<std::string>& need) {
+  if (need.size() > 64) {
+    const std::vector<std::string> have = TopicTokens(s);
+    for (const std::string& t : need) {
+      if (std::find(have.begin(), have.end(), t) == have.end()) return false;
+    }
+    return true;
+  }
+  const uint64_t all =
+      need.size() == 64 ? ~uint64_t{0} : (uint64_t{1} << need.size()) - 1;
+  uint64_t matched = 0;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && !std::isalnum(static_cast<unsigned char>(s[i]))) ++i;
+    size_t j = i;
+    while (j < s.size() && std::isalnum(static_cast<unsigned char>(s[j]))) ++j;
+    if (j > i) {
+      const std::string_view run = s.substr(i, j - i);
+      // Tokens are lowercase ASCII alnum, so byte order (how `need` was
+      // sorted) agrees with CompareLoweredRun and binary search applies.
+      size_t lo = 0, hi = need.size();
+      while (lo < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (CompareLoweredRun(run, need[mid]) > 0) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo < need.size() && CompareLoweredRun(run, need[lo]) == 0) {
+        matched |= uint64_t{1} << lo;
+        if (matched == all) return true;
+      }
+    }
+    i = j;
+  }
+  return matched == all;
+}
+
+}  // namespace
+
+Condition::Condition(std::string attr, CmpOp op, AttrValue rhs)
+    : attr_(std::move(attr)), op_(op), rhs_(std::move(rhs)) {
+  if (op_ == CmpOp::kHasToken && rhs_.is_string()) {
+    rhs_tokens_ = TopicTokens(rhs_.AsString());
+    std::sort(rhs_tokens_.begin(), rhs_tokens_.end());
+    rhs_tokens_.erase(std::unique(rhs_tokens_.begin(), rhs_tokens_.end()),
+                      rhs_tokens_.end());
+  }
+}
 
 std::string_view CmpOpToken(CmpOp op) {
   switch (op) {
@@ -57,14 +131,11 @@ bool Condition::Eval(const AttrValue* lhs) const {
       if (!lhs->is_string() || !rhs_.is_string()) return false;
       return lhs->AsString().find(rhs_.AsString()) != std::string::npos;
     case CmpOp::kHasToken: {
-      if (!lhs->is_string() || !rhs_.is_string()) return false;
-      const std::vector<std::string> need = TopicTokens(rhs_.AsString());
-      if (need.empty()) return false;  // a tokenless constant matches nothing
-      const std::vector<std::string> have = TopicTokens(lhs->AsString());
-      for (const std::string& t : need) {
-        if (std::find(have.begin(), have.end(), t) == have.end()) return false;
-      }
-      return true;
+      if (!lhs->is_string()) return false;
+      // Non-string or tokenless constants match nothing (rhs_tokens_ is only
+      // populated for string constants with >= 1 token).
+      if (rhs_tokens_.empty()) return false;
+      return HasAllTopicTokens(lhs->AsString(), rhs_tokens_);
     }
   }
   return false;

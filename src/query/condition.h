@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/graph/attribute.h"
 #include "src/graph/types.h"
@@ -36,8 +37,7 @@ std::optional<CmpOp> ParseCmpOp(std::string_view token);
 /// "experience >= 5".
 class Condition {
  public:
-  Condition(std::string attr, CmpOp op, AttrValue rhs)
-      : attr_(std::move(attr)), op_(op), rhs_(std::move(rhs)) {}
+  Condition(std::string attr, CmpOp op, AttrValue rhs);
 
   const std::string& attr() const { return attr_; }
   CmpOp op() const { return op_; }
@@ -67,6 +67,10 @@ class Condition {
   std::string attr_;
   CmpOp op_;
   AttrValue rhs_;
+  // kHasToken only: TopicTokens(rhs), sorted and deduplicated, computed once
+  // at construction — candidate re-verification evaluates the condition per
+  // posting-list candidate and must not re-tokenize the invariant constant.
+  std::vector<std::string> rhs_tokens_;
 };
 
 /// Evaluates an any-attribute condition (attr "*") against node `v`: true

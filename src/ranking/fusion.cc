@@ -18,7 +18,7 @@ std::vector<double> TopicRelevance(const ResultGraph& gr, const Graph& g,
                                    const std::vector<std::string>& query_tokens) {
   const size_t n = gr.NumNodes();
   std::vector<double> topic(n, 0.0);
-  if (query_tokens.empty()) return topic;
+  if (n == 0 || query_tokens.empty()) return topic;
   const size_t nt = query_tokens.size();
   std::vector<std::vector<uint32_t>> tf(n, std::vector<uint32_t>(nt, 0));
   std::vector<uint32_t> df(nt, 0);
@@ -96,6 +96,7 @@ Result<std::vector<RankedMatch>> TopKTopicFusion(const ResultGraph& gr,
   auto output = q.output_node();
   if (!output) return Status::InvalidArgument("pattern has no output node");
   const size_t n = gr.NumNodes();
+  if (n == 0) return std::vector<RankedMatch>{};  // nothing matched, nothing to rank
   std::vector<std::string> query_tokens;
   for (const std::string& t : terms) AppendTopicTokens(t, &query_tokens);
   std::sort(query_tokens.begin(), query_tokens.end());

@@ -208,6 +208,13 @@ Result<QueryResponse> ExpFinderService::Serve(const PendingQuery& pending,
   // stage (including as_of serving and the cache, which key on it).
   Pattern compiled_pattern;
   if (!request.topic_terms.empty()) {
+    if (!request.pattern.output_node().has_value()) {
+      // CompileTopicTerms has no node to hang the predicates on; serving the
+      // unfiltered relation would silently ignore the expertise filter.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::InvalidArgument(
+          "topic_terms require a pattern with an output node");
+    }
     compiled_pattern = CompileTopicTerms(request.pattern, request.topic_terms);
   }
   const Pattern& pattern =

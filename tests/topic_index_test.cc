@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -218,6 +219,32 @@ TEST(TopicIndexSlotTest, ConcurrentGetsBuildExactlyOnce) {
   ASSERT_NE(seen[0], nullptr);
   for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
   EXPECT_EQ(std::count(builds.begin(), builds.end(), 1), 1);
+}
+
+TEST(TopicIndexSlotTest, FreshUnsharedSlotIsKeptAcrossBulkLoads) {
+  Graph g;
+  g.AddNode("P");
+  std::weak_ptr<TopicIndexSlot> fresh = g.topic_slot();
+  // Untouched and unshared: bulk-load mutations keep the same slot instead
+  // of allocating a replacement per AddNode/SetAttr.
+  NodeId v = g.AddNode("P");
+  g.SetAttr(v, "topics", AttrValue("graph databases"));
+  EXPECT_EQ(g.topic_slot(), fresh.lock());
+
+  // A query touching the slot consumes it: the next mutation replaces it.
+  TopicIndexOptions opts;
+  opts.build_after_uses = 1;
+  bool built = false;
+  ASSERT_NE(g.topic_slot()->Get(g, opts, &built), nullptr);
+  g.SetAttr(v, "topics", AttrValue("stream processing"));
+  EXPECT_TRUE(fresh.expired());
+
+  // Sharing with a snapshot forces replacement even while untouched.
+  std::weak_ptr<TopicIndexSlot> shared = g.topic_slot();
+  auto snap = g.Publish();
+  g.AddNode("P");
+  EXPECT_FALSE(shared.expired());  // the snapshot still holds the old slot
+  EXPECT_NE(g.topic_slot(), shared.lock());
 }
 
 // --- Seeding equivalence --------------------------------------------------
@@ -521,6 +548,24 @@ TEST(TopicFusionTest, TopicalExpertsOutrankEquallyStructuredLoners) {
   EXPECT_EQ((*top1)[0].node, both);
 }
 
+TEST(TopicFusionTest, EmptyResultGraphRanksNothing) {
+  // A compiled topic pattern can match nothing (an expertise term absent
+  // from the graph); fusion over the 0-node result graph must return an
+  // empty ranking, not crash.
+  Graph g;
+  NodeId v = g.AddNode("P");
+  g.SetAttr(v, "topics", AttrValue("compilers"));
+  PatternBuilder b;
+  b.Node("P").Where("topics", CmpOp::kHasToken, AttrValue("quantum")).Output();
+  Pattern q = b.Build().value();
+  MatchRelation m = ComputeBoundedSimulation(g, q);
+  ResultGraph gr(g, q, m);
+  ASSERT_EQ(gr.NumNodes(), 0u);
+  auto ranked = TopKTopicFusion(gr, q, g, {"quantum computing"}, 5);
+  ASSERT_TRUE(ranked.ok()) << ranked.status();
+  EXPECT_TRUE(ranked->empty());
+}
+
 TEST(TopicFusionTest, ReinforcementPullsUpNeighborsOfRelevantExperts) {
   // Two structurally identical candidates with no topical overlap; one
   // collaborates with a highly topical expert, the other with a non-topical
@@ -676,6 +721,24 @@ TEST(ServiceTopicQueryTest, TopicTermsServeIdenticalAnswersIndexOnAndOff) {
   Pattern compiled = CompileTopicTerms(req.pattern, req.topic_terms);
   MatchRelation oracle = ComputeBoundedSimulation(g, compiled);
   EXPECT_EQ(on->answer->matches, oracle);
+}
+
+TEST(ServiceTopicQueryTest, TopicTermsWithoutOutputNodeAreRejected) {
+  // No output node means CompileTopicTerms has nowhere to hang the
+  // expertise predicates; serving the unfiltered relation would silently
+  // ignore the filter, so the request must fail loudly instead. (Submit's
+  // pattern validation catches it; Serve double-checks before compiling.)
+  Graph g = gen::ErdosRenyi(30, 90, 7, gen::TopicExpertiseModel());
+  ExpFinderService service(&g);
+  QueryRequest req;
+  PatternNode n;
+  n.name = "x";
+  ASSERT_TRUE(req.pattern.AddNode(std::move(n)).ok());  // never SetOutput
+  req.topic_terms = {"graph databases"};
+  auto rejected = service.Query(req);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument());
+  EXPECT_EQ(service.stats().rejected, 1u);
 }
 
 }  // namespace
