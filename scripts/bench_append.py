@@ -40,11 +40,17 @@ _STANDARD_KEYS = {
 }
 
 
+# Google Benchmark reports times in the unit the benchmark chose with
+# ->Unit(); the trajectory normalizes everything to milliseconds.
+_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
 def _benchmark_entry(b: dict) -> dict:
+    to_ms = _UNIT_TO_MS.get(b.get("time_unit", "ns"), 1e-6)
     entry = {
         "name": b["name"],
-        "real_time_ms": round(b["real_time"] / 1e6, 4),
-        "cpu_time_ms": round(b["cpu_time"] / 1e6, 4),
+        "real_time_ms": round(b["real_time"] * to_ms, 4),
+        "cpu_time_ms": round(b["cpu_time"] * to_ms, 4),
         "iterations": b["iterations"],
     }
     counters = {

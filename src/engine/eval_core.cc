@@ -32,7 +32,10 @@ Status CheckInterrupts(const EvalOverrides& overrides) {
 }  // namespace
 
 uint64_t QueryCacheKey(const Pattern& q, MatchSemantics semantics) {
-  uint64_t fp = q.Fingerprint();
+  // The canonical fingerprint, so equivalent conjunctions — e.g. a pattern
+  // compiled from topic_terms vs. the same conditions written explicitly in
+  // another order — land on the same cache line and maintained entry.
+  uint64_t fp = q.CanonicalFingerprint();
   return semantics == MatchSemantics::kBoundedSimulation ? fp
                                                          : fp ^ 0x9E3779B97F4A7C15ULL;
 }

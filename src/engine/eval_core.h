@@ -50,7 +50,9 @@ enum class MatchSemantics {
   kDualSimulation,
 };
 
-/// Cache key combining the pattern fingerprint with the semantics; shared by
+/// Cache key combining the pattern's canonical fingerprint (condition order
+/// within a node does not distinguish queries — see
+/// Pattern::CanonicalFingerprint) with the semantics; shared by
 /// the engine's result cache and the service-layer cache so both serving
 /// stacks agree on what "the same query" means. (Graph version is *not*
 /// part of this key — ResultCache folds it in itself; see result_cache.h.)

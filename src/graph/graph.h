@@ -109,6 +109,16 @@ class Graph {
   /// Bumped on every mutation (node/edge/attr change); used by caches.
   uint64_t version() const { return version_; }
 
+  /// Recovery/replication only: restores the version counter of a graph
+  /// rebuilt from a serialized form (the text format does not persist the
+  /// counter — a parsed graph counts its own construction mutations).
+  /// Checkpoint recovery calls this so version numbering stays continuous
+  /// across restarts, and replicas bootstrapped from a checkpoint agree
+  /// with the primary on what every version number means. Later mutations
+  /// bump from the restored value. Never call this on a graph that has
+  /// published snapshots or live caches keyed on its counter.
+  void RestoreVersion(uint64_t version) { version_ = version; }
+
   /// Publishes the current state as an immutable GraphSnapshot (see
   /// graph_snapshot.h): a refcounted handle bundling a frozen copy of this
   /// graph, its CSR, and a lazily attached ball index. The snapshot shares

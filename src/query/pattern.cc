@@ -120,6 +120,40 @@ std::string Pattern::ToText() const {
 
 uint64_t Pattern::Fingerprint() const { return Fnv1a(ToText()); }
 
+uint64_t Pattern::CanonicalFingerprint() const {
+  std::ostringstream os;
+  os << "# expfinder pattern v1 canonical\n";
+  for (const PatternNode& n : nodes_) {
+    os << "node " << n.name << " ";
+    os << (n.label.empty() ? "*" : "\"" + EscapeQuoted(n.label) + "\"");
+    // A node's conditions are one conjunction: order and duplicates never
+    // change its matches, so neither may they change the cache identity.
+    std::vector<std::string> rendered;
+    rendered.reserve(n.conditions.size());
+    for (const Condition& c : n.conditions) {
+      std::ostringstream cs;
+      cs << c.attr() << " " << CmpOpToken(c.op()) << " " << c.rhs().Serialize();
+      rendered.push_back(cs.str());
+    }
+    std::sort(rendered.begin(), rendered.end());
+    rendered.erase(std::unique(rendered.begin(), rendered.end()),
+                   rendered.end());
+    for (const std::string& r : rendered) os << " " << r;
+    os << "\n";
+  }
+  for (const PatternEdge& e : edges_) {
+    os << "edge " << nodes_[e.src].name << " " << nodes_[e.dst].name << " ";
+    if (e.bound == kUnboundedEdge) {
+      os << "*";
+    } else {
+      os << e.bound;
+    }
+    os << "\n";
+  }
+  if (output_) os << "output " << nodes_[*output_].name << "\n";
+  return Fnv1a(os.str());
+}
+
 PatternBuilder::NodeRef& PatternBuilder::NodeRef::Where(std::string attr, CmpOp op,
                                                         AttrValue rhs) {
   builder_->pattern_.mutable_node(index_)->conditions.emplace_back(std::move(attr), op,

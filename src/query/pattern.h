@@ -99,8 +99,20 @@ class Pattern {
   /// Canonical text rendering (identical to the pattern file format).
   std::string ToText() const;
 
-  /// Hash of ToText(); used as the result-cache key.
+  /// Hash of ToText(); the exact-rendering identity (round-trip tests rely
+  /// on parse(ToText()) preserving it).
   uint64_t Fingerprint() const;
+
+  /// Hash of a *canonicalized* rendering: per-node conditions are sorted
+  /// (and exact duplicates dropped) before hashing — sound because a node's
+  /// conditions are a conjunction, so order and repetition never change
+  /// which data nodes match. This is the cache identity (QueryCacheKey):
+  /// a pattern compiled from free-text topic_terms (which appends sorted
+  /// `has_token` conditions) shares cache lines with an equivalent explicit
+  /// pattern whose author wrote the same conditions in any order. Node
+  /// order, names, and edge order still distinguish patterns — only
+  /// condition order within a node is canonicalized.
+  uint64_t CanonicalFingerprint() const;
 
  private:
   std::vector<PatternNode> nodes_;

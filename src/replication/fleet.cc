@@ -1,0 +1,236 @@
+#include "src/replication/fleet.h"
+
+#include <chrono>
+
+#include "src/util/logging.h"
+
+namespace expfinder {
+
+namespace {
+
+std::chrono::duration<double, std::milli> Millis(double ms) {
+  return std::chrono::duration<double, std::milli>(ms);
+}
+
+}  // namespace
+
+const char* ReadRoutingName(ReadRouting routing) {
+  switch (routing) {
+    case ReadRouting::kRoundRobin: return "round_robin";
+    case ReadRouting::kLeastLagged: return "least_lagged";
+  }
+  return "unknown";
+}
+
+ReplicaFleet::ReplicaFleet(FleetOptions options, DeltaSource* source,
+                           SnapshotInstallFn install)
+    : options_(std::move(options)),
+      source_(source),
+      install_(std::move(install)) {
+  EF_DCHECK(source_ != nullptr);
+  EF_DCHECK(install_ || !options_.checkpoint_dir.empty())
+      << "a fleet needs a snapshot install fn or a checkpoint directory";
+  slots_.reserve(options_.num_replicas);
+  for (size_t i = 0; i < options_.num_replicas; ++i) {
+    slots_.push_back(std::make_unique<Slot>(i, options_.engine));
+  }
+}
+
+ReplicaFleet::~ReplicaFleet() { Stop(); }
+
+void ReplicaFleet::Start() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  shutdown_.store(false, std::memory_order_release);
+  for (auto& slot : slots_) {
+    if (slot->applier.joinable()) continue;
+    slot->run.store(true, std::memory_order_release);
+    slot->applier = std::thread(&ReplicaFleet::ApplierLoop, this, slot.get());
+  }
+}
+
+void ReplicaFleet::Stop() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& slot : slots_) slot->run.store(false, std::memory_order_release);
+  NotifyWaiters();
+  for (auto& slot : slots_) {
+    if (slot->applier.joinable()) slot->applier.join();
+    slot->alive.store(false, std::memory_order_release);
+  }
+}
+
+void ReplicaFleet::StopReplica(size_t idx) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  if (idx >= slots_.size()) return;
+  Slot* slot = slots_[idx].get();
+  slot->run.store(false, std::memory_order_release);
+  if (slot->applier.joinable()) slot->applier.join();
+  slot->alive.store(false, std::memory_order_release);
+}
+
+void ReplicaFleet::RestartReplica(size_t idx) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  if (idx >= slots_.size() || shutdown_.load(std::memory_order_acquire)) return;
+  Slot* slot = slots_[idx].get();
+  if (slot->applier.joinable()) return;  // still running
+  slot->run.store(true, std::memory_order_release);
+  slot->applier = std::thread(&ReplicaFleet::ApplierLoop, this, slot);
+}
+
+bool ReplicaFleet::Bootstrap(Slot* slot) {
+  while (slot->run.load(std::memory_order_acquire)) {
+    if (!options_.checkpoint_dir.empty()) {
+      auto bootstrap =
+          LoadReplicaBootstrap(options_.checkpoint_dir, options_.file_ops);
+      if (bootstrap.ok()) {
+        slot->replica.Install(std::move(*bootstrap));
+        return true;
+      }
+    }
+    if (install_) {
+      slot->replica.Install(install_());
+      return true;
+    }
+    // Nothing to anchor to yet (e.g. no checkpoint written so far): wait for
+    // one to appear.
+    source_->AwaitRecords(UINT64_MAX, options_.poll_interval_ms);
+  }
+  return false;
+}
+
+void ReplicaFleet::ApplierLoop(Slot* slot) {
+  if (!Bootstrap(slot)) return;
+  slot->alive.store(true, std::memory_order_release);
+  NotifyWaiters();
+  while (slot->run.load(std::memory_order_acquire)) {
+    const uint64_t cursor = slot->replica.next_lsn();
+    auto fetched = source_->Fetch(cursor, options_.fetch_batch);
+    if (!fetched.ok()) {
+      // Transient transport/file error: keep the replica serving its last
+      // snapshot and retry after a poll interval.
+      std::this_thread::sleep_for(Millis(options_.poll_interval_ms));
+      continue;
+    }
+    if (fetched->lost_prefix) {
+      slot->rebootstraps.fetch_add(1, std::memory_order_relaxed);
+      if (!Bootstrap(slot)) return;
+      NotifyWaiters();
+      continue;
+    }
+    if (fetched->deltas.empty()) {
+      source_->AwaitRecords(cursor, options_.poll_interval_ms);
+      continue;
+    }
+    Status st = slot->replica.Apply(*fetched);
+    if (slot->replica.next_lsn() > cursor) NotifyWaiters();
+    if (st.IsDataLoss()) {
+      // The feed (or this replica's cursor) skipped records: re-anchor.
+      slot->rebootstraps.fetch_add(1, std::memory_order_relaxed);
+      if (!Bootstrap(slot)) return;
+      NotifyWaiters();
+    } else if (!st.ok()) {
+      std::this_thread::sleep_for(Millis(options_.poll_interval_ms));
+    }
+  }
+}
+
+std::shared_ptr<const EngineSnapshot> ReplicaFleet::TryAcquire(
+    uint64_t min_version, size_t* replica_idx) {
+  const size_t n = slots_.size();
+  if (n == 0) return nullptr;
+  if (options_.routing == ReadRouting::kLeastLagged) {
+    std::shared_ptr<const EngineSnapshot> best;
+    size_t best_idx = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!slots_[i]->alive.load(std::memory_order_acquire)) continue;
+      auto snap = slots_[i]->replica.snapshot();
+      if (!snap || snap->version < min_version) continue;
+      if (!best || snap->version > best->version) {
+        best = std::move(snap);
+        best_idx = i;
+      }
+    }
+    if (!best) return nullptr;
+    slots_[best_idx]->routed_reads.fetch_add(1, std::memory_order_relaxed);
+    if (replica_idx) *replica_idx = best_idx;
+    return best;
+  }
+  const size_t start = rr_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t k = 0; k < n; ++k) {
+    const size_t i = (start + k) % n;
+    if (!slots_[i]->alive.load(std::memory_order_acquire)) continue;
+    auto snap = slots_[i]->replica.snapshot();
+    if (!snap || snap->version < min_version) continue;
+    slots_[i]->routed_reads.fetch_add(1, std::memory_order_relaxed);
+    if (replica_idx) *replica_idx = i;
+    return snap;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const EngineSnapshot> ReplicaFleet::Acquire(
+    uint64_t min_version, double deadline_ms, size_t* replica_idx) {
+  auto snap = TryAcquire(min_version, replica_idx);
+  if (snap || min_version == 0 || deadline_ms <= 0.0) return snap;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            Millis(deadline_ms));
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  wait_cv_.wait_until(lock, deadline, [&] {
+    if (shutdown_.load(std::memory_order_acquire)) return true;
+    snap = TryAcquire(min_version, replica_idx);
+    return snap != nullptr;
+  });
+  return snap;
+}
+
+void ReplicaFleet::NotifyWaiters() {
+  // Take wait_mu_ briefly so a waiter between its predicate check and its
+  // block cannot miss the wakeup.
+  { std::lock_guard<std::mutex> lock(wait_mu_); }
+  wait_cv_.notify_all();
+}
+
+std::vector<ReplicaStatus> ReplicaFleet::Replicas() const {
+  const uint64_t horizon = source_->end_lsn();
+  std::vector<ReplicaStatus> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    ReplicaStatus rs;
+    rs.id = slot->replica.id();
+    rs.alive = slot->alive.load(std::memory_order_acquire);
+    rs.next_lsn = slot->replica.next_lsn();
+    rs.version = slot->replica.version();
+    rs.lag = horizon > rs.next_lsn ? horizon - rs.next_lsn : 0;
+    rs.deltas_applied = slot->replica.deltas_applied();
+    rs.routed_reads = slot->routed_reads.load(std::memory_order_relaxed);
+    rs.installs = slot->replica.installs();
+    rs.rebootstraps = slot->rebootstraps.load(std::memory_order_relaxed);
+    out.push_back(rs);
+  }
+  return out;
+}
+
+size_t ReplicaFleet::TotalDeltasApplied() const {
+  size_t total = 0;
+  for (const auto& slot : slots_) total += slot->replica.deltas_applied();
+  return total;
+}
+
+size_t ReplicaFleet::TotalRoutedReads() const {
+  size_t total = 0;
+  for (const auto& slot : slots_) {
+    total += slot->routed_reads.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t ReplicaFleet::TotalRebootstraps() const {
+  size_t total = 0;
+  for (const auto& slot : slots_) {
+    total += slot->rebootstraps.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace expfinder

@@ -1,0 +1,186 @@
+// ReplicaFleet: N replicas behind one DeltaSource, each advanced by its own
+// applier thread, plus the read-routing front the service serves from.
+//
+// Lifecycle per replica (the applier loop):
+//
+//   bootstrap: newest checkpoint + delta tail when a checkpoint directory
+//              is configured (the cheap path — no primary coordination),
+//              else a full snapshot install through the caller-supplied
+//              install function (which copies the primary's published
+//              graph). Retries until one succeeds.
+//   steady state: Fetch from the source at the replica's cursor, Apply,
+//              publish, wake routed readers; block in AwaitRecords when
+//              caught up.
+//   re-anchor: a lost prefix (WAL truncated / window evicted below the
+//              cursor) or an apply-side DataLoss re-runs bootstrap. Counted
+//              per replica — a nonzero rebootstrap count is the signal that
+//              a replica fell off the tail.
+//
+// Read routing (Acquire): picks an alive replica whose published snapshot
+// satisfies `min_version` — round-robin spreads load evenly, least-lagged
+// always serves the freshest replica. `min_version` is the bounded-staleness
+// / read-your-writes knob: 0 never waits (any alive replica qualifies;
+// nullptr when none is up), > 0 blocks until some replica reaches that
+// version or the deadline passes. The caller owns fallback policy (serve
+// from the primary, or fail the read) — Acquire just reports nullptr.
+//
+// StopReplica/RestartReplica kill and revive one applier without touching
+// the rest of the fleet — the crash/catch-up path the divergence sweep
+// exercises, and the admin hook a real deployment would expose.
+
+#ifndef EXPFINDER_REPLICATION_FLEET_H_
+#define EXPFINDER_REPLICATION_FLEET_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/eval_core.h"
+#include "src/replication/delta.h"
+#include "src/replication/replica.h"
+
+namespace expfinder {
+
+/// \brief How Acquire picks among eligible replicas.
+enum class ReadRouting {
+  /// Cycle through alive, version-satisfying replicas — even load spread.
+  kRoundRobin,
+  /// Always the highest published version (ties to the lowest id) —
+  /// freshest answers, uneven load.
+  kLeastLagged,
+};
+
+const char* ReadRoutingName(ReadRouting routing);
+
+/// \brief Fleet configuration.
+struct FleetOptions {
+  size_t num_replicas = 2;
+  ReadRouting routing = ReadRouting::kRoundRobin;
+  /// Max deltas per Fetch.
+  size_t fetch_batch = 256;
+  /// Applier wait between polls when caught up (also the bound on how long
+  /// Stop/StopReplica may block joining an idle applier).
+  double poll_interval_ms = 20.0;
+  /// The primary's checkpoint directory; when set, bootstrap prefers
+  /// checkpoint + delta tail over a full snapshot install.
+  std::string checkpoint_dir;
+  /// nullptr = the real filesystem (checkpoint reads).
+  FileOps* file_ops = nullptr;
+  /// Per-replica evaluation config (each replica owns an EvalCore).
+  EngineOptions engine;
+};
+
+/// Produces a full-snapshot bootstrap (a copy of the primary's published
+/// graph + the LSN of the first record not in it). Must be callable from
+/// applier threads at any point in the fleet's life.
+using SnapshotInstallFn = std::function<ReplicaBootstrap()>;
+
+/// \brief Point-in-time observability for one replica (ServiceStats embeds
+/// these).
+struct ReplicaStatus {
+  size_t id = 0;
+  bool alive = false;
+  uint64_t next_lsn = 0;
+  uint64_t version = 0;
+  /// Source horizon minus applied cursor, in records.
+  uint64_t lag = 0;
+  size_t deltas_applied = 0;
+  size_t routed_reads = 0;
+  size_t installs = 0;
+  size_t rebootstraps = 0;
+};
+
+/// \brief The fleet. Thread-safe: Acquire/Replicas/counters from any thread;
+/// Start/Stop/StopReplica/RestartReplica serialize among themselves.
+class ReplicaFleet {
+ public:
+  /// `source` must outlive the fleet. `install` may be empty only when a
+  /// checkpoint directory is configured.
+  ReplicaFleet(FleetOptions options, DeltaSource* source,
+               SnapshotInstallFn install);
+  ~ReplicaFleet();
+
+  ReplicaFleet(const ReplicaFleet&) = delete;
+  ReplicaFleet& operator=(const ReplicaFleet&) = delete;
+
+  /// Spawns every applier. Idempotent.
+  void Start();
+
+  /// Stops every applier and joins. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Routes one read: an alive replica's snapshot with version >=
+  /// `min_version`, or nullptr when none satisfies it within
+  /// `deadline_ms` (0 deadline or 0 min_version = no waiting). On success
+  /// `*replica_idx` (optional) receives the chosen replica and its
+  /// routed-read counter is bumped.
+  std::shared_ptr<const EngineSnapshot> Acquire(uint64_t min_version,
+                                                double deadline_ms,
+                                                size_t* replica_idx);
+
+  /// Kills one applier (joins it) and marks the replica dead for routing.
+  /// The crash half of the catch-up drill.
+  void StopReplica(size_t idx);
+
+  /// Revives a stopped applier; it re-bootstraps (checkpoint + tail when
+  /// available) before going live again. No-op on a running replica.
+  void RestartReplica(size_t idx);
+
+  size_t num_replicas() const { return slots_.size(); }
+  const FleetOptions& options() const { return options_; }
+
+  /// Direct access to one replica, for tests and diagnostics. The atomic
+  /// accessors (snapshot/version/next_lsn/counters) are safe any time;
+  /// Replica::graph() only after this replica's applier was stopped
+  /// (StopReplica joins it).
+  const Replica& replica(size_t idx) const { return slots_[idx]->replica; }
+
+  /// Snapshot of every replica's state, in id order.
+  std::vector<ReplicaStatus> Replicas() const;
+
+  // --- Aggregate counters -------------------------------------------------
+  size_t TotalDeltasApplied() const;
+  size_t TotalRoutedReads() const;
+  size_t TotalRebootstraps() const;
+
+ private:
+  struct Slot {
+    explicit Slot(size_t id, const EngineOptions& engine)
+        : replica(id, engine) {}
+    Replica replica;
+    std::thread applier;               // guarded by control_mu_
+    std::atomic<bool> run{false};      // applier keep-going flag
+    std::atomic<bool> alive{false};    // eligible for routing
+    std::atomic<size_t> routed_reads{0};
+    std::atomic<size_t> rebootstraps{0};
+  };
+
+  void ApplierLoop(Slot* slot);
+  /// Bootstraps (or re-anchors) one replica; false only when stopped first.
+  bool Bootstrap(Slot* slot);
+  /// Lock-free routing probe; nullptr when nothing satisfies min_version.
+  std::shared_ptr<const EngineSnapshot> TryAcquire(uint64_t min_version,
+                                                   size_t* replica_idx);
+  void NotifyWaiters();
+
+  const FleetOptions options_;
+  DeltaSource* const source_;
+  const SnapshotInstallFn install_;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<size_t> rr_{0};  // round-robin cursor
+
+  std::mutex control_mu_;  // Start/Stop/StopReplica/RestartReplica
+  std::mutex wait_mu_;     // Acquire waiters (paired with wait_cv_)
+  std::condition_variable wait_cv_;
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_REPLICATION_FLEET_H_

@@ -40,4 +40,13 @@ size_t AdmissionQueue::size() const {
   return size_;
 }
 
+std::array<size_t, kNumQueryPriorities> AdmissionQueue::LaneDepths() const {
+  std::array<size_t, kNumQueryPriorities> depths{};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t lane = 0; lane < kNumQueryPriorities; ++lane) {
+    depths[lane] = lanes_[lane].size();
+  }
+  return depths;
+}
+
 }  // namespace expfinder

@@ -55,6 +55,11 @@ class AdmissionQueue {
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
+  /// Entries currently queued per priority lane, indexed by QueryPriority —
+  /// the per-lane depth gauges ServiceStats exposes. One coherent snapshot
+  /// (all lanes read under the same lock hold).
+  std::array<size_t, kNumQueryPriorities> LaneDepths() const;
+
  private:
   const size_t capacity_;
 

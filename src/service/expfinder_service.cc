@@ -96,9 +96,12 @@ ExpFinderService::ExpFinderService(Graph* g, ServiceOptions options)
   if (recovery_info_.data_loss) {
     data_loss_events_.fetch_add(1, std::memory_order_relaxed);
   }
-  // The first epoch: no request ever observes a null snapshot.
-  std::lock_guard<std::mutex> writer(writer_mu_);
-  PublishLocked();
+  {
+    // The first epoch: no request ever observes a null snapshot.
+    std::lock_guard<std::mutex> writer(writer_mu_);
+    PublishLocked();
+  }
+  if (options_.replication.num_replicas > 0) StartReplication();
 }
 
 ExpFinderService::~ExpFinderService() {
@@ -109,6 +112,63 @@ ExpFinderService::~ExpFinderService() {
   // Cancelled. In-flight evaluations finish normally first.
   Resume();
   executor_.reset();
+  // Serving workers are gone; now the fleet's appliers can be joined and
+  // the source they fetch from released (member destruction order matches,
+  // this just makes the joins explicit).
+  if (fleet_ != nullptr) fleet_->Stop();
+  if (delta_source_ != nullptr) delta_source_->Close();
+}
+
+void ExpFinderService::StartReplication() {
+  InProcessDeltaSource::Options source_options;
+  source_options.window_records = options_.replication.window_records;
+  if (durable_ != nullptr) {
+    source_options.wal_dir = options_.durability.dir;
+    source_options.file_ops = options_.durability.file_ops;
+  }
+  uint64_t start_lsn = 0;
+  {
+    std::lock_guard<std::mutex> writer(writer_mu_);
+    start_lsn = durable_ != nullptr ? durable_->next_lsn() : ship_lsn_;
+  }
+  delta_source_ = std::make_unique<InProcessDeltaSource>(
+      std::move(source_options), start_lsn);
+
+  FleetOptions fleet_options;
+  fleet_options.num_replicas = options_.replication.num_replicas;
+  fleet_options.routing = options_.replication.routing;
+  fleet_options.fetch_batch = options_.replication.fetch_batch;
+  fleet_options.poll_interval_ms = options_.replication.poll_interval_ms;
+  if (durable_ != nullptr) {
+    // Checkpoint + delta tail is the preferred bootstrap: no writer-lock
+    // copy of the primary's graph.
+    fleet_options.checkpoint_dir = options_.durability.dir;
+    fleet_options.file_ops = options_.durability.file_ops;
+  }
+  fleet_options.engine = options_.engine;
+  fleet_ = std::make_unique<ReplicaFleet>(std::move(fleet_options),
+                                          delta_source_.get(),
+                                          [this] { return BootstrapReplica(); });
+  fleet_->Start();
+}
+
+ReplicaBootstrap ExpFinderService::BootstrapReplica() {
+  // Full snapshot install: copy the primary graph and the matching delta
+  // cursor as one coherent pair. The copy carries the version counter, so
+  // the replica's numbering continues the primary's exactly.
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  ReplicaBootstrap bootstrap;
+  bootstrap.graph = *g_;
+  bootstrap.next_lsn = durable_ != nullptr ? durable_->next_lsn() : ship_lsn_;
+  return bootstrap;
+}
+
+void ExpFinderService::ShipLocked(std::string payload) {
+  if (delta_source_ == nullptr) return;
+  const uint64_t lsn =
+      durable_ != nullptr ? durable_->next_lsn() - 1 : ship_lsn_++;
+  delta_source_->Ship(lsn, std::move(payload));
+  deltas_shipped_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ExpFinderService::Resume() {
@@ -228,6 +288,12 @@ Result<QueryResponse> ExpFinderService::Serve(const PendingQuery& pending,
   // never invalidates anything this request reads.
   std::shared_ptr<const EngineSnapshot> snap;
   if (request.as_of_version.has_value()) {
+    if (request.min_version.has_value()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::InvalidArgument(
+          "as_of_version and min_version are mutually exclusive (an exact "
+          "pin already decides the version)");
+    }
     snap = FindRetained(*request.as_of_version);
     if (snap == nullptr) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -235,8 +301,43 @@ Result<QueryResponse> ExpFinderService::Serve(const PendingQuery& pending,
                               std::to_string(*request.as_of_version) +
                               " is not retained (evicted or never published)");
     }
+  } else if (fleet_ != nullptr) {
+    // Route across the replica fleet; the primary epoch is the fallback
+    // (or, with fallback off, stays reserved for writes and as_of reads).
+    const uint64_t min_version = request.min_version.value_or(0);
+    snap = fleet_->Acquire(min_version,
+                           options_.replication.max_staleness_wait_ms,
+                           /*replica_idx=*/nullptr);
+    if (snap != nullptr) {
+      routed_reads_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      auto primary = epoch_.load(std::memory_order_acquire);
+      if (!options_.replication.fallback_to_primary ||
+          primary->version < min_version) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::DeadlineExceeded(
+            "no replica reached min_version " + std::to_string(min_version) +
+            " within " +
+            std::to_string(options_.replication.max_staleness_wait_ms) +
+            " ms" +
+            (options_.replication.fallback_to_primary
+                 ? " and the primary has not either"
+                 : " (primary fallback disabled)"));
+      }
+      routed_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      snap = std::move(primary);
+    }
   } else {
     snap = epoch_.load(std::memory_order_acquire);
+    if (request.min_version.has_value() && snap->version < *request.min_version) {
+      // Without replicas the primary epoch is as fresh as it gets: a floor
+      // above it denotes a version that does not exist yet.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::DeadlineExceeded(
+          "min_version " + std::to_string(*request.min_version) +
+          " is beyond the current epoch (version " +
+          std::to_string(snap->version) + ")");
+    }
   }
   snapshot_acquires_.fetch_add(1, std::memory_order_relaxed);
 
@@ -416,8 +517,15 @@ Status ExpFinderService::Mutate(const UpdateBatch& batch) {
   // engine already applied) but the caller gets the error: the mutation is
   // NOT acknowledged durable and will not survive a crash.
   Status logged = Status::OK();
+  // "Entered the log" is the ship condition, not "acknowledged durable": an
+  // appended-but-unsynced record (fsync failure) has an LSN and replicas
+  // must apply it to stay contiguous with later records; a torn append has
+  // no LSN (and seals the log), so skipping it leaves no gap.
+  bool entered_log = durable_ == nullptr;
   if (durable_ != nullptr) {
+    const uint64_t lsn_before = durable_->next_lsn();
     logged = durable_->LogBatch(batch);
+    entered_log = durable_->next_lsn() > lsn_before;
     if (logged.ok()) {
       wal_appends_.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -425,6 +533,7 @@ Status ExpFinderService::Mutate(const UpdateBatch& batch) {
     }
   }
   PublishLocked();
+  if (entered_log) ShipLocked(DurableGraph::EncodeBatch(batch));
   // Checkpoint only on the success path: after a failed append the WAL may
   // hold the record appended-but-unsynced (LSN advanced), and an immediate
   // checkpoint at that LSN would make the just-refused mutation durable.
@@ -439,17 +548,21 @@ Result<NodeId> ExpFinderService::AddNode(
   auto id = engine_.AddNode(label, attrs);
   if (id.ok()) {
     nodes_added_.fetch_add(1, std::memory_order_relaxed);
+    Status logged = Status::OK();
+    bool entered_log = durable_ == nullptr;  // ship condition; see Mutate
     if (durable_ != nullptr) {
-      Status logged = durable_->LogAddNode(*id, label, attrs);
+      const uint64_t lsn_before = durable_->next_lsn();
+      logged = durable_->LogAddNode(*id, label, attrs);
+      entered_log = durable_->next_lsn() > lsn_before;
       if (logged.ok()) {
         wal_appends_.fetch_add(1, std::memory_order_relaxed);
       } else {
         durability_errors_.fetch_add(1, std::memory_order_relaxed);
-        PublishLocked();
-        return logged;  // node exists in memory but is not durable
       }
     }
     PublishLocked();
+    if (entered_log) ShipLocked(DurableGraph::EncodeAddNode(*id, label, attrs));
+    if (!logged.ok()) return logged;  // node exists in memory but is not durable
     MaybeCheckpointLocked();
   }
   return id;
@@ -555,6 +668,15 @@ ServiceStats ExpFinderService::stats() const {
   s.durability_errors = durability_errors_.load(std::memory_order_relaxed);
   s.data_loss_events = data_loss_events_.load(std::memory_order_relaxed);
   s.queued = queue_.size();
+  s.queued_by_priority = queue_.LaneDepths();
+  s.deltas_shipped = deltas_shipped_.load(std::memory_order_relaxed);
+  s.routed_reads = routed_reads_.load(std::memory_order_relaxed);
+  s.routed_fallbacks = routed_fallbacks_.load(std::memory_order_relaxed);
+  if (fleet_ != nullptr) {
+    s.deltas_applied = fleet_->TotalDeltasApplied();
+    s.replica_rebootstraps = fleet_->TotalRebootstraps();
+    s.replicas = fleet_->Replicas();
+  }
   for (size_t i = 0; i < kQueueLatencyBuckets; ++i) {
     s.queue_latency_histogram[i] = queue_latency_[i].load(std::memory_order_relaxed);
   }

@@ -61,12 +61,46 @@
 #include <vector>
 
 #include "src/engine/query_engine.h"
+#include "src/replication/delta.h"
+#include "src/replication/fleet.h"
 #include "src/service/admission_queue.h"
 #include "src/service/service_types.h"
 #include "src/storage/durable_graph.h"
 #include "src/util/thread_pool.h"
 
 namespace expfinder {
+
+/// \brief Read-scaling via an in-process replica fleet (PR 9; see
+/// src/replication/). With `num_replicas` > 0 the service ships every
+/// acknowledged mutation into an in-process delta stream, runs N replicas
+/// that apply it in LSN order (each publishing its own snapshot), and
+/// routes Submit reads across them — writes, as_of reads, and anything no
+/// replica can satisfy stay on the primary. Every routed response still
+/// reports the exact graph_version its relation was computed against, and
+/// replica state at version V is bit-identical to the primary's at V.
+struct ReplicationOptions {
+  /// Replicas to run; 0 = replication off (every read serves from the
+  /// primary epoch, exactly the pre-PR 9 behavior).
+  size_t num_replicas = 0;
+  /// How Submit reads pick a replica.
+  ReadRouting routing = ReadRouting::kRoundRobin;
+  /// Max deltas per replica fetch.
+  size_t fetch_batch = 256;
+  /// Applier poll interval when caught up.
+  double poll_interval_ms = 2.0;
+  /// In-memory delta window (records). Replicas lagging further catch up
+  /// from the WAL tail when durability is on, or re-install a snapshot
+  /// when it is off.
+  size_t window_records = 1024;
+  /// How long a read with QueryRequest::min_version waits for a replica to
+  /// reach that version before falling back / failing.
+  double max_staleness_wait_ms = 200.0;
+  /// Serve from the primary epoch when no replica satisfies a read (fleet
+  /// still bootstrapping, all replicas down, or min_version unreachable in
+  /// time). Off = such reads fail with kDeadlineExceeded instead, keeping
+  /// the primary strictly write-only for this workload.
+  bool fallback_to_primary = true;
+};
 
 /// \brief Service configuration: the composed engine's options plus the
 /// service-level knobs.
@@ -103,6 +137,10 @@ struct ServiceOptions {
   /// corruption at boot degrades: the service starts from the best
   /// available prefix and counts a data_loss_event rather than aborting.
   DurabilityOptions durability;
+  /// Read scaling (PR 9): run `replication.num_replicas` in-process
+  /// replicas fed by a delta stream of the WAL's mutation records and route
+  /// Submit reads across them. See ReplicationOptions.
+  ReplicationOptions replication;
   /// Open for admission but paused for serving: Submit queues requests
   /// (admission control, priorities, and Cancel all work) but nothing
   /// evaluates until Resume(). Useful for maintenance windows — warm the
@@ -226,6 +264,12 @@ class ExpFinderService {
   /// off. Runs inline on the calling thread.
   Status CheckpointNow();
 
+  /// The replica fleet, or nullptr when replication is off. Exposed for
+  /// observability and the crash/catch-up admin hooks
+  /// (StopReplica/RestartReplica); routing happens inside Submit.
+  ReplicaFleet* fleet() { return fleet_.get(); }
+  const ReplicaFleet* fleet() const { return fleet_.get(); }
+
  private:
   /// Per-worker scratch: one context for evaluation over the snapshot's
   /// graph, one over its Gc, so a worker alternating direct/compressed
@@ -284,6 +328,19 @@ class ExpFinderService {
   /// epoch snapshot — on the executor by default, inline when
   /// durability.background_checkpoints is off. Caller holds writer_mu_.
   void MaybeCheckpointLocked();
+
+  /// Brings up the delta source + replica fleet (ctor, after the first
+  /// publish; no locks held).
+  void StartReplication();
+
+  /// Full-snapshot bootstrap for a replica: copies the primary's graph and
+  /// the matching delta cursor under the writer lock. Called from applier
+  /// threads (fleet bootstrap when no usable checkpoint exists).
+  ReplicaBootstrap BootstrapReplica();
+
+  /// Ships one just-logged mutation record into the delta stream (caller
+  /// holds writer_mu_ — Ship order must match LSN order).
+  void ShipLocked(std::string payload);
 
   Graph* g_;
   ServiceOptions options_;
@@ -356,6 +413,19 @@ class ExpFinderService {
   /// by the checkpoint task itself.
   std::atomic<bool> checkpoint_inflight_{false};
   std::array<std::atomic<size_t>, kQueueLatencyBuckets> queue_latency_{};
+
+  /// Replication (null / unused when replication.num_replicas == 0).
+  /// Declared before executor_ so destruction order is: executor (serving
+  /// workers, which call fleet_->Acquire) drains first, then the fleet
+  /// joins its appliers, then the source they fetch from dies.
+  std::unique_ptr<InProcessDeltaSource> delta_source_;
+  std::unique_ptr<ReplicaFleet> fleet_;
+  /// Delta cursor when durability is off (the WAL assigns LSNs otherwise);
+  /// guarded by writer_mu_.
+  uint64_t ship_lsn_ = 0;
+  std::atomic<size_t> deltas_shipped_{0};
+  std::atomic<size_t> routed_reads_{0};
+  std::atomic<size_t> routed_fallbacks_{0};
 
   /// The serving executor: one Submit()ed drain task per admitted request.
   /// Declared last so it is destroyed (and drained) while every member it

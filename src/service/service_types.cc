@@ -121,7 +121,13 @@ std::string ServiceStats::ToString() const {
      << " planner_short_circuits=" << planner_short_circuits
      << " compressed_evals=" << compressed_evals << " direct_evals=" << direct_evals
      << " rejected=" << rejected << " rejected_overload=" << rejected_overload
-     << " cancelled=" << cancelled << " queued=" << queued
+     << " cancelled=" << cancelled << " queued=" << queued << " queued_by_lane=[";
+  for (size_t lane = 0; lane < queued_by_priority.size(); ++lane) {
+    if (lane > 0) os << " ";
+    os << QueryPriorityName(static_cast<QueryPriority>(lane)) << ":"
+       << queued_by_priority[lane];
+  }
+  os << "]"
      << " query_batches=" << query_batches << " batches=" << batches_applied
      << " updates=" << updates_applied << " nodes_added=" << nodes_added
      << " snapshots_published=" << snapshots_published
@@ -135,7 +141,22 @@ std::string ServiceStats::ToString() const {
      << " topic_index_builds=" << topic_index_builds
      << " posting_hits=" << posting_hits
      << " seed_scan_fallbacks=" << seed_scan_fallbacks
-     << " queue_latency_ms=[";
+     << " deltas_shipped=" << deltas_shipped
+     << " deltas_applied=" << deltas_applied
+     << " routed_reads=" << routed_reads
+     << " routed_fallbacks=" << routed_fallbacks
+     << " replica_rebootstraps=" << replica_rebootstraps;
+  if (!replicas.empty()) {
+    os << " replicas=[";
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      const ReplicaStatus& r = replicas[i];
+      if (i > 0) os << " ";
+      os << "r" << r.id << ":" << (r.alive ? "up" : "down")
+         << ",v" << r.version << ",lag" << r.lag << ",reads" << r.routed_reads;
+    }
+    os << "]";
+  }
+  os << " queue_latency_ms=[";
   for (size_t i = 0; i < queue_latency_histogram.size(); ++i) {
     if (i > 0) os << " ";
     os << queue_latency_histogram[i];

@@ -25,6 +25,7 @@
 #include "src/engine/query_engine.h"
 #include "src/ranking/metrics.h"
 #include "src/ranking/social_impact.h"
+#include "src/replication/fleet.h"
 
 namespace expfinder {
 
@@ -110,6 +111,18 @@ struct QueryRequest {
   /// version no longer retained (evicted, or never published) fails the
   /// request with Status::NotFound. Absent = the current epoch.
   std::optional<uint64_t> as_of_version;
+  /// Bounded-staleness floor for replica-routed reads (read-your-writes:
+  /// pass the graph_version a previous response — or the version observed
+  /// after a Mutate — reported). The read is served from a snapshot with
+  /// version >= min_version, waiting up to
+  /// ReplicationOptions::max_staleness_wait_ms for a replica to catch up;
+  /// if none does, the service falls back to the primary epoch (when
+  /// fallback_to_primary) or fails with Status::DeadlineExceeded. With
+  /// replication off the primary epoch either satisfies the floor
+  /// immediately or the request fails — no waiting. Mutually exclusive with
+  /// as_of_version (a floor and an exact pin contradict each other).
+  /// Absent/0 = any version (the freshest available snapshot).
+  std::optional<uint64_t> min_version;
   /// Soft time budget in milliseconds, counted from Submit (queue wait
   /// included); 0 = unlimited. Best-effort: checked when the request is
   /// dequeued and at evaluation stage boundaries, never preemptively inside
@@ -284,9 +297,28 @@ struct ServiceStats {
   size_t topic_index_builds = 0;
   size_t posting_hits = 0;
   size_t seed_scan_fallbacks = 0;
+  /// Replication telemetry (ServiceOptions::replication; all zero/empty
+  /// when replication is off, none enter ClassifiedQueries): delta records
+  /// the primary shipped into the in-process stream, delta records applied
+  /// across the fleet, reads served from a replica snapshot, reads that
+  /// wanted a replica but fell back to the primary epoch (no replica
+  /// satisfied the staleness floor in time), and replica re-anchors
+  /// (checkpoint/snapshot re-installs after a lost prefix or gap).
+  size_t deltas_shipped = 0;
+  size_t deltas_applied = 0;
+  size_t routed_reads = 0;
+  size_t routed_fallbacks = 0;
+  size_t replica_rebootstraps = 0;
+  /// Per-replica state at the moment stats() was taken (empty when
+  /// replication is off); id order.
+  std::vector<ReplicaStatus> replicas;
   /// Requests sitting in the admission queue right now (a gauge, not a
   /// cumulative counter; excluded from ClassifiedQueries).
   size_t queued = 0;
+  /// `queued` split by priority lane, indexed by QueryPriority — one
+  /// coherent snapshot (the lanes sum to a single instant's depth, though
+  /// `queued` itself is sampled separately).
+  std::array<size_t, kNumQueryPriorities> queued_by_priority{};
   /// Queue-wait distribution over every dequeued request (see
   /// QueueLatencyBucket). Sums to the number of requests that reached a
   /// serving worker.

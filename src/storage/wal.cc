@@ -198,6 +198,74 @@ Result<std::unique_ptr<Wal>> Wal::Open(const WalOptions& options,
   return wal;
 }
 
+Result<WalTail> Wal::TailFrom(const std::string& dir, FileOps* file_ops,
+                              uint64_t from_lsn, size_t max_records) {
+  FileOps* fops = file_ops != nullptr ? file_ops : FileOps::Real();
+  WalTail tail;
+  tail.next_lsn = from_lsn;
+
+  std::vector<std::pair<uint64_t, std::string>> segments;  // (first_lsn, path)
+  auto names = fops->ListDir(dir);
+  if (!names.ok()) return names.status();
+  for (const std::string& name : *names) {
+    uint64_t first_lsn;
+    if (ParseSegmentName(name, &first_lsn)) {
+      segments.emplace_back(first_lsn, dir + "/" + name);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  uint64_t cursor = from_lsn;
+  for (size_t si = 0; si < segments.size(); ++si) {
+    if (tail.records.size() >= max_records) break;
+    // Sealed segment si holds LSNs [first_lsn, next segment's first_lsn):
+    // skip the ones wholly below the cursor without reading them.
+    if (si + 1 < segments.size() && segments[si + 1].first <= cursor) continue;
+    const uint64_t seg_first = segments[si].first;
+    if (seg_first > cursor) {
+      // [cursor, seg_first) is gone — truncated into a checkpoint, or lost.
+      if (!tail.records.empty()) break;  // keep the batch contiguous
+      tail.lost_prefix = true;
+      cursor = seg_first;
+    }
+    auto content = fops->ReadFileToString(segments[si].second);
+    if (!content.ok()) break;  // removed/unreadable mid-scan: stop here
+    const std::string& bytes = *content;
+    size_t off = 0;
+    uint64_t lsn = seg_first;
+    bool stopped_midframe = false;
+    while (off < bytes.size() && tail.records.size() < max_records) {
+      if (bytes.size() - off < kHeaderBytes) {
+        stopped_midframe = true;  // live/torn tail: a later call retries
+        break;
+      }
+      const uint32_t len = LoadLE32(bytes.data() + off);
+      const uint32_t crc = LoadLE32(bytes.data() + off + 4);
+      if (len > kMaxRecordBytes || bytes.size() - off - kHeaderBytes < len) {
+        stopped_midframe = true;
+        break;
+      }
+      std::string_view payload(bytes.data() + off + kHeaderBytes, len);
+      if (Crc32c(payload) != crc) {
+        stopped_midframe = true;
+        break;
+      }
+      if (lsn >= cursor) {
+        tail.records.push_back({lsn, std::string(payload)});
+        cursor = lsn + 1;
+      }
+      ++lsn;
+      off += kHeaderBytes + len;
+    }
+    // A scan that stopped inside this segment must not continue into the
+    // next one: whatever follows is not LSN-contiguous with what we have.
+    if (stopped_midframe) break;
+    if (lsn > cursor) cursor = lsn;
+  }
+  if (!tail.records.empty()) tail.next_lsn = tail.records.back().lsn + 1;
+  return tail;
+}
+
 Status Wal::OpenFreshSegment() {
   Segment seg;
   seg.first_lsn = next_lsn_;

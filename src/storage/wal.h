@@ -102,6 +102,20 @@ struct WalRecovery {
   std::string detail;
 };
 
+/// \brief One bounded read of the log's tail (see Wal::TailFrom).
+struct WalTail {
+  /// Records with lsn >= the requested cursor, contiguous and in LSN order.
+  std::vector<WalRecord> records;
+  /// Cursor after this read: records.back().lsn + 1 when any were
+  /// returned, the requested cursor otherwise.
+  uint64_t next_lsn = 0;
+  /// The oldest record still on disk is PAST the requested cursor: the
+  /// records in between were truncated into a checkpoint (or lost), so the
+  /// reader cannot continue by tailing — it must re-anchor (load a
+  /// checkpoint / install a fresh snapshot) and resume from there.
+  bool lost_prefix = false;
+};
+
 /// \brief Append-side handle to the log. Not internally synchronized —
 /// callers serialize appends (DurableGraph wraps it in a mutex).
 class Wal {
@@ -127,6 +141,26 @@ class Wal {
   /// Seals the current segment; the next Append starts a new one. Used
   /// before TruncateBefore when the checkpoint covers the active segment.
   void Rotate() { writer_.reset(); }
+
+  /// Reads records with lsn >= `from_lsn` from the segments in `dir`, up
+  /// to `max_records`, with no coordination with a live appender: the tail
+  /// is re-scanned from the directory each call, a half-written frame at
+  /// the live end simply stops the read (never an error), and the next
+  /// call resumes from the returned cursor. The returned batch is always a
+  /// contiguous LSN run. This is the replication feed (see
+  /// src/replication/delta.h): a replica tails the log of a running
+  /// primary, and a record becomes visible once its bytes reach the file —
+  /// under FsyncPolicy::kEveryRecord, by the time Append returns.
+  static Result<WalTail> TailFrom(const std::string& dir, FileOps* file_ops,
+                                  uint64_t from_lsn, size_t max_records);
+
+  /// Instance convenience over this log's directory and file ops. Safe to
+  /// call while this Wal keeps appending (the scan never touches
+  /// segments_), but like every other member it must not race the
+  /// appender from another thread without external serialization.
+  Result<WalTail> TailFrom(uint64_t from_lsn, size_t max_records) const {
+    return TailFrom(options_.dir, fops_, from_lsn, max_records);
+  }
 
   uint64_t next_lsn() const { return next_lsn_; }
   /// Number of segment files (including the active one).
