@@ -152,6 +152,40 @@ BENCHMARK(BM_ServiceRoutedRead)
     ->Arg(4)
     ->Unit(benchmark::kMicrosecond);
 
+/// Degraded-mode routed reads (PR 10): the same query stream as
+/// BM_ServiceRoutedRead/4's sibling, but against a 3-replica fleet with one
+/// replica operator-killed. Routing skips the dead replica lock-free, so
+/// the expected cost is within noise of the healthy 3-replica fleet — this
+/// entry is the regression tripwire for that claim (a fleet that probed or
+/// waited on its dead member would show up here first).
+void BM_ServiceRoutedReadDegraded(benchmark::State& state) {
+  Graph g = MakeCollab(kGraphSize, 3);
+  ServiceOptions opts;
+  opts.engine.use_cache = false;
+  opts.engine.match_threads = 1;
+  opts.replication.num_replicas = 3;
+  opts.replication.poll_interval_ms = 1.0;
+  ExpFinderService service(&g, opts);
+  WaitForFleet(service, service.version());
+  service.fleet()->StopReplica(0);  // 1 of 3 down for the whole run
+
+  QueryRequest request;
+  request.pattern = gen::TeamQuery(0);
+  request.use_cache = false;
+  request.match_threads = 1;
+  for (auto _ : state) {
+    auto resp = service.Query(request);
+    if (!resp.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(resp);
+  }
+  // Every read must have routed to a survivor, not fallen back.
+  if (service.stats().routed_fallbacks != 0) {
+    state.SkipWithError("degraded fleet fell back to the primary");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceRoutedReadDegraded)->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

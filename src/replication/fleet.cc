@@ -1,5 +1,6 @@
 #include "src/replication/fleet.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "src/util/logging.h"
@@ -26,13 +27,15 @@ ReplicaFleet::ReplicaFleet(FleetOptions options, DeltaSource* source,
                            SnapshotInstallFn install)
     : options_(std::move(options)),
       source_(source),
-      install_(std::move(install)) {
+      install_(std::move(install)),
+      clock_(options_.health.clock != nullptr ? options_.health.clock
+                                              : Clock::Real()) {
   EF_DCHECK(source_ != nullptr);
   EF_DCHECK(install_ || !options_.checkpoint_dir.empty())
       << "a fleet needs a snapshot install fn or a checkpoint directory";
   slots_.reserve(options_.num_replicas);
   for (size_t i = 0; i < options_.num_replicas; ++i) {
-    slots_.push_back(std::make_unique<Slot>(i, options_.engine));
+    slots_.push_back(std::make_unique<Slot>(i, options_.engine, options_.health));
   }
 }
 
@@ -66,6 +69,10 @@ void ReplicaFleet::StopReplica(size_t idx) {
   slot->run.store(false, std::memory_order_release);
   if (slot->applier.joinable()) slot->applier.join();
   slot->alive.store(false, std::memory_order_release);
+  // Wake-on-death: a waiter whose wait can only be satisfied by this
+  // replica (or by none at all, now) must re-evaluate instead of sleeping
+  // out its deadline.
+  NotifyWaiters();
 }
 
 void ReplicaFleet::RestartReplica(size_t idx) {
@@ -75,6 +82,13 @@ void ReplicaFleet::RestartReplica(size_t idx) {
   if (slot->applier.joinable()) return;  // still running
   slot->run.store(true, std::memory_order_release);
   slot->applier = std::thread(&ReplicaFleet::ApplierLoop, this, slot);
+}
+
+bool ReplicaFleet::Recoverable() const {
+  for (const auto& slot : slots_) {
+    if (slot->run.load(std::memory_order_acquire)) return true;
+  }
+  return false;
 }
 
 bool ReplicaFleet::Bootstrap(Slot* slot) {
@@ -98,17 +112,49 @@ bool ReplicaFleet::Bootstrap(Slot* slot) {
   return false;
 }
 
-void ReplicaFleet::ApplierLoop(Slot* slot) {
-  if (!Bootstrap(slot)) return;
+void ReplicaFleet::GoLive(Slot* slot) {
   slot->alive.store(true, std::memory_order_release);
   NotifyWaiters();
+}
+
+bool ReplicaFleet::HandleFailure(Slot* slot) {
+  if (slot->health.RecordFailure()) return QuarantineAndRestart(slot);
+  // Transient: keep the replica serving its last snapshot and retry after
+  // a poll interval.
+  clock_->SleepMillis(options_.poll_interval_ms);
+  return slot->run.load(std::memory_order_acquire);
+}
+
+bool ReplicaFleet::QuarantineAndRestart(Slot* slot) {
+  // Out of routing immediately; waiters re-evaluate (a wait pinned on this
+  // replica may now be unsatisfiable until the auto-restart lands).
+  slot->alive.store(false, std::memory_order_release);
+  NotifyWaiters();
+  // Wait out the watchdog's jittered backoff window, staying responsive to
+  // Stop/StopReplica: sleep in poll-interval slices on the injected clock.
+  while (slot->run.load(std::memory_order_acquire)) {
+    const double remaining = slot->health.RestartDelayRemainingMs();
+    if (remaining <= 0.0) break;
+    clock_->SleepMillis(std::min(remaining, options_.poll_interval_ms));
+  }
+  if (!slot->run.load(std::memory_order_acquire)) return false;
+  slot->health.OnAutoRestart();
+  // Re-anchor rather than resume: a fresh bootstrap (checkpoint or snapshot
+  // install) jumps past whatever poisoned the fetch/apply path, which a
+  // plain retry at the same cursor would chew on forever.
+  if (!Bootstrap(slot)) return false;
+  GoLive(slot);
+  return true;
+}
+
+void ReplicaFleet::ApplierLoop(Slot* slot) {
+  if (!Bootstrap(slot)) return;
+  GoLive(slot);
   while (slot->run.load(std::memory_order_acquire)) {
     const uint64_t cursor = slot->replica.next_lsn();
     auto fetched = source_->Fetch(cursor, options_.fetch_batch);
     if (!fetched.ok()) {
-      // Transient transport/file error: keep the replica serving its last
-      // snapshot and retry after a poll interval.
-      std::this_thread::sleep_for(Millis(options_.poll_interval_ms));
+      if (!HandleFailure(slot)) return;
       continue;
     }
     if (fetched->lost_prefix) {
@@ -118,6 +164,9 @@ void ReplicaFleet::ApplierLoop(Slot* slot) {
       continue;
     }
     if (fetched->deltas.empty()) {
+      // Cleanly caught up: the transport round-tripped, which ends any
+      // consecutive-failure streak.
+      slot->health.RecordSuccess();
       source_->AwaitRecords(cursor, options_.poll_interval_ms);
       continue;
     }
@@ -128,17 +177,30 @@ void ReplicaFleet::ApplierLoop(Slot* slot) {
       slot->rebootstraps.fetch_add(1, std::memory_order_relaxed);
       if (!Bootstrap(slot)) return;
       NotifyWaiters();
-    } else if (!st.ok()) {
-      std::this_thread::sleep_for(Millis(options_.poll_interval_ms));
+      continue;
+    }
+    if (!st.ok()) {
+      if (!HandleFailure(slot)) return;
+      continue;
+    }
+    slot->health.RecordSuccess();
+    // Runaway lag: the replica is healthy but falling behind; quarantine
+    // for a catch-up re-anchor at the current horizon instead of replaying
+    // the whole backlog record by record.
+    const uint64_t horizon = source_->end_lsn();
+    const uint64_t next = slot->replica.next_lsn();
+    const uint64_t lag = horizon > next ? horizon - next : 0;
+    if (slot->health.RecordLag(lag)) {
+      if (!QuarantineAndRestart(slot)) return;
     }
   }
 }
 
 std::shared_ptr<const EngineSnapshot> ReplicaFleet::TryAcquire(
-    uint64_t min_version, size_t* replica_idx) {
+    uint64_t min_version, size_t* replica_idx, ReadRouting routing) {
   const size_t n = slots_.size();
   if (n == 0) return nullptr;
-  if (options_.routing == ReadRouting::kLeastLagged) {
+  if (routing == ReadRouting::kLeastLagged) {
     std::shared_ptr<const EngineSnapshot> best;
     size_t best_idx = 0;
     for (size_t i = 0; i < n; ++i) {
@@ -169,18 +231,44 @@ std::shared_ptr<const EngineSnapshot> ReplicaFleet::TryAcquire(
 }
 
 std::shared_ptr<const EngineSnapshot> ReplicaFleet::Acquire(
-    uint64_t min_version, double deadline_ms, size_t* replica_idx) {
-  auto snap = TryAcquire(min_version, replica_idx);
-  if (snap || min_version == 0 || deadline_ms <= 0.0) return snap;
+    uint64_t min_version, double deadline_ms, size_t* replica_idx,
+    AcquireOutcome* outcome, std::optional<ReadRouting> routing) {
+  const ReadRouting policy = routing.value_or(options_.routing);
+  auto report = [outcome](AcquireOutcome o) {
+    if (outcome != nullptr) *outcome = o;
+  };
+  auto snap = TryAcquire(min_version, replica_idx, policy);
+  if (snap != nullptr) {
+    report(AcquireOutcome::kOk);
+    return snap;
+  }
+  // Fail fast when waiting cannot help: the fleet is shut down or every
+  // applier was operator-stopped — only intervention revives it, so burning
+  // the caller's deadline would just delay its fallback.
+  if (shutdown_.load(std::memory_order_acquire) || !Recoverable()) {
+    report(AcquireOutcome::kUnavailable);
+    return nullptr;
+  }
+  if (min_version == 0 || deadline_ms <= 0.0) {
+    report(AcquireOutcome::kTimeout);
+    return nullptr;
+  }
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                             Millis(deadline_ms));
+  bool unavailable = false;
   std::unique_lock<std::mutex> lock(wait_mu_);
   wait_cv_.wait_until(lock, deadline, [&] {
-    if (shutdown_.load(std::memory_order_acquire)) return true;
-    snap = TryAcquire(min_version, replica_idx);
+    if (shutdown_.load(std::memory_order_acquire) || !Recoverable()) {
+      unavailable = true;
+      return true;
+    }
+    snap = TryAcquire(min_version, replica_idx, policy);
     return snap != nullptr;
   });
+  report(snap != nullptr ? AcquireOutcome::kOk
+         : unavailable   ? AcquireOutcome::kUnavailable
+                         : AcquireOutcome::kTimeout);
   return snap;
 }
 
@@ -199,6 +287,7 @@ std::vector<ReplicaStatus> ReplicaFleet::Replicas() const {
     ReplicaStatus rs;
     rs.id = slot->replica.id();
     rs.alive = slot->alive.load(std::memory_order_acquire);
+    rs.quarantined = slot->health.quarantined();
     rs.next_lsn = slot->replica.next_lsn();
     rs.version = slot->replica.version();
     rs.lag = horizon > rs.next_lsn ? horizon - rs.next_lsn : 0;
@@ -206,6 +295,8 @@ std::vector<ReplicaStatus> ReplicaFleet::Replicas() const {
     rs.routed_reads = slot->routed_reads.load(std::memory_order_relaxed);
     rs.installs = slot->replica.installs();
     rs.rebootstraps = slot->rebootstraps.load(std::memory_order_relaxed);
+    rs.quarantines = slot->health.quarantines();
+    rs.auto_restarts = slot->health.auto_restarts();
     out.push_back(rs);
   }
   return out;
@@ -230,6 +321,18 @@ size_t ReplicaFleet::TotalRebootstraps() const {
   for (const auto& slot : slots_) {
     total += slot->rebootstraps.load(std::memory_order_relaxed);
   }
+  return total;
+}
+
+size_t ReplicaFleet::TotalQuarantines() const {
+  size_t total = 0;
+  for (const auto& slot : slots_) total += slot->health.quarantines();
+  return total;
+}
+
+size_t ReplicaFleet::TotalAutoRestarts() const {
+  size_t total = 0;
+  for (const auto& slot : slots_) total += slot->health.auto_restarts();
   return total;
 }
 

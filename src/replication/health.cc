@@ -1,0 +1,105 @@
+#include "src/replication/health.h"
+
+#include <algorithm>
+
+namespace expfinder {
+
+ReplicaHealth::ReplicaHealth(size_t replica_id,
+                             const ReplicaHealthOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()),
+      // Decorrelate per replica so one fleet-wide fault does not produce a
+      // lockstep re-anchor stampede against the primary.
+      jitter_(options.jitter_seed + 0x9E3779B97F4A7C15ULL * (replica_id + 1)) {}
+
+void ReplicaHealth::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (restart_pending_) {
+    // Progress after a restart: the replica is genuinely healthy again, so
+    // the backoff schedule resets for the next incident.
+    restart_pending_ = false;
+    unhealthy_streak_ = 0;
+  }
+}
+
+bool ReplicaHealth::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  if (quarantined_ || options_.quarantine_after_failures == 0 ||
+      consecutive_failures_ < options_.quarantine_after_failures) {
+    return false;
+  }
+  QuarantineLocked();
+  return true;
+}
+
+bool ReplicaHealth::RecordLag(uint64_t lag_records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (quarantined_ || options_.quarantine_lag_records == 0 ||
+      lag_records < options_.quarantine_lag_records) {
+    return false;
+  }
+  QuarantineLocked();
+  return true;
+}
+
+void ReplicaHealth::QuarantineLocked() {
+  ++quarantines_;
+  ++unhealthy_streak_;
+  double backoff = options_.backoff_initial_ms;
+  for (size_t i = 1; i < unhealthy_streak_ && backoff < options_.backoff_max_ms;
+       ++i) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, options_.backoff_max_ms);
+  const double jitter = std::clamp(options_.backoff_jitter, 0.0, 1.0);
+  if (jitter > 0.0) {
+    backoff *= 1.0 + jitter * (2.0 * jitter_.NextDouble() - 1.0);
+  }
+  last_backoff_ms_ = backoff;
+  restart_due_ms_ = clock_->NowMillis() + backoff;
+  quarantined_ = true;
+}
+
+void ReplicaHealth::OnAutoRestart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!quarantined_) return;
+  quarantined_ = false;
+  restart_pending_ = true;
+  consecutive_failures_ = 0;
+  ++auto_restarts_;
+}
+
+bool ReplicaHealth::quarantined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_;
+}
+
+double ReplicaHealth::RestartDelayRemainingMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!quarantined_) return 0.0;
+  return std::max(0.0, restart_due_ms_ - clock_->NowMillis());
+}
+
+size_t ReplicaHealth::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+size_t ReplicaHealth::quarantines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantines_;
+}
+
+size_t ReplicaHealth::auto_restarts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return auto_restarts_;
+}
+
+double ReplicaHealth::last_backoff_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_backoff_ms_;
+}
+
+}  // namespace expfinder

@@ -1,0 +1,125 @@
+// Per-replica health watchdog (PR 10): the policy brain behind the fleet's
+// self-healing. Each replica applier reports fetch/apply outcomes and its
+// current lag here; the tracker decides when a replica has degraded from
+// "transient hiccup" (brief retry pause, keep serving the last snapshot)
+// to "sick" (quarantine: pulled from routing, then auto-restarted from a
+// fresh anchor after a backoff window).
+//
+// Quarantine triggers:
+//   * N consecutive fetch/apply failures — a garbled or persistently
+//     failing transport, or a poisoned record the replica cannot apply.
+//     Re-anchoring (checkpoint or snapshot install) skips past poison, so
+//     auto-restart genuinely recovers, it does not just retry the same
+//     doomed Apply.
+//   * runaway lag — the replica is alive but falling behind faster than it
+//     catches up; a re-anchor at the current horizon is cheaper than
+//     replaying the backlog.
+//
+// Backoff between quarantine and auto-restart is capped-exponential with
+// deterministic seeded jitter (so a fleet quarantined by one event does not
+// re-anchor in lockstep against the primary), measured on an injectable
+// Clock — tests drive it with a FakeClock and assert the exact schedule.
+//
+// Threading: the owning applier thread calls the Record*/OnAutoRestart
+// mutators; quarantined()/counters may be read from any thread (stats).
+
+#ifndef EXPFINDER_REPLICATION_HEALTH_H_
+#define EXPFINDER_REPLICATION_HEALTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "src/util/clock.h"
+#include "src/util/random.h"
+
+namespace expfinder {
+
+/// \brief Watchdog policy knobs (FleetOptions embeds one set for the whole
+/// fleet; jitter is decorrelated per replica via the replica id).
+struct ReplicaHealthOptions {
+  /// Consecutive fetch/apply failures before quarantine. 0 disables
+  /// failure-driven quarantine (every failure is treated as transient —
+  /// the pre-PR 10 fixed-interval retry behavior).
+  size_t quarantine_after_failures = 5;
+  /// Lag (records behind the source horizon) beyond which a replica is
+  /// quarantined for a catch-up re-anchor. 0 disables lag-driven
+  /// quarantine.
+  uint64_t quarantine_lag_records = 0;
+  /// First backoff window; each further quarantine in an unhealthy streak
+  /// doubles it, capped at `backoff_max_ms`.
+  double backoff_initial_ms = 10.0;
+  double backoff_max_ms = 2000.0;
+  /// Uniform jitter fraction: the actual window is backoff * (1 ± jitter).
+  double backoff_jitter = 0.2;
+  /// Seed for the jitter draws (combined with the replica id).
+  uint64_t jitter_seed = 0x5EEDBACCULL;
+  /// Time source the backoff schedule runs on. nullptr = Clock::Real().
+  Clock* clock = nullptr;
+};
+
+/// \brief Health state of one replica. See file comment for the contract.
+class ReplicaHealth {
+ public:
+  ReplicaHealth(size_t replica_id, const ReplicaHealthOptions& options);
+
+  /// A fetch+apply round made progress (or found the replica cleanly caught
+  /// up): clears the consecutive-failure count, and — when the replica had
+  /// been restarted out of quarantine — ends the unhealthy streak, so the
+  /// next quarantine starts from backoff_initial_ms again.
+  void RecordSuccess();
+
+  /// One failed fetch or apply. Returns true when this failure crossed the
+  /// quarantine threshold: the caller must pull the replica from routing
+  /// and wait out RestartDelayRemainingMs() before re-anchoring.
+  bool RecordFailure();
+
+  /// Current lag in records. Returns true when runaway lag triggered a
+  /// quarantine (same restart protocol as failure-driven quarantine).
+  bool RecordLag(uint64_t lag_records);
+
+  /// The applier cleared quarantine and is about to re-anchor. Counts an
+  /// auto-restart; the replica stays in its unhealthy streak until the
+  /// first post-restart RecordSuccess.
+  void OnAutoRestart();
+
+  bool quarantined() const;
+
+  /// Milliseconds of backoff still to wait before the auto-restart is due;
+  /// 0 when due (or not quarantined). Measured on the injected clock.
+  double RestartDelayRemainingMs() const;
+
+  // --- Observability (safe from any thread) -------------------------------
+  size_t consecutive_failures() const;
+  size_t quarantines() const;
+  size_t auto_restarts() const;
+  /// The jittered window of the most recent quarantine (0 before any).
+  double last_backoff_ms() const;
+
+ private:
+  /// Enters quarantine: computes the jittered window and stamps the restart
+  /// deadline. Caller holds mu_.
+  void QuarantineLocked();
+
+  const ReplicaHealthOptions options_;
+  Clock* const clock_;
+
+  mutable std::mutex mu_;
+  size_t consecutive_failures_ = 0;  // guarded by mu_
+  bool quarantined_ = false;         // guarded by mu_
+  /// Quarantines since the last confirmed-healthy state — the exponent of
+  /// the backoff schedule. Reset by the first RecordSuccess after a
+  /// restart, not by the restart itself: a replica that quarantines again
+  /// before making progress keeps escalating.
+  size_t unhealthy_streak_ = 0;     // guarded by mu_
+  bool restart_pending_ = false;    // guarded by mu_: restarted, no success yet
+  double restart_due_ms_ = 0.0;     // guarded by mu_; clock_ axis
+  double last_backoff_ms_ = 0.0;    // guarded by mu_
+  Rng jitter_;                      // guarded by mu_
+  size_t quarantines_ = 0;          // guarded by mu_
+  size_t auto_restarts_ = 0;        // guarded by mu_
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_REPLICATION_HEALTH_H_

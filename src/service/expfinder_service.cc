@@ -133,6 +133,14 @@ void ExpFinderService::StartReplication() {
   }
   delta_source_ = std::make_unique<InProcessDeltaSource>(
       std::move(source_options), start_lsn);
+  DeltaSource* transport = delta_source_.get();
+  if (options_.replication.delta_faults.any()) {
+    // Chaos drills fetch through the fault decorator; Ship/Close still talk
+    // to the real source underneath.
+    faulty_source_ = std::make_unique<FaultyDeltaSource>(
+        options_.replication.delta_faults, delta_source_.get());
+    transport = faulty_source_.get();
+  }
 
   FleetOptions fleet_options;
   fleet_options.num_replicas = options_.replication.num_replicas;
@@ -146,8 +154,8 @@ void ExpFinderService::StartReplication() {
     fleet_options.file_ops = options_.durability.file_ops;
   }
   fleet_options.engine = options_.engine;
-  fleet_ = std::make_unique<ReplicaFleet>(std::move(fleet_options),
-                                          delta_source_.get(),
+  fleet_options.health = options_.replication.health;
+  fleet_ = std::make_unique<ReplicaFleet>(std::move(fleet_options), transport,
                                           [this] { return BootstrapReplica(); });
   fleet_->Start();
 }
@@ -161,6 +169,56 @@ ReplicaBootstrap ExpFinderService::BootstrapReplica() {
   bootstrap.graph = *g_;
   bootstrap.next_lsn = durable_ != nullptr ? durable_->next_lsn() : ship_lsn_;
   return bootstrap;
+}
+
+std::shared_ptr<const EngineSnapshot> ExpFinderService::AcquireRouted(
+    uint64_t min_version, AcquireOutcome* outcome) {
+  const ReplicationOptions& r = options_.replication;
+  const double budget = r.max_staleness_wait_ms;
+  // Hedging caps the first, policy-routed wait at the hedge threshold; on
+  // a miss the remaining budget funds a second read aimed straight at the
+  // freshest replica. Unfloored reads never wait, so hedging them is moot.
+  const bool hedge =
+      r.hedge_delay_ms > 0.0 && r.hedge_delay_ms < budget && min_version > 0;
+  Timer timer;
+  AcquireOutcome last = AcquireOutcome::kTimeout;
+  auto snap = fleet_->Acquire(min_version, hedge ? r.hedge_delay_ms : budget,
+                              /*replica_idx=*/nullptr, &last);
+  if (snap == nullptr && hedge && last == AcquireOutcome::kTimeout) {
+    hedged_reads_.fetch_add(1, std::memory_order_relaxed);
+    snap = fleet_->Acquire(min_version,
+                           std::max(0.0, budget - timer.ElapsedMillis()),
+                           /*replica_idx=*/nullptr, &last,
+                           ReadRouting::kLeastLagged);
+  }
+  // Bounded retries while the fleet can still recover: a quarantined
+  // replica's auto-restart (or a lagging one's catch-up) may land within a
+  // retry window. kUnavailable skips this — only operator action helps.
+  for (size_t attempt = 0;
+       snap == nullptr && last == AcquireOutcome::kTimeout &&
+       attempt < r.read_retries &&
+       !shutdown_.load(std::memory_order_acquire);
+       ++attempt) {
+    retried_reads_.fetch_add(1, std::memory_order_relaxed);
+    snap = fleet_->Acquire(min_version, r.retry_wait_ms,
+                           /*replica_idx=*/nullptr, &last);
+  }
+  // Staleness relaxation: accept a bounded-stale replica rather than
+  // abandoning the replica tier. A probe, not a wait — the budget is spent.
+  // The response reports the true (relaxed) version served.
+  if (snap == nullptr && min_version > 0 && r.relax_staleness_versions > 0) {
+    const uint64_t floor = min_version > r.relax_staleness_versions
+                               ? min_version - r.relax_staleness_versions
+                               : 0;
+    AcquireOutcome probe = AcquireOutcome::kTimeout;
+    snap = fleet_->Acquire(floor, /*deadline_ms=*/0.0,
+                           /*replica_idx=*/nullptr, &probe);
+    if (snap != nullptr) {
+      relaxed_reads_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  *outcome = snap != nullptr ? AcquireOutcome::kOk : last;
+  return snap;
 }
 
 void ExpFinderService::ShipLocked(std::string payload) {
@@ -302,18 +360,32 @@ Result<QueryResponse> ExpFinderService::Serve(const PendingQuery& pending,
                               " is not retained (evicted or never published)");
     }
   } else if (fleet_ != nullptr) {
-    // Route across the replica fleet; the primary epoch is the fallback
-    // (or, with fallback off, stays reserved for writes and as_of reads).
+    // Route across the replica fleet through the resilience ladder; the
+    // primary epoch is the final fallback (or, with fallback off, stays
+    // reserved for writes and as_of reads).
     const uint64_t min_version = request.min_version.value_or(0);
-    snap = fleet_->Acquire(min_version,
-                           options_.replication.max_staleness_wait_ms,
-                           /*replica_idx=*/nullptr);
+    AcquireOutcome outcome = AcquireOutcome::kTimeout;
+    snap = AcquireRouted(min_version, &outcome);
     if (snap != nullptr) {
       routed_reads_.fetch_add(1, std::memory_order_relaxed);
     } else {
       auto primary = epoch_.load(std::memory_order_acquire);
-      if (!options_.replication.fallback_to_primary ||
-          primary->version < min_version) {
+      if (options_.replication.fallback_to_primary &&
+          primary->version >= min_version) {
+        routed_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        snap = std::move(primary);
+      } else if (outcome == AcquireOutcome::kUnavailable) {
+        // Fleet down or unrecoverable (and the primary cannot cover):
+        // kUnavailable tells the caller to route away / retry elsewhere,
+        // unlike a deadline miss where waiting longer could have worked.
+        unavailable_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Unavailable(
+            "replica fleet unavailable for min_version " +
+            std::to_string(min_version) +
+            (options_.replication.fallback_to_primary
+                 ? " and the primary has not reached it"
+                 : " (primary fallback disabled)"));
+      } else {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         return Status::DeadlineExceeded(
             "no replica reached min_version " + std::to_string(min_version) +
@@ -324,8 +396,6 @@ Result<QueryResponse> ExpFinderService::Serve(const PendingQuery& pending,
                  ? " and the primary has not either"
                  : " (primary fallback disabled)"));
       }
-      routed_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-      snap = std::move(primary);
     }
   } else {
     snap = epoch_.load(std::memory_order_acquire);
@@ -672,9 +742,15 @@ ServiceStats ExpFinderService::stats() const {
   s.deltas_shipped = deltas_shipped_.load(std::memory_order_relaxed);
   s.routed_reads = routed_reads_.load(std::memory_order_relaxed);
   s.routed_fallbacks = routed_fallbacks_.load(std::memory_order_relaxed);
+  s.retried_reads = retried_reads_.load(std::memory_order_relaxed);
+  s.hedged_reads = hedged_reads_.load(std::memory_order_relaxed);
+  s.relaxed_reads = relaxed_reads_.load(std::memory_order_relaxed);
+  s.unavailable = unavailable_.load(std::memory_order_relaxed);
   if (fleet_ != nullptr) {
     s.deltas_applied = fleet_->TotalDeltasApplied();
     s.replica_rebootstraps = fleet_->TotalRebootstraps();
+    s.replica_quarantines = fleet_->TotalQuarantines();
+    s.replica_auto_restarts = fleet_->TotalAutoRestarts();
     s.replicas = fleet_->Replicas();
   }
   for (size_t i = 0; i < kQueueLatencyBuckets; ++i) {

@@ -62,6 +62,7 @@
 
 #include "src/engine/query_engine.h"
 #include "src/replication/delta.h"
+#include "src/replication/fault_source.h"
 #include "src/replication/fleet.h"
 #include "src/service/admission_queue.h"
 #include "src/service/service_types.h"
@@ -97,9 +98,40 @@ struct ReplicationOptions {
   double max_staleness_wait_ms = 200.0;
   /// Serve from the primary epoch when no replica satisfies a read (fleet
   /// still bootstrapping, all replicas down, or min_version unreachable in
-  /// time). Off = such reads fail with kDeadlineExceeded instead, keeping
-  /// the primary strictly write-only for this workload.
+  /// time). Off = such reads fail instead — kUnavailable when the fleet is
+  /// down/unrecoverable, kDeadlineExceeded when it was merely too slow —
+  /// keeping the primary strictly write-only for this workload.
   bool fallback_to_primary = true;
+
+  // --- Read-resilience ladder (PR 10). A routed read that misses walks
+  // these rungs in order: hedged second read -> bounded retries ->
+  // staleness relaxation -> primary fallback (above) -> error. Worst-case
+  // routing wait is max_staleness_wait_ms + read_retries * retry_wait_ms.
+
+  /// Extra Acquire attempts after the budgeted wait timed out while the
+  /// fleet could still recover (quarantined replicas pending auto-restart).
+  /// Each waits retry_wait_ms. 0 = no retries.
+  size_t read_retries = 1;
+  double retry_wait_ms = 20.0;
+  /// > 0 enables hedging: the first (policy-routed) wait is capped at this
+  /// threshold, and on a miss a second acquire goes straight to the
+  /// freshest replica (least-lagged routing) with the rest of the
+  /// staleness budget. 0 = off. Only applies to reads with a min_version
+  /// floor (unfloored reads never wait at all).
+  double hedge_delay_ms = 0.0;
+  /// > 0 enables bounded-staleness relaxation as the last replica rung: a
+  /// read whose floor cannot be met in time accepts a replica within this
+  /// many versions BELOW min_version (no extra waiting — a probe). The
+  /// response still reports the exact version served, so read-your-writes
+  /// callers can detect the relaxation. 0 = off (strict floors).
+  uint64_t relax_staleness_versions = 0;
+  /// Fault injection for the delta transport (tests / chaos drills): when
+  /// any() the service wraps its delta stream in a FaultyDeltaSource with
+  /// this plan. See replication/fault_source.h.
+  DeltaFaultPlan delta_faults;
+  /// Watchdog policy for the fleet's self-healing (quarantine thresholds,
+  /// auto-restart backoff). See replication/health.h.
+  ReplicaHealthOptions health;
 };
 
 /// \brief Service configuration: the composed engine's options plus the
@@ -270,6 +302,11 @@ class ExpFinderService {
   ReplicaFleet* fleet() { return fleet_.get(); }
   const ReplicaFleet* fleet() const { return fleet_.get(); }
 
+  /// The fault-injecting transport decorator, or nullptr when replication
+  /// is off or no fault plan was configured. Chaos drills use it to read
+  /// injected-fault counters and to disarm the plan mid-run (SetPlan({})).
+  FaultyDeltaSource* delta_faults() { return faulty_source_.get(); }
+
  private:
   /// Per-worker scratch: one context for evaluation over the snapshot's
   /// graph, one over its Gc, so a worker alternating direct/compressed
@@ -332,6 +369,14 @@ class ExpFinderService {
   /// Brings up the delta source + replica fleet (ctor, after the first
   /// publish; no locks held).
   void StartReplication();
+
+  /// The replica rungs of the read-resilience ladder: policy-routed
+  /// acquire (capped at the hedge threshold when hedging), hedged
+  /// least-lagged second read, bounded retries, staleness relaxation.
+  /// Returns the snapshot or nullptr; `*outcome` reports the final miss
+  /// kind (kTimeout vs kUnavailable) for the caller's error mapping.
+  std::shared_ptr<const EngineSnapshot> AcquireRouted(uint64_t min_version,
+                                                      AcquireOutcome* outcome);
 
   /// Full-snapshot bootstrap for a replica: copies the primary's graph and
   /// the matching delta cursor under the writer lock. Called from applier
@@ -417,8 +462,13 @@ class ExpFinderService {
   /// Replication (null / unused when replication.num_replicas == 0).
   /// Declared before executor_ so destruction order is: executor (serving
   /// workers, which call fleet_->Acquire) drains first, then the fleet
-  /// joins its appliers, then the source they fetch from dies.
+  /// joins its appliers, then the (possibly fault-wrapped) source they
+  /// fetch from dies.
   std::unique_ptr<InProcessDeltaSource> delta_source_;
+  /// Fault-injecting decorator over delta_source_; null unless
+  /// replication.delta_faults has any probability set. When present the
+  /// fleet fetches through it.
+  std::unique_ptr<FaultyDeltaSource> faulty_source_;
   std::unique_ptr<ReplicaFleet> fleet_;
   /// Delta cursor when durability is off (the WAL assigns LSNs otherwise);
   /// guarded by writer_mu_.
@@ -426,6 +476,10 @@ class ExpFinderService {
   std::atomic<size_t> deltas_shipped_{0};
   std::atomic<size_t> routed_reads_{0};
   std::atomic<size_t> routed_fallbacks_{0};
+  std::atomic<size_t> retried_reads_{0};
+  std::atomic<size_t> hedged_reads_{0};
+  std::atomic<size_t> relaxed_reads_{0};
+  std::atomic<size_t> unavailable_{0};
 
   /// The serving executor: one Submit()ed drain task per admitted request.
   /// Declared last so it is destroyed (and drained) while every member it

@@ -121,7 +121,8 @@ std::string ServiceStats::ToString() const {
      << " planner_short_circuits=" << planner_short_circuits
      << " compressed_evals=" << compressed_evals << " direct_evals=" << direct_evals
      << " rejected=" << rejected << " rejected_overload=" << rejected_overload
-     << " cancelled=" << cancelled << " queued=" << queued << " queued_by_lane=[";
+     << " cancelled=" << cancelled << " unavailable=" << unavailable
+     << " queued=" << queued << " queued_by_lane=[";
   for (size_t lane = 0; lane < queued_by_priority.size(); ++lane) {
     if (lane > 0) os << " ";
     os << QueryPriorityName(static_cast<QueryPriority>(lane)) << ":"
@@ -145,14 +146,19 @@ std::string ServiceStats::ToString() const {
      << " deltas_applied=" << deltas_applied
      << " routed_reads=" << routed_reads
      << " routed_fallbacks=" << routed_fallbacks
-     << " replica_rebootstraps=" << replica_rebootstraps;
+     << " retried_reads=" << retried_reads << " hedged_reads=" << hedged_reads
+     << " relaxed_reads=" << relaxed_reads
+     << " replica_rebootstraps=" << replica_rebootstraps
+     << " replica_quarantines=" << replica_quarantines
+     << " replica_auto_restarts=" << replica_auto_restarts;
   if (!replicas.empty()) {
     os << " replicas=[";
     for (size_t i = 0; i < replicas.size(); ++i) {
       const ReplicaStatus& r = replicas[i];
       if (i > 0) os << " ";
-      os << "r" << r.id << ":" << (r.alive ? "up" : "down")
-         << ",v" << r.version << ",lag" << r.lag << ",reads" << r.routed_reads;
+      os << "r" << r.id << ":"
+         << (r.alive ? "up" : r.quarantined ? "quarantined" : "down") << ",v"
+         << r.version << ",lag" << r.lag << ",reads" << r.routed_reads;
     }
     os << "]";
   }

@@ -247,13 +247,17 @@ size_t QueueLatencyBucket(double queue_ms);
 ///     count in `rejected_overload`;
 ///   * requests cancelled before their evaluation completed (while queued
 ///     or at an evaluation stage boundary) count in `cancelled`;
+///   * reads refused because the replica fleet was down/unrecoverable and
+///     the primary could not cover them count in `unavailable` (PR 10 —
+///     Status::kUnavailable, "route away", vs a `rejected` deadline miss,
+///     "waited and lost");
 ///   * anything that completed evaluation keeps its serving-path
 ///     classification even if a later stage (ranking, post-eval deadline or
 ///     cancel) fails the request.
 /// So
 ///   queries == cache_hits + maintained_hits + planner_short_circuits +
 ///              compressed_evals + direct_evals + rejected +
-///              rejected_overload + cancelled
+///              rejected_overload + cancelled + unavailable
 /// holds whenever the service is quiescent.
 struct ServiceStats {
   size_t queries = 0;
@@ -265,6 +269,7 @@ struct ServiceStats {
   size_t rejected = 0;
   size_t rejected_overload = 0;
   size_t cancelled = 0;
+  size_t unavailable = 0;
   size_t query_batches = 0;
   size_t batches_applied = 0;
   size_t updates_applied = 0;
@@ -309,6 +314,17 @@ struct ServiceStats {
   size_t routed_reads = 0;
   size_t routed_fallbacks = 0;
   size_t replica_rebootstraps = 0;
+  /// Read-resilience ladder telemetry (PR 10; none enter ClassifiedQueries
+  /// — each ladder rung is a routing attempt inside one read, and the read
+  /// itself still lands in exactly one terminal counter): retries after a
+  /// timed-out pick, hedged second reads, floors served relaxed
+  /// (bounded-stale), and watchdog activity across the fleet (quarantines
+  /// entered, auto-restarts completed).
+  size_t retried_reads = 0;
+  size_t hedged_reads = 0;
+  size_t relaxed_reads = 0;
+  size_t replica_quarantines = 0;
+  size_t replica_auto_restarts = 0;
   /// Per-replica state at the moment stats() was taken (empty when
   /// replication is off); id order.
   std::vector<ReplicaStatus> replicas;
@@ -328,7 +344,7 @@ struct ServiceStats {
   size_t ClassifiedQueries() const {
     return cache_hits + maintained_hits + planner_short_circuits +
            compressed_evals + direct_evals + rejected + rejected_overload +
-           cancelled;
+           cancelled + unavailable;
   }
 
   std::string ToString() const;

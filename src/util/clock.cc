@@ -1,0 +1,31 @@
+#include "src/util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace expfinder {
+
+namespace {
+
+class RealClock : public Clock {
+ public:
+  double NowMillis() const override {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepMillis(double ms) override {
+    if (ms <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace expfinder

@@ -1,0 +1,67 @@
+// Injectable time source for components whose correctness depends on
+// waiting (backoff, quarantine windows). Production code uses the shared
+// monotonic RealClock; tests inject a FakeClock so "wait 2 s of backoff"
+// takes microseconds of wall time and every timing decision is
+// deterministic and assertable.
+//
+// Scope note: the serving path's latency measurements stay on util/timer.h
+// (a plain steady_clock stopwatch) — Clock is for code that *acts* on time,
+// not code that merely reports it.
+
+#ifndef EXPFINDER_UTIL_CLOCK_H_
+#define EXPFINDER_UTIL_CLOCK_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace expfinder {
+
+/// \brief Monotonic time source + sleep, virtualized. Implementations are
+/// thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Milliseconds on this clock's monotonic axis. Only differences are
+  /// meaningful; the origin is unspecified.
+  virtual double NowMillis() const = 0;
+
+  /// Blocks the calling thread for `ms` on this clock's axis (<= 0 is a
+  /// no-op). A FakeClock advances instead of blocking, so backoff loops
+  /// written against Clock run at full speed under test.
+  virtual void SleepMillis(double ms) = 0;
+
+  /// The process-wide real (steady_clock) instance. Never null.
+  static Clock* Real();
+};
+
+/// \brief Manually driven clock for tests. SleepMillis advances the clock
+/// itself — a thread "sleeping" here never blocks other threads' view of
+/// time, it moves it forward.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(double start_ms = 0.0) : now_ms_(start_ms) {}
+
+  double NowMillis() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_ms_;
+  }
+
+  void SleepMillis(double ms) override {
+    if (ms > 0.0) Advance(ms);
+  }
+
+  /// Moves time forward by `ms` (test driver side).
+  void Advance(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ms_ += ms;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double now_ms_;
+};
+
+}  // namespace expfinder
+
+#endif  // EXPFINDER_UTIL_CLOCK_H_

@@ -20,6 +20,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kCancelled: return "Cancelled";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kDataLoss: return "DataLoss";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

@@ -34,6 +34,12 @@ enum class StatusCode : int {
   /// checksum — retry/refetch may work): kDataLoss means acknowledged
   /// writes are provably gone and the caller should degrade, not retry.
   kDataLoss = 12,
+  /// The serving tier that should answer is down right now (e.g. every
+  /// replica dead or unrecoverable) — the request itself was fine and a
+  /// retry elsewhere / later may succeed. Distinct from kDeadlineExceeded
+  /// (the service was up but could not answer within the caller's budget):
+  /// kUnavailable tells a load balancer to route away, not to wait longer.
+  kUnavailable = 13,
 };
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable
@@ -84,6 +90,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -102,6 +111,7 @@ class Status {
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -700,7 +700,10 @@ TEST_F(ReplicationFixture, FallbackToPrimaryPolicy) {
   }
   {
     // Fallback off: the same read fails loudly instead of silently
-    // shifting load to the primary.
+    // shifting load to the primary. With the only applier operator-stopped
+    // the fleet is unrecoverable, so the failure is kUnavailable ("route
+    // away") rather than a deadline miss ("waiting longer might work") —
+    // and it returns without burning the staleness budget.
     Graph g2 = gen::BuildFig1Graph();
     opts.replication.fallback_to_primary = false;
     ExpFinderService service(&g2, opts);
@@ -709,7 +712,10 @@ TEST_F(ReplicationFixture, FallbackToPrimaryPolicy) {
     req.pattern = gen::BuildFig1Pattern();
     auto resp = service.Query(req);
     ASSERT_FALSE(resp.ok());
-    EXPECT_TRUE(resp.status().IsDeadlineExceeded()) << resp.status();
+    EXPECT_TRUE(resp.status().IsUnavailable()) << resp.status();
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.unavailable, 1u);
+    EXPECT_EQ(s.ClassifiedQueries(), s.queries);
   }
 }
 
